@@ -1,0 +1,41 @@
+package dbdedup
+
+import (
+	"testing"
+
+	"dbdedup/internal/delta"
+)
+
+// benchPair is one (source, target) revision pair.
+type benchPair struct{ src, tgt []byte }
+
+// benchBackward measures the cost of producing backward deltas either via
+// Algorithm-2 re-encoding of the forward delta or via a from-scratch second
+// compression pass (the ablation of DESIGN.md §5).
+func benchBackward(b *testing.B, pairs []benchPair, reencode bool) {
+	if len(pairs) == 0 {
+		b.Skip("no pairs")
+	}
+	var total int64
+	for _, p := range pairs {
+		total += int64(len(p.src))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bwdBytes int64
+		for _, p := range pairs {
+			fwd := delta.Compress(p.src, p.tgt, delta.Options{})
+			var bwd delta.Delta
+			if reencode {
+				bwd = delta.Reencode(p.src, p.tgt, fwd)
+			} else {
+				bwd = delta.Compress(p.tgt, p.src, delta.Options{})
+			}
+			bwdBytes += int64(bwd.EncodedSize())
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(bwdBytes)/float64(len(pairs)), "bwd-B/pair")
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Benchmarks regenerating the paper's tables and figures, one per result
+// (see DESIGN.md §3 for the index, EXPERIMENTS.md for recorded outputs).
+// Each benchmark runs the corresponding experiment at a reduced scale and
+// reports the figure's headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints a compact reproduction of the whole evaluation. The dedupbench
+// binary runs the same experiments at larger scale with full tables.
+package dbdedup
+
+import (
+	"testing"
+
+	"dbdedup/internal/chain"
+	"dbdedup/internal/core"
+	"dbdedup/internal/experiments"
+	"dbdedup/internal/node"
+	"dbdedup/internal/workload"
+)
+
+// benchScale keeps a full -bench=. sweep in the minutes range.
+var benchScale = experiments.Scale{InsertBytes: 4 << 20, Seed: 1}
+
+// BenchmarkFig1WikipediaConfigs reproduces Fig. 1: the five storage
+// configurations on the Wikipedia workload.
+func BenchmarkFig1WikipediaConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig10(benchScale, workload.Wikipedia)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			db64 := res.Row(workload.Wikipedia, "dbDedup-64B")
+			tr64 := res.Row(workload.Wikipedia, "trad-64B")
+			b.ReportMetric(db64.CombinedRatio, "dbDedup64B-combined-x")
+			b.ReportMetric(db64.DedupRatio, "dbDedup64B-dedup-x")
+			b.ReportMetric(float64(db64.IndexMemoryBytes), "dbDedup64B-index-B")
+			b.ReportMetric(float64(tr64.IndexMemoryBytes), "trad64B-index-B")
+		}
+	}
+}
+
+// BenchmarkFig7SizeFilter reproduces Fig. 7: the share of dedup savings
+// contributed by the smallest 40% of records.
+func BenchmarkFig7SizeFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(benchScale, workload.Wikipedia)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Datasets[0].SavingFracAtP40*100, "p40-saving-%")
+		}
+	}
+}
+
+// BenchmarkFig10 covers all four datasets in the headline configuration.
+func BenchmarkFig10(b *testing.B) {
+	for _, kind := range workload.Kinds {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFig10(benchScale, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					row := res.Row(kind, "dbDedup-64B")
+					b.ReportMetric(row.DedupRatio, "dedup-x")
+					b.ReportMetric(row.CombinedRatio, "combined-x")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11StorageVsNetwork reproduces Fig. 11.
+func BenchmarkFig11StorageVsNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig11(benchScale, workload.Wikipedia)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Rows[0].NetworkRatio, "network-x")
+			b.ReportMetric(res.Rows[0].StorageRatio, "storage-x")
+		}
+	}
+}
+
+// BenchmarkFig12Throughput reproduces Fig. 12a/b on the Enron mix (the most
+// write-heavy of the four).
+func BenchmarkFig12Throughput(b *testing.B) {
+	for _, config := range experiments.Fig12Configs {
+		config := config
+		b.Run(config, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFig12(benchScale, workload.Enron)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					row := res.Row(workload.Enron, config)
+					b.ReportMetric(row.OpsPerSec, "ops/s")
+					b.ReportMetric(float64(row.ReadP999.Microseconds()), "read-p999-µs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13aSourceCache reproduces Fig. 13a.
+func BenchmarkFig13aSourceCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig13a(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, row := range res.Rows {
+				if row.Label == "reward 2" {
+					b.ReportMetric(row.CacheMissRatio*100, "reward2-miss-%")
+				}
+				if row.Label == "reward 0" {
+					b.ReportMetric(row.CacheMissRatio*100, "reward0-miss-%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig13bWritebackCache reproduces Fig. 13b (wall-clock bursts).
+func BenchmarkFig13bWritebackCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig13b(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			with, without := res.BurstThroughputs()
+			b.ReportMetric(with, "with-cache-ops/slot")
+			b.ReportMetric(without, "without-cache-ops/slot")
+		}
+	}
+}
+
+// BenchmarkFig14HopEncoding reproduces Fig. 14 at the default hop distance.
+func BenchmarkFig14HopEncoding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig14(experiments.Scale{InsertBytes: 2 << 20, Seed: benchScale.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			hop := res.Row("hop", 16)
+			vj := res.Row("version-jump", 16)
+			b.ReportMetric(hop.NormalizedRatio, "hop-norm-ratio")
+			b.ReportMetric(vj.NormalizedRatio, "vj-norm-ratio")
+			b.ReportMetric(float64(hop.WorstCaseRetrievals), "hop-retrievals")
+		}
+	}
+}
+
+// BenchmarkFig15AnchorInterval reproduces Fig. 15.
+func BenchmarkFig15AnchorInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig15(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			xd := res.Row("xDelta")
+			a64 := res.Row("anchor 64")
+			b.ReportMetric(xd.ThroughputMBps, "xdelta-MB/s")
+			b.ReportMetric(a64.ThroughputMBps, "anchor64-MB/s")
+			b.ReportMetric(a64.CompressionRatio/xd.CompressionRatio, "anchor64-ratio-frac")
+			b.ReportMetric(float64(xd.IndexOps)/float64(a64.IndexOps), "indexops-reduction-x")
+		}
+	}
+}
+
+// BenchmarkTable2 evaluates the encoding-scheme trade-offs exactly.
+func BenchmarkTable2(b *testing.B) {
+	var res *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunTable2(200, 16)
+	}
+	for _, row := range res.Rows {
+		if row.Scheme == "hop" {
+			b.ReportMetric(float64(row.WorstCaseRetrievals), "hop-retrievals")
+			b.ReportMetric(float64(row.Writebacks), "hop-writebacks")
+		}
+	}
+}
+
+// ---- Ablation benches (DESIGN.md §5) ----
+
+// BenchmarkAblationSampling compares consistent vs random feature sampling
+// end to end: random sampling characterises similarity worse, so the engine
+// finds fewer/worse sources and the storage ratio drops.
+func BenchmarkAblationSampling(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		random bool
+	}{{"consistent", false}, {"random", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n, err := node.Open(node.Options{
+					SyncEncode: true, DisableAutoFlush: true,
+					Engine: core.Config{
+						GovernorWindow: 1 << 30, DisableSizeFilter: true,
+						SampleRandomly: mode.random,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr := workload.New(workload.Config{Kind: workload.Wikipedia, Seed: 1, InsertBytes: 2 << 20})
+				var raw int64
+				for {
+					op, ok := tr.Next()
+					if !ok {
+						break
+					}
+					if err := n.Insert(op.DB, op.Key, op.Payload); err != nil {
+						b.Fatal(err)
+					}
+					raw += int64(len(op.Payload))
+					if n.PendingWritebacks() > 128 {
+						n.FlushWritebacks(-1)
+					}
+				}
+				n.FlushWritebacks(-1)
+				if i == b.N-1 {
+					st := n.Stats()
+					b.ReportMetric(float64(raw)/float64(st.Store.LogicalBytes), "ratio-x")
+					b.ReportMetric(float64(st.Engine.Deduped), "dedup-hits")
+				}
+				n.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReencode compares Algorithm-2 re-encoding against a
+// from-scratch second compression pass for producing backward deltas.
+func BenchmarkAblationReencode(b *testing.B) {
+	recs := workload.New(workload.Config{Kind: workload.Wikipedia, Seed: 1, InsertBytes: 2 << 20}).Records()
+	latest := map[string][]byte{}
+	var pairs []benchPair
+	for _, r := range recs {
+		a := r.Key[:7]
+		if prev, ok := latest[a]; ok {
+			pairs = append(pairs, benchPair{prev, r.Payload})
+		}
+		latest[a] = r.Payload
+	}
+	b.Run("reencode", func(b *testing.B) { benchBackward(b, pairs, true) })
+	b.Run("scratch", func(b *testing.B) { benchBackward(b, pairs, false) })
+}
+
+// BenchmarkSchemes measures end-to-end ratios per chain encoding scheme.
+func BenchmarkSchemes(b *testing.B) {
+	for _, scheme := range []chain.Scheme{chain.Backward, chain.Hop, chain.VersionJump} {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := Open(Options{
+					SyncEncode: true, ManualFlush: true,
+					GovernorWindow: 1 << 30, DisableSizeFilter: true,
+					Scheme: publicScheme(scheme), HopDistance: 16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr := workload.New(workload.Config{Kind: workload.Wikipedia, Seed: 1, InsertBytes: 2 << 20})
+				for {
+					op, ok := tr.Next()
+					if !ok {
+						break
+					}
+					if err := s.Insert(op.DB, op.Key, op.Payload); err != nil {
+						b.Fatal(err)
+					}
+					if s.PendingWritebacks() > 128 {
+						s.FlushWritebacks(-1)
+					}
+				}
+				s.FlushWritebacks(-1)
+				if i == b.N-1 {
+					b.ReportMetric(s.Stats().StorageCompressionRatio(), "ratio-x")
+				}
+				s.Close()
+			}
+		})
+	}
+}
+
+func publicScheme(s chain.Scheme) Scheme {
+	switch s {
+	case chain.Backward:
+		return SchemeBackward
+	case chain.VersionJump:
+		return SchemeVersionJump
+	default:
+		return SchemeHop
+	}
+}

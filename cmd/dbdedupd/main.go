@@ -1,0 +1,135 @@
+// Command dbdedupd runs a dbDedup database node: a deduplicating document
+// store serving a client API over TCP, optionally replicating to or from
+// other nodes.
+//
+// A primary with a secondary, on one machine:
+//
+//	dbdedupd -listen :7070 -repl-listen :7071 -dir /var/lib/dbdedup/primary
+//	dbdedupd -listen :7080 -follow 127.0.0.1:7071 -dir /var/lib/dbdedup/secondary
+//
+// Use dedupcli to talk to the API port.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dbdedup/internal/apiserver"
+	"dbdedup/internal/chain"
+	"dbdedup/internal/core"
+	"dbdedup/internal/httpadmin"
+	"dbdedup/internal/metrics"
+	"dbdedup/internal/node"
+	"dbdedup/internal/repl"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7070", "client API listen address")
+		replListen = flag.String("repl-listen", "", "replication listen address (primary role)")
+		follow     = flag.String("follow", "", "primary replication address to follow (secondary role)")
+		dir        = flag.String("dir", "", "storage directory (empty = in-memory)")
+		noDedup    = flag.Bool("no-dedup", false, "disable deduplication")
+		compress   = flag.Bool("compress", false, "enable block-level compression")
+		chunkSize  = flag.Int("chunk", 64, "sketching chunk size in bytes (power of two)")
+		scheme     = flag.String("scheme", "hop", "chain encoding scheme: hop | backward | version-jump")
+		hop        = flag.Int("hop", 16, "hop distance / cluster size")
+		statsEvery = flag.Duration("stats-every", 0, "periodically log store stats (0 = off)")
+		compaction = flag.Bool("auto-compact", true, "enable background segment compaction")
+		admin      = flag.String("admin", "", "HTTP admin endpoint address (e.g. :7090; empty = off)")
+	)
+	flag.Parse()
+
+	var sch chain.Scheme
+	switch *scheme {
+	case "hop":
+		sch = chain.Hop
+	case "backward":
+		sch = chain.Backward
+	case "version-jump":
+		sch = chain.VersionJump
+	default:
+		log.Fatalf("unknown -scheme %q", *scheme)
+	}
+
+	n, err := node.Open(node.Options{
+		Dir:          *dir,
+		DisableDedup: *noDedup,
+		Engine: core.Config{
+			ChunkAvgSize: *chunkSize,
+			Scheme:       sch,
+			HopDistance:  *hop,
+		},
+		BlockCompression: *compress,
+		Compaction:       node.CompactionOptions{Enabled: *compaction},
+	})
+	if err != nil {
+		log.Fatalf("opening node: %v", err)
+	}
+	defer n.Close()
+
+	api, err := apiserver.ListenAndServe(n, *listen)
+	if err != nil {
+		log.Fatalf("API listener: %v", err)
+	}
+	defer api.Close()
+	log.Printf("client API on %s", api.Addr())
+
+	if *admin != "" {
+		adm, err := httpadmin.ListenAndServe(n, *admin)
+		if err != nil {
+			log.Fatalf("admin listener: %v", err)
+		}
+		defer adm.Close()
+		log.Printf("HTTP admin on %s", adm.Addr())
+	}
+
+	if *replListen != "" {
+		p, err := repl.ListenAndServe(n, *replListen)
+		if err != nil {
+			log.Fatalf("replication listener: %v", err)
+		}
+		defer p.Close()
+		log.Printf("replication (primary) on %s", p.Addr())
+	}
+	if *follow != "" {
+		sec, err := repl.Connect(n, *follow, 0)
+		if err != nil {
+			log.Fatalf("following %s: %v", *follow, err)
+		}
+		defer sec.Close()
+		log.Printf("following primary at %s", *follow)
+		go func() {
+			for {
+				time.Sleep(time.Second)
+				if err := sec.Err(); err != nil {
+					log.Printf("replication stream failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := n.Stats()
+				log.Printf("raw=%s stored=%s oplog=%s dedup-hits=%d",
+					metrics.FormatBytes(st.RawInsertBytes),
+					metrics.FormatBytes(st.Store.LogicalBytes),
+					metrics.FormatBytes(st.OplogBytes),
+					st.Engine.Deduped)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+}

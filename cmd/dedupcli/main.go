@@ -1,0 +1,137 @@
+// Command dedupcli is a client for dbdedupd nodes.
+//
+//	dedupcli -addr 127.0.0.1:7070 insert wiki article/1 "first revision"
+//	dedupcli -addr 127.0.0.1:7070 get wiki article/1
+//	dedupcli -addr 127.0.0.1:7070 update wiki article/1 "second revision"
+//	dedupcli -addr 127.0.0.1:7070 delete wiki article/1
+//	dedupcli -addr 127.0.0.1:7070 stats
+//
+// Payloads may also be piped on stdin by passing "-" as the payload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dbdedup/internal/apiserver"
+	"dbdedup/internal/metrics"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "node API address")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dedupcli [-addr host:port] <insert|get|update|delete|stats|dbs|verify> [db key [payload|-]]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := apiserver.Dial(*addr)
+	if err != nil {
+		fail("connecting: %v", err)
+	}
+	defer c.Close()
+
+	cmd := args[0]
+	switch cmd {
+	case "verify":
+		rep, err := c.Verify()
+		if err != nil {
+			fail("verify: %v", err)
+		}
+		fmt.Println(rep)
+		for _, e := range rep.Errors {
+			fmt.Printf("  error: %s\n", e)
+		}
+		if !rep.Ok() {
+			os.Exit(1)
+		}
+		return
+	case "dbs":
+		dbs, err := c.DBStats()
+		if err != nil {
+			fail("dbs: %v", err)
+		}
+		if len(dbs) == 0 {
+			fmt.Println("no databases (or dedup disabled)")
+			return
+		}
+		for _, d := range dbs {
+			status := "active"
+			if d.Disabled {
+				status = "disabled by governor"
+			}
+			fmt.Printf("%s: %s; window %d inserts, ratio %.2fx; size cutoff %d B; index %s; %d chains\n",
+				d.Name, status, d.WindowInserts, d.WindowRatio(), d.SizeThreshold,
+				metrics.FormatBytes(d.IndexMemoryBytes), d.Chains)
+		}
+		return
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			fail("stats: %v", err)
+		}
+		fmt.Printf("inserts:            %d\n", st.Inserts)
+		fmt.Printf("reads:              %d\n", st.Reads)
+		fmt.Printf("updates:            %d\n", st.Updates)
+		fmt.Printf("deletes:            %d\n", st.Deletes)
+		fmt.Printf("raw bytes:          %s\n", metrics.FormatBytes(st.RawInsertBytes))
+		fmt.Printf("stored bytes:       %s\n", metrics.FormatBytes(st.Store.LogicalBytes))
+		fmt.Printf("oplog bytes:        %s\n", metrics.FormatBytes(st.OplogBytes))
+		fmt.Printf("storage ratio:      %.2fx\n", metrics.Ratio(st.RawInsertBytes, st.Store.LogicalBytes))
+		fmt.Printf("network ratio:      %.2fx\n", metrics.Ratio(st.RawInsertBytes, st.OplogBytes))
+		fmt.Printf("dedup hits:         %d\n", st.Engine.Deduped)
+		fmt.Printf("index memory:       %s\n", metrics.FormatBytes(st.Engine.IndexMemoryBytes))
+		fmt.Printf("writebacks applied: %d (skipped %d)\n", st.WritebacksApplied, st.WritebacksSkipped)
+		return
+	case "insert", "update":
+		if len(args) != 4 {
+			fail("usage: dedupcli %s <db> <key> <payload|->", cmd)
+		}
+		payload := []byte(args[3])
+		if args[3] == "-" {
+			payload, err = io.ReadAll(os.Stdin)
+			if err != nil {
+				fail("reading stdin: %v", err)
+			}
+		}
+		if cmd == "insert" {
+			err = c.Insert(args[1], args[2], payload)
+		} else {
+			err = c.Update(args[1], args[2], payload)
+		}
+		if err != nil {
+			fail("%s: %v", cmd, err)
+		}
+	case "get":
+		if len(args) != 3 {
+			fail("usage: dedupcli get <db> <key>")
+		}
+		content, err := c.Get(args[1], args[2])
+		if err != nil {
+			fail("get: %v", err)
+		}
+		os.Stdout.Write(content)
+	case "delete":
+		if len(args) != 3 {
+			fail("usage: dedupcli delete <db> <key>")
+		}
+		if err := c.Delete(args[1], args[2]); err != nil {
+			fail("delete: %v", err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Wikiarchive: the paper's motivating workload — a collaborative-editing
+// archive where every revision of every article is stored as its own record.
+// The example ingests a synthetic Wikipedia-like trace, then demonstrates
+// time-travel reads (any historical revision decodes exactly) and shows how
+// much storage and replication bandwidth deduplication saved, with and
+// without block compression on top.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"dbdedup"
+	"dbdedup/internal/workload"
+)
+
+func main() {
+	for _, compress := range []bool{false, true} {
+		run(compress)
+	}
+}
+
+func run(compress bool) {
+	store, err := dbdedup.Open(dbdedup.Options{
+		SyncEncode:       true,
+		ManualFlush:      true,
+		GovernorWindow:   1 << 30,
+		BlockCompression: compress,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Synthetic wiki trace: articles with long incremental revision
+	// chains (see internal/workload for the corpus model).
+	trace := workload.New(workload.Config{
+		Kind:        workload.Wikipedia,
+		Seed:        7,
+		InsertBytes: 8 << 20,
+	})
+	type revision struct{ key string }
+	var lastKeys []revision
+	originals := map[string][]byte{}
+	for {
+		op, ok := trace.Next()
+		if !ok {
+			break
+		}
+		if err := store.Insert(op.DB, op.Key, op.Payload); err != nil {
+			log.Fatal(err)
+		}
+		// Remember a handful of early revisions for time-travel checks.
+		if len(originals) < 25 {
+			originals[op.Key] = append([]byte(nil), op.Payload...)
+			lastKeys = append(lastKeys, revision{key: op.Key})
+		}
+		if store.PendingWritebacks() > 256 {
+			store.FlushWritebacks(-1)
+		}
+	}
+	store.FlushWritebacks(-1)
+
+	// Time-travel: every archived revision must decode bit-exactly, even
+	// deep in a backward-encoded chain.
+	for _, rev := range lastKeys {
+		got, err := store.Read("wiki", rev.key)
+		if err != nil {
+			log.Fatalf("time-travel read of %s: %v", rev.key, err)
+		}
+		if !bytes.Equal(got, originals[rev.key]) {
+			log.Fatalf("revision %s decoded incorrectly", rev.key)
+		}
+	}
+
+	st := store.Stats()
+	label := "dedup only"
+	if compress {
+		label = "dedup + block compression"
+	}
+	fmt.Printf("== %s ==\n", label)
+	fmt.Printf("ingested:        %.1f MiB (%d revisions)\n", float64(st.RawBytes)/(1<<20), st.Inserts)
+	fmt.Printf("stored:          %.1f MiB\n", float64(st.StoredBytes)/(1<<20))
+	fmt.Printf("storage ratio:   %.1fx\n", st.StorageCompressionRatio())
+	if compress {
+		fmt.Printf("on-disk blocks:  %.1f MiB (another %.2fx from block compression)\n",
+			float64(st.DiskBytesOut)/(1<<20), float64(st.DiskBytesIn)/float64(st.DiskBytesOut))
+	}
+	fmt.Printf("replication:     %.1f MiB shipped (%.1fx reduction)\n",
+		float64(st.OplogBytes)/(1<<20), st.NetworkCompressionRatio())
+	fmt.Printf("time-travel:     %d historical revisions verified bit-exact\n\n", len(lastKeys))
+}

@@ -1,0 +1,3 @@
+module dbdedup
+
+go 1.22

@@ -1,0 +1,413 @@
+// Package apiserver exposes a node's client operations over TCP, giving the
+// reproduction a complete client/primary/secondary deployment like the
+// paper's MongoDB setup (one client node, one primary, one secondary).
+//
+// The protocol is deliberately simple: length-prefixed binary frames, one
+// request/response pair per operation.
+//
+//	request  := uint32(len) byte(op) uvarint(len(db)) db uvarint(len(key)) key
+//	            [uvarint(len(payload)) payload]        (insert/update only)
+//	response := uint32(len) byte(status) payload
+//
+// op: 'I' insert, 'G' get, 'U' update, 'D' delete, 'S' stats, 'P' per-db stats.
+// status: 0 ok, 1 not found, 2 error (payload = message).
+package apiserver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dbdedup/internal/core"
+	"dbdedup/internal/node"
+)
+
+const (
+	opInsert  = 'I'
+	opGet     = 'G'
+	opUpdate  = 'U'
+	opDelete  = 'D'
+	opStats   = 'S'
+	opDBStats = 'P'
+	opVerify  = 'Y'
+
+	statusOK       = 0
+	statusNotFound = 1
+	statusError    = 2
+
+	maxFrame = 64 << 20
+)
+
+// Server serves client operations for a node.
+type Server struct {
+	node *node.Node
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenAndServe starts serving n's client API on addr.
+func ListenAndServe(n *node.Node, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("apiserver: %w", err)
+	}
+	s := &Server{node: n, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		status, payload := s.handle(frame)
+		if err := writeFrame(w, status, payload); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(frame []byte) (byte, []byte) {
+	if len(frame) == 0 {
+		return statusError, []byte("empty frame")
+	}
+	op := frame[0]
+	p := frame[1:]
+	readStr := func() (string, bool) {
+		l, k := binary.Uvarint(p)
+		if k <= 0 || uint64(len(p)-k) < l {
+			return "", false
+		}
+		v := string(p[k : k+int(l)])
+		p = p[k+int(l):]
+		return v, true
+	}
+
+	if op == opStats {
+		st := s.node.Stats()
+		buf, err := json.Marshal(st)
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		return statusOK, buf
+	}
+	if op == opDBStats {
+		buf, err := json.Marshal(s.node.DBStats())
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		return statusOK, buf
+	}
+	if op == opVerify {
+		buf, err := json.Marshal(s.node.VerifyAll())
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		return statusOK, buf
+	}
+
+	db, ok := readStr()
+	if !ok {
+		return statusError, []byte("bad db")
+	}
+	key, ok := readStr()
+	if !ok {
+		return statusError, []byte("bad key")
+	}
+
+	switch op {
+	case opInsert, opUpdate:
+		payload, ok := readStr()
+		if !ok {
+			return statusError, []byte("bad payload")
+		}
+		var err error
+		if op == opInsert {
+			err = s.node.Insert(db, key, []byte(payload))
+		} else {
+			err = s.node.Update(db, key, []byte(payload))
+		}
+		if errors.Is(err, node.ErrNotFound) {
+			return statusNotFound, nil
+		}
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		return statusOK, nil
+	case opGet:
+		content, err := s.node.Read(db, key)
+		if errors.Is(err, node.ErrNotFound) {
+			return statusNotFound, nil
+		}
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		return statusOK, content
+	case opDelete:
+		err := s.node.Delete(db, key)
+		if errors.Is(err, node.ErrNotFound) {
+			return statusNotFound, nil
+		}
+		if err != nil {
+			return statusError, []byte(err.Error())
+		}
+		return statusOK, nil
+	default:
+		return statusError, []byte(fmt.Sprintf("unknown op %q", op))
+	}
+}
+
+// ---- client ----
+
+// ErrNotFound mirrors node.ErrNotFound across the wire.
+var ErrNotFound = errors.New("apiserver: not found")
+
+// Client is a synchronous API client. Safe for concurrent use (requests are
+// serialised on one connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("apiserver: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeRaw(c.w, req); err != nil {
+		return 0, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	resp, err := readFrame(c.r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(resp) == 0 {
+		return 0, nil, errors.New("apiserver: empty response")
+	}
+	return resp[0], resp[1:], nil
+}
+
+func (c *Client) keyedRequest(op byte, db, key string, payload []byte, withPayload bool) (byte, []byte, error) {
+	req := []byte{op}
+	req = appendStr(req, db)
+	req = appendStr(req, key)
+	if withPayload {
+		req = binary.AppendUvarint(req, uint64(len(payload)))
+		req = append(req, payload...)
+	}
+	return c.roundTrip(req)
+}
+
+func statusErr(status byte, payload []byte) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		return ErrNotFound
+	default:
+		return fmt.Errorf("apiserver: server error: %s", payload)
+	}
+}
+
+// Insert stores a new record.
+func (c *Client) Insert(db, key string, payload []byte) error {
+	status, body, err := c.keyedRequest(opInsert, db, key, payload, true)
+	if err != nil {
+		return err
+	}
+	return statusErr(status, body)
+}
+
+// Get reads a record.
+func (c *Client) Get(db, key string) ([]byte, error) {
+	status, body, err := c.keyedRequest(opGet, db, key, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Update replaces a record's content.
+func (c *Client) Update(db, key string, payload []byte) error {
+	status, body, err := c.keyedRequest(opUpdate, db, key, payload, true)
+	if err != nil {
+		return err
+	}
+	return statusErr(status, body)
+}
+
+// Delete removes a record.
+func (c *Client) Delete(db, key string) error {
+	status, body, err := c.keyedRequest(opDelete, db, key, nil, false)
+	if err != nil {
+		return err
+	}
+	return statusErr(status, body)
+}
+
+// DBStats fetches the node's per-database dedup state.
+func (c *Client) DBStats() ([]core.DBStats, error) {
+	status, body, err := c.roundTrip([]byte{opDBStats})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return nil, err
+	}
+	var out []core.DBStats
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("apiserver: %w", err)
+	}
+	return out, nil
+}
+
+// Verify runs a full integrity scan on the server.
+func (c *Client) Verify() (node.VerifyReport, error) {
+	status, body, err := c.roundTrip([]byte{opVerify})
+	if err != nil {
+		return node.VerifyReport{}, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return node.VerifyReport{}, err
+	}
+	var rep node.VerifyReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return node.VerifyReport{}, fmt.Errorf("apiserver: %w", err)
+	}
+	return rep, nil
+}
+
+// Stats fetches the node's stats snapshot as JSON.
+func (c *Client) Stats() (node.Stats, error) {
+	status, body, err := c.roundTrip([]byte{opStats})
+	if err != nil {
+		return node.Stats{}, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return node.Stats{}, err
+	}
+	var st node.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return node.Stats{}, fmt.Errorf("apiserver: %w", err)
+	}
+	return st, nil
+}
+
+// ---- framing ----
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func writeFrame(w io.Writer, status byte, payload []byte) error {
+	return writeRaw(w, append([]byte{status}, payload...))
+}
+
+func writeRaw(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, errors.New("apiserver: oversized frame")
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

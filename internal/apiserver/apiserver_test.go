@@ -1,0 +1,131 @@
+package apiserver
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dbdedup/internal/node"
+)
+
+func testServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	opts := node.Options{SyncEncode: true, DisableAutoFlush: true}
+	opts.Engine.GovernorWindow = 1 << 30
+	n, err := node.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	srv, err := ListenAndServe(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestClientCRUD(t *testing.T) {
+	_, c := testServer(t)
+
+	payload := []byte("network record payload, long enough to be chunked into features")
+	if err := c.Insert("db", "k", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("db", "k")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := c.Update("db", "k", []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.Get("db", "k")
+	if string(got) != "updated" {
+		t.Fatalf("after update: %q", got)
+	}
+	if err := c.Delete("db", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("db", "k"); err != ErrNotFound {
+		t.Fatalf("after delete: %v", err)
+	}
+	if err := c.Update("db", "nope", []byte("x")); err != ErrNotFound {
+		t.Fatalf("update missing: %v", err)
+	}
+	if err := c.Delete("db", "nope"); err != ErrNotFound {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestDuplicateInsertError(t *testing.T) {
+	_, c := testServer(t)
+	if err := c.Insert("db", "k", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Insert("db", "k", []byte("two"))
+	if err == nil || err == ErrNotFound {
+		t.Fatalf("duplicate insert err = %v", err)
+	}
+}
+
+func TestStatsOverWire(t *testing.T) {
+	_, c := testServer(t)
+	for i := 0; i < 5; i++ {
+		c.Insert("db", fmt.Sprintf("k%d", i), bytes.Repeat([]byte("content "), 100))
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserts != 5 || st.RawInsertBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := testServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := c.Insert("db", key, []byte("payload "+key)); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := c.Get("db", key)
+				if err != nil || string(got) != "payload "+key {
+					t.Errorf("Get(%s) = %q, %v", key, got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestLargePayload(t *testing.T) {
+	_, c := testServer(t)
+	payload := bytes.Repeat([]byte("large "), 1<<18) // ~1.5 MB
+	if err := c.Insert("db", "big", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("db", "big")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("large payload round trip failed: %v", err)
+	}
+}

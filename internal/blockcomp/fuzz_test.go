@@ -1,0 +1,34 @@
+package blockcomp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip asserts Encode/Decode is the identity for arbitrary input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("hello hello hello hello"))
+	f.Add(bytes.Repeat([]byte{0}, 70000))
+	f.Add(bytes.Repeat([]byte("abcdefgh"), 10000))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		got, err := Decode(Encode(src))
+		if err != nil {
+			t.Fatalf("decode own encode: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecode feeds arbitrary bytes to the decoder; errors are fine, panics
+// and out-of-bounds reads are not.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode([]byte("some compressible content content content")))
+	f.Add([]byte{0x05, 0x00, 0xff})
+	f.Fuzz(func(t *testing.T, block []byte) {
+		_, _ = Decode(block)
+		_, _ = DecodedLen(block)
+	})
+}

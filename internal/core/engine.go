@@ -1,0 +1,678 @@
+// Package core implements the dbDedup engine: the four-step deduplication
+// workflow of paper §3.1 (feature extraction → index lookup → cache-aware
+// source selection → two-way delta compression), together with the policies
+// that keep it cheap — the per-database dedup governor (§3.4.1) and the
+// adaptive size-based filter (§3.4.2) — and the chain bookkeeping that
+// drives hop encoding (§3.2.2).
+//
+// The engine is pure policy plus in-memory state: it decides *what* to store
+// and ship (raw record, forward delta, backward write-backs) but performs no
+// I/O itself. The DBMS node (package node) feeds it inserts, applies its
+// decisions, and hands it a Fetcher for the rare source reads that miss the
+// source record cache.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dbdedup/internal/chain"
+	"dbdedup/internal/dedupcache"
+	"dbdedup/internal/delta"
+	"dbdedup/internal/featidx"
+	"dbdedup/internal/sketch"
+)
+
+// Fetcher supplies decoded record contents for cache misses.
+type Fetcher interface {
+	// FetchDecoded returns the full (decoded) content of record id.
+	FetchDecoded(id uint64) ([]byte, error)
+}
+
+// Config tunes the engine. Zero values select the paper's defaults.
+type Config struct {
+	// ChunkAvgSize is the sketching chunk size (paper: 1 KiB or 64 B;
+	// 64 B is the headline configuration). Defaults to 64.
+	ChunkAvgSize int
+	// SketchK is the features-per-record bound. Defaults to 8.
+	SketchK int
+	// AnchorInterval tunes delta compression (paper default 64).
+	AnchorInterval int
+	// SampleRandomly switches feature selection from consistent sampling
+	// to random sampling — strictly worse similarity detection, kept for
+	// the ablation benchmark (DESIGN.md §5).
+	SampleRandomly bool
+	// Scheme is the storage encoding discipline. Defaults to Hop.
+	Scheme chain.Scheme
+	// HopDistance is H for Hop/VersionJump. Defaults to 16.
+	HopDistance int
+	// SourceCacheBytes bounds the source record cache (default 32 MiB).
+	// Negative disables the cache entirely (Fig. 13a "no cache").
+	SourceCacheBytes int64
+	// IndexEntries bounds each database's feature-index partition.
+	// Defaults to 1<<22 entries (24 MiB at 6 B/entry).
+	IndexEntries int
+	// RewardScore is the cache-aware selection bonus (default 2;
+	// Fig. 13a sweeps it).
+	RewardScore int
+	// MinDedupRecordBytes is the floor below which records always bypass
+	// dedup regardless of the adaptive filter. Defaults to 64.
+	MinDedupRecordBytes int
+
+	// Governor settings (§3.4.1).
+	DisableGovernor bool
+	// GovernorThreshold is the compression ratio below which dedup is
+	// disabled for a database (default 1.1).
+	GovernorThreshold float64
+	// GovernorWindow is the number of inserts observed before the
+	// governor decides (default 100000).
+	GovernorWindow int
+
+	// Size filter settings (§3.4.2).
+	DisableSizeFilter bool
+	// FilterPercentile is the record-size percentile used as the dedup
+	// cut-off (default 0.40: skip the smallest 40%).
+	FilterPercentile float64
+	// FilterUpdateEvery re-estimates the cut-off after this many inserts
+	// (default 1000).
+	FilterUpdateEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkAvgSize == 0 {
+		c.ChunkAvgSize = 64
+	}
+	if c.SketchK == 0 {
+		c.SketchK = sketch.DefaultK
+	}
+	if c.AnchorInterval == 0 {
+		c.AnchorInterval = delta.DefaultAnchorInterval
+	}
+	if c.HopDistance == 0 {
+		c.HopDistance = chain.DefaultHopDistance
+	}
+	if c.SourceCacheBytes == 0 {
+		c.SourceCacheBytes = dedupcache.DefaultSourceCacheBytes
+	}
+	if c.IndexEntries == 0 {
+		c.IndexEntries = 1 << 22
+	}
+	if c.RewardScore == 0 {
+		c.RewardScore = 2
+	}
+	if c.RewardScore < 0 {
+		// Negative is the explicit "no reward" setting (0 selects the
+		// default), used by the Fig. 13a sweep.
+		c.RewardScore = 0
+	}
+	if c.MinDedupRecordBytes == 0 {
+		c.MinDedupRecordBytes = 64
+	}
+	if c.GovernorThreshold == 0 {
+		c.GovernorThreshold = 1.1
+	}
+	if c.GovernorWindow == 0 {
+		c.GovernorWindow = 100000
+	}
+	if c.FilterPercentile == 0 {
+		c.FilterPercentile = 0.40
+	}
+	if c.FilterUpdateEvery == 0 {
+		c.FilterUpdateEvery = 1000
+	}
+	return c
+}
+
+// Writeback is a deferred re-encoding decision: record ID should be stored
+// as Delta against Base. EstimatedSaving is the engine's guess of the
+// storage saved (the node refines it with the record's actual stored size).
+type Writeback struct {
+	ID              uint64
+	Base            uint64
+	Delta           delta.Delta
+	EstimatedSaving int64
+}
+
+// Result is the outcome of encoding one insert.
+type Result struct {
+	// Deduped reports whether a similar record was found and used. When
+	// false the record is stored and shipped raw and the other fields
+	// are zero.
+	Deduped bool
+	// SourceID is the selected similar record.
+	SourceID uint64
+	// SourceCached reports whether the source content came from the
+	// source record cache (false = it cost a database read).
+	SourceCached bool
+	// Forward is the delta that reconstructs the new record from the
+	// source — what replication ships (forward encoding).
+	Forward delta.Delta
+	// Writebacks are the backward re-encodings to apply: the source
+	// record first, then any hop-base finalisations.
+	Writebacks []Writeback
+	// FilteredBySize and GovernorDisabled report why dedup was skipped.
+	FilteredBySize   bool
+	GovernorDisabled bool
+}
+
+// Stats summarises engine activity.
+type Stats struct {
+	Inserts          uint64
+	Deduped          uint64
+	SizeFiltered     uint64
+	GovernorSkipped  uint64
+	NoCandidate      uint64
+	NotWorthEncoding uint64
+	SourceCacheHits  uint64
+	SourceCacheMiss  uint64
+	IndexMemoryBytes int64
+	RawBytes         int64 // total bytes presented
+	ForwardBytes     int64 // total forward-delta bytes for deduped inserts
+}
+
+// Engine is the dbDedup engine. Safe for concurrent use; the encode path is
+// serialised internally (it is a background, off-critical-path activity in
+// the DBMS integration).
+type Engine struct {
+	cfg       Config
+	extractor *sketch.Extractor
+	layout    chain.Layout
+	cache     *dedupcache.SourceCache
+	fetcher   Fetcher
+
+	mu    sync.Mutex
+	dbs   map[string]*dbState
+	stats Stats
+}
+
+// dbState is the per-database partition: index, governor and filter state,
+// chain bookkeeping.
+type dbState struct {
+	index *featidx.Index
+	refs  []uint64 // featidx ref -> record ID
+
+	disabled  bool // governor verdict
+	inserts   int
+	rawBytes  int64
+	codeBytes int64 // bytes after encoding decisions (forward deltas + raw)
+
+	sizeRing  []int // recent record sizes for the filter
+	threshold int   // current size cut-off
+
+	chains map[uint64]*chainState // head record ID -> chain
+}
+
+// chainState tracks one similarity chain for hop bookkeeping.
+type chainState struct {
+	headID  uint64
+	headPos int
+	firstID uint64
+	// lastBase[l] is the record ID of the most recent level-l hop base.
+	lastBase map[int]uint64
+}
+
+// NewEngine returns an engine with the given configuration and fetcher.
+func NewEngine(cfg Config, fetcher Fetcher) *Engine {
+	cfg = cfg.withDefaults()
+	var cache *dedupcache.SourceCache
+	if cfg.SourceCacheBytes > 0 {
+		cache = dedupcache.NewSourceCache(cfg.SourceCacheBytes)
+	}
+	return &Engine{
+		cfg: cfg,
+		extractor: sketch.NewExtractor(sketch.Config{
+			K:              cfg.SketchK,
+			ChunkAvgSize:   cfg.ChunkAvgSize,
+			SampleRandomly: cfg.SampleRandomly,
+		}),
+		layout:  chain.New(cfg.Scheme, cfg.HopDistance),
+		cache:   cache,
+		fetcher: fetcher,
+		dbs:     make(map[string]*dbState),
+	}
+}
+
+// Layout returns the engine's encoding layout.
+func (e *Engine) Layout() chain.Layout { return e.layout }
+
+// SourceCache returns the engine's source record cache (nil when disabled).
+func (e *Engine) SourceCache() *dedupcache.SourceCache { return e.cache }
+
+func (e *Engine) db(name string) *dbState {
+	st, ok := e.dbs[name]
+	if !ok {
+		st = &dbState{
+			index:    featidx.New(featidx.Config{CapacityEntries: e.cfg.IndexEntries}),
+			sizeRing: make([]int, 0, e.cfg.FilterUpdateEvery),
+			chains:   make(map[uint64]*chainState),
+		}
+		e.dbs[name] = st
+	}
+	return st
+}
+
+// Encode runs the dedup workflow for a newly inserted record and returns
+// the storage/replication decision. id must be unique and payload is
+// retained by the engine's cache (callers must not mutate it afterwards).
+func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	st := e.db(dbName)
+	e.stats.Inserts++
+	e.stats.RawBytes += int64(len(payload))
+	st.inserts++
+	st.rawBytes += int64(len(payload))
+
+	if st.disabled {
+		e.stats.GovernorSkipped++
+		st.codeBytes += int64(len(payload))
+		return Result{GovernorDisabled: true}, nil
+	}
+
+	// Adaptive size filter: skip records below the running percentile.
+	filtered := e.sizeFilter(st, len(payload))
+	if filtered {
+		e.stats.SizeFiltered++
+		st.codeBytes += int64(len(payload))
+		e.governorTick(st)
+		return Result{FilteredBySize: true}, nil
+	}
+
+	// Step 1: feature extraction.
+	sk := e.extractor.Extract(payload)
+
+	// Step 2: index lookup — also registers the new record's features.
+	ref := uint32(len(st.refs))
+	st.refs = append(st.refs, id)
+	counts := make(map[uint64]int)
+	for _, f := range sk {
+		for _, r := range st.index.LookupInsert(f, ref) {
+			if int(r) < len(st.refs)-1 { // exclude the record itself
+				counts[st.refs[r]]++
+			}
+		}
+	}
+
+	if len(counts) == 0 {
+		e.stats.NoCandidate++
+		st.codeBytes += int64(len(payload))
+		e.adoptAsNewChain(st, id, payload)
+		e.governorTick(st)
+		return Result{}, nil
+	}
+
+	// Step 3: cache-aware source selection.
+	srcID := e.selectSource(counts)
+
+	// Fetch the source content: cache first, then the database.
+	var srcContent []byte
+	cached := false
+	if e.cache != nil {
+		if c, ok := e.cache.Get(srcID); ok {
+			srcContent = c
+			cached = true
+			e.stats.SourceCacheHits++
+		}
+	}
+	if srcContent == nil {
+		var err error
+		srcContent, err = e.fetcher.FetchDecoded(srcID)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: fetching source %d: %w", srcID, err)
+		}
+		e.stats.SourceCacheMiss++
+	}
+
+	// Step 4: two-way delta compression.
+	fwd := delta.Compress(srcContent, payload, delta.Options{AnchorInterval: e.cfg.AnchorInterval})
+	if fwd.EncodedSize() >= len(payload) {
+		// The "similar" record was a false friend; store raw.
+		e.stats.NotWorthEncoding++
+		st.codeBytes += int64(len(payload))
+		e.adoptAsNewChain(st, id, payload)
+		e.governorTick(st)
+		return Result{}, nil
+	}
+	bwd := delta.Reencode(srcContent, payload, fwd)
+
+	res := Result{
+		Deduped:      true,
+		SourceID:     srcID,
+		SourceCached: cached,
+		Forward:      fwd,
+		Writebacks: []Writeback{{
+			ID:              srcID,
+			Base:            id,
+			Delta:           bwd,
+			EstimatedSaving: int64(len(srcContent) - bwd.EncodedSize()),
+		}},
+	}
+
+	// Chain bookkeeping + hop write-backs.
+	e.appendToChain(st, srcID, id, payload, &res)
+
+	e.stats.Deduped++
+	e.stats.ForwardBytes += int64(fwd.EncodedSize())
+	st.codeBytes += int64(fwd.EncodedSize())
+	e.governorTick(st)
+	return res, nil
+}
+
+// EncodeAsReplica mirrors the primary's encoding on a secondary: the source
+// is already chosen (shipped in the oplog entry) and the forward delta is
+// given; the secondary re-derives the backward write-backs and maintains its
+// own chain state, which evolves identically because it applies the same
+// inserts in the same order (paper §4.1, "Re-encoder").
+func (e *Engine) EncodeAsReplica(dbName string, id uint64, payload []byte, srcID uint64, srcContent []byte, fwd delta.Delta) Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	st := e.db(dbName)
+	e.stats.Inserts++
+	e.stats.RawBytes += int64(len(payload))
+	st.inserts++
+
+	bwd := delta.Reencode(srcContent, payload, fwd)
+	res := Result{
+		Deduped:  true,
+		SourceID: srcID,
+		Forward:  fwd,
+		Writebacks: []Writeback{{
+			ID:              srcID,
+			Base:            id,
+			Delta:           bwd,
+			EstimatedSaving: int64(len(srcContent) - bwd.EncodedSize()),
+		}},
+	}
+	e.appendToChain(st, srcID, id, payload, &res)
+	e.stats.Deduped++
+	return res
+}
+
+// ObserveRaw lets a replica node keep chain/cache state coherent for records
+// that arrived unencoded.
+func (e *Engine) ObserveRaw(dbName string, id uint64, payload []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.db(dbName)
+	e.stats.Inserts++
+	st.inserts++
+	e.adoptAsNewChain(st, id, payload)
+}
+
+// selectSource picks the candidate with the highest score: shared-feature
+// count plus the cache reward (paper §3.1.3). Ties break toward the higher
+// record ID (the more recent record), exploiting the incremental-update
+// pattern.
+func (e *Engine) selectSource(counts map[uint64]int) uint64 {
+	type scored struct {
+		id    uint64
+		score int
+	}
+	cands := make([]scored, 0, len(counts))
+	for id, c := range counts {
+		score := c
+		if e.cache != nil && e.cache.Contains(id) {
+			score += e.cfg.RewardScore
+		}
+		cands = append(cands, scored{id, score})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].id > cands[j].id
+	})
+	return cands[0].id
+}
+
+// adoptAsNewChain registers id as the head of a fresh chain and caches it.
+func (e *Engine) adoptAsNewChain(st *dbState, id uint64, payload []byte) {
+	st.chains[id] = &chainState{headID: id, headPos: 0, firstID: id,
+		lastBase: make(map[int]uint64)}
+	if e.cache != nil {
+		e.cache.Put(id, payload)
+	}
+	// Bound chain-state memory: drop the oldest entries beyond a large
+	// working set (retired chains never extend again anyway).
+	if len(st.chains) > 1<<17 {
+		for k := range st.chains {
+			delete(st.chains, k)
+			if len(st.chains) <= 1<<16 {
+				break
+			}
+		}
+	}
+}
+
+// appendToChain advances chain state after id was encoded against srcID and
+// emits hop write-backs into res.
+func (e *Engine) appendToChain(st *dbState, srcID, id uint64, payload []byte, res *Result) {
+	cs, isHead := st.chains[srcID]
+	if !isHead {
+		// Overlapped encoding (Fig. 5): the source was not a chain
+		// head. The source still gets re-encoded against the new
+		// record (the primary write-back), but the chain positions are
+		// unknown; the new record starts a fresh chain. The old chain
+		// head, if any, simply stays raw — the compression loss the
+		// paper measures at <5% (Fig. 11).
+		e.adoptAsNewChain(st, id, payload)
+		return
+	}
+
+	delete(st.chains, srcID)
+	p := cs.headPos + 1
+	cs.headID = id
+	cs.headPos = p
+	st.chains[id] = cs
+
+	if e.layout.Scheme() == chain.VersionJump && (p-1)%e.layout.HopDistance() == 0 {
+		// Predecessor is a reference version: it stays raw, so the
+		// source write-back emitted by Encode must be cancelled.
+		res.Writebacks = res.Writebacks[:0]
+	}
+
+	if e.layout.Scheme() == chain.Hop {
+		// Finalise the previous hop base at every level H^l dividing p.
+		h := e.layout.HopDistance()
+		for step, l := h, 1; p%step == 0; l++ {
+			baseID, ok := cs.lastBase[l]
+			if !ok {
+				baseID = cs.firstID // position 0 seeds every level
+			}
+			cs.lastBase[l] = id
+			e.emitHopWriteback(baseID, id, payload, res)
+			if step > p/h {
+				break
+			}
+			step *= h
+		}
+	}
+
+	if e.cache != nil {
+		e.cache.Replace(srcID, id, payload)
+	}
+}
+
+// emitHopWriteback computes the backward delta re-encoding base baseID
+// against the new record and appends it to res. Failures to obtain the base
+// content (e.g. it was evicted everywhere) just skip the write-back — a
+// pure compression loss, never a correctness problem.
+func (e *Engine) emitHopWriteback(baseID, newID uint64, newContent []byte, res *Result) {
+	if baseID == newID {
+		return
+	}
+	for _, wb := range res.Writebacks {
+		if wb.ID == baseID {
+			return // already re-encoded by the primary write-back
+		}
+	}
+	var baseContent []byte
+	if e.cache != nil {
+		if c, ok := e.cache.Get(baseID); ok {
+			baseContent = c
+		}
+	}
+	if baseContent == nil && e.fetcher != nil {
+		c, err := e.fetcher.FetchDecoded(baseID)
+		if err != nil {
+			return
+		}
+		baseContent = c
+	}
+	if baseContent == nil {
+		return
+	}
+	d := delta.Compress(newContent, baseContent, delta.Options{AnchorInterval: e.cfg.AnchorInterval})
+	if d.EncodedSize() >= len(baseContent) {
+		return
+	}
+	res.Writebacks = append(res.Writebacks, Writeback{
+		ID:              baseID,
+		Base:            newID,
+		Delta:           d,
+		EstimatedSaving: int64(len(baseContent) - d.EncodedSize()),
+	})
+	// The new record is now the latest hop base of its level; keep it
+	// cached (it already is, as chain head).
+}
+
+// sizeFilter reports whether a record of size n should bypass dedup, and
+// feeds the adaptive threshold estimator.
+func (e *Engine) sizeFilter(st *dbState, n int) bool {
+	if e.cfg.DisableSizeFilter {
+		return n < e.cfg.MinDedupRecordBytes
+	}
+	st.sizeRing = append(st.sizeRing, n)
+	if len(st.sizeRing) >= e.cfg.FilterUpdateEvery {
+		sorted := append([]int(nil), st.sizeRing...)
+		sort.Ints(sorted)
+		st.threshold = sorted[int(float64(len(sorted))*e.cfg.FilterPercentile)]
+		st.sizeRing = st.sizeRing[:0]
+	}
+	if n < e.cfg.MinDedupRecordBytes {
+		return true
+	}
+	return st.threshold > 0 && n < st.threshold
+}
+
+// governorTick updates the per-database governor after an insert.
+func (e *Engine) governorTick(st *dbState) {
+	if e.cfg.DisableGovernor || st.disabled {
+		return
+	}
+	if st.inserts < e.cfg.GovernorWindow {
+		return
+	}
+	ratio := float64(st.rawBytes) / float64(maxI64(st.codeBytes, 1))
+	if ratio < e.cfg.GovernorThreshold {
+		// Not enough benefit: disable dedup for this database and free
+		// its index partition (paper §3.4.1). Dedup is never
+		// re-enabled — workload dedupability rarely changes.
+		st.disabled = true
+		st.index = nil
+		st.refs = nil
+		st.chains = nil
+	}
+	// Reset the window so a still-enabled database is re-evaluated over
+	// fresh data.
+	st.inserts = 0
+	st.rawBytes = 0
+	st.codeBytes = 0
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DBStats is the per-database view the governor maintains (§3.4.1).
+type DBStats struct {
+	// Name is the database name.
+	Name string
+	// Disabled reports the governor's verdict.
+	Disabled bool
+	// WindowInserts / WindowRawBytes / WindowEncodedBytes describe the
+	// current governor observation window.
+	WindowInserts      int
+	WindowRawBytes     int64
+	WindowEncodedBytes int64
+	// SizeThreshold is the adaptive size filter's current cut-off.
+	SizeThreshold int
+	// IndexMemoryBytes is this partition's feature-index footprint.
+	IndexMemoryBytes int64
+	// Chains is the number of live similarity chains tracked.
+	Chains int
+	// StoredBytes is the database's live stored payload (filled in by
+	// the node, which owns storage accounting).
+	StoredBytes int64
+}
+
+// WindowRatio returns the compression ratio observed in the current
+// governor window.
+func (d DBStats) WindowRatio() float64 {
+	if d.WindowEncodedBytes <= 0 {
+		return 0
+	}
+	return float64(d.WindowRawBytes) / float64(d.WindowEncodedBytes)
+}
+
+// DBStats returns per-database engine state, sorted by name.
+func (e *Engine) DBStats() []DBStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]DBStats, 0, len(e.dbs))
+	for name, st := range e.dbs {
+		ds := DBStats{
+			Name:               name,
+			Disabled:           st.disabled,
+			WindowInserts:      st.inserts,
+			WindowRawBytes:     st.rawBytes,
+			WindowEncodedBytes: st.codeBytes,
+			SizeThreshold:      st.threshold,
+			Chains:             len(st.chains),
+		}
+		if st.index != nil {
+			ds.IndexMemoryBytes = st.index.MemoryBytes()
+		}
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DBDisabled reports whether the governor has disabled dedup for a database.
+func (e *Engine) DBDisabled(dbName string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.dbs[dbName]
+	return ok && st.disabled
+}
+
+// SizeThreshold returns the current adaptive size cut-off for a database.
+func (e *Engine) SizeThreshold(dbName string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.dbs[dbName]; ok {
+		return st.threshold
+	}
+	return 0
+}
+
+// Stats returns a snapshot of engine counters. IndexMemoryBytes sums the
+// live index partitions.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	for _, st := range e.dbs {
+		if st.index != nil {
+			s.IndexMemoryBytes += st.index.MemoryBytes()
+		}
+	}
+	return s
+}

@@ -1,0 +1,274 @@
+package dedupcache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSourceCacheBasic(t *testing.T) {
+	c := NewSourceCache(1024)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache returned a record")
+	}
+	c.Put(1, []byte("hello"))
+	got, ok := c.Get(1)
+	if !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Get(1) = %q,%v", got, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestSourceCacheLRUEviction(t *testing.T) {
+	c := NewSourceCache(100)
+	for i := uint64(0); i < 10; i++ {
+		c.Put(i, make([]byte, 20)) // 5 fit
+	}
+	if c.Bytes() > 100 {
+		t.Fatalf("cache over capacity: %d bytes", c.Bytes())
+	}
+	if _, ok := c.Get(0); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := c.Get(9); !ok {
+		t.Error("newest entry was evicted")
+	}
+}
+
+func TestSourceCacheLRUTouchOnGet(t *testing.T) {
+	c := NewSourceCache(60)
+	c.Put(1, make([]byte, 20))
+	c.Put(2, make([]byte, 20))
+	c.Put(3, make([]byte, 20))
+	c.Get(1)                   // touch 1; LRU order now 2 < 3 < 1
+	c.Put(4, make([]byte, 20)) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Error("LRU entry 2 should have been evicted")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Error("recently used entry 1 was evicted")
+	}
+}
+
+func TestSourceCacheReplace(t *testing.T) {
+	c := NewSourceCache(1024)
+	c.Put(1, []byte("old head"))
+	c.Replace(1, 2, []byte("new head"))
+	if c.Contains(1) {
+		t.Error("old head still resident after Replace")
+	}
+	got, ok := c.Get(2)
+	if !ok || string(got) != "new head" {
+		t.Errorf("Get(2) = %q,%v", got, ok)
+	}
+	// Replace with absent old ID just inserts.
+	c.Replace(99, 3, []byte("x"))
+	if !c.Contains(3) {
+		t.Error("Replace with absent oldID did not insert")
+	}
+}
+
+func TestSourceCacheContainsDoesNotTouch(t *testing.T) {
+	c := NewSourceCache(40)
+	c.Put(1, make([]byte, 20))
+	c.Put(2, make([]byte, 20))
+	c.Contains(1)              // must NOT move 1 to front
+	c.Put(3, make([]byte, 20)) // evicts 1 (still LRU)
+	if c.Contains(1) {
+		t.Error("Contains() affected LRU order")
+	}
+	h0, m0 := c.Stats()
+	c.Contains(2)
+	if h, m := c.Stats(); h != h0 || m != m0 {
+		t.Error("Contains() affected hit/miss stats")
+	}
+}
+
+func TestSourceCacheUpdateInPlace(t *testing.T) {
+	c := NewSourceCache(1024)
+	c.Put(1, []byte("aaaa"))
+	c.Put(1, []byte("bb"))
+	if c.Len() != 1 || c.Bytes() != 2 {
+		t.Fatalf("len=%d bytes=%d after in-place update, want 1/2", c.Len(), c.Bytes())
+	}
+}
+
+func TestSourceCacheOversizedRecord(t *testing.T) {
+	c := NewSourceCache(10)
+	c.Put(1, make([]byte, 100))
+	if c.Contains(1) || c.Bytes() != 0 {
+		t.Error("oversized record was admitted")
+	}
+}
+
+func TestSourceCacheConcurrent(t *testing.T) {
+	c := NewSourceCache(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := uint64(g*1000 + i)
+				c.Put(id, []byte(fmt.Sprintf("record-%d", id)))
+				c.Get(id)
+				c.Contains(id)
+				if i%10 == 0 {
+					c.Remove(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestWritebackAddDrain(t *testing.T) {
+	c := NewWritebackCache(1 << 16)
+	c.Add(Writeback{ID: 1, Payload: []byte("d1"), Saving: 100})
+	c.Add(Writeback{ID: 2, Payload: []byte("d2"), Saving: 300})
+	c.Add(Writeback{ID: 3, Payload: []byte("d3"), Saving: 200})
+
+	got := c.DrainBest(2)
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		t.Fatalf("DrainBest(2) = %+v, want IDs 2 then 3", got)
+	}
+	rest := c.DrainBest(10)
+	if len(rest) != 1 || rest[0].ID != 1 {
+		t.Fatalf("remaining = %+v, want ID 1", rest)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("cache not empty after draining: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestWritebackReplaceSameRecord(t *testing.T) {
+	c := NewWritebackCache(1 << 16)
+	c.Add(Writeback{ID: 7, Payload: []byte("old"), Saving: 10})
+	c.Add(Writeback{ID: 7, Payload: []byte("newer"), Saving: 50})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	got := c.DrainBest(1)
+	if string(got[0].Payload) != "newer" || got[0].Saving != 50 {
+		t.Fatalf("drained %+v, want the replacement", got[0])
+	}
+	_, replaced, _ := c.Stats()
+	if replaced != 1 {
+		t.Errorf("replaced counter = %d, want 1", replaced)
+	}
+}
+
+func TestWritebackLossyEviction(t *testing.T) {
+	// Capacity for ~3 payloads of 10 bytes; the least valuable entries
+	// must be dropped, never the most valuable.
+	c := NewWritebackCache(30)
+	pay := func() []byte { return make([]byte, 10) }
+	c.Add(Writeback{ID: 1, Payload: pay(), Saving: 500})
+	c.Add(Writeback{ID: 2, Payload: pay(), Saving: 50})
+	c.Add(Writeback{ID: 3, Payload: pay(), Saving: 400})
+	c.Add(Writeback{ID: 4, Payload: pay(), Saving: 300}) // evicts ID 2
+
+	if c.Pending(2) {
+		t.Error("least-valuable entry survived over-capacity add")
+	}
+	for _, id := range []uint64{1, 3, 4} {
+		if !c.Pending(id) {
+			t.Errorf("valuable entry %d was evicted", id)
+		}
+	}
+	dropped, _, _ := c.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestWritebackNewEntryMayLose(t *testing.T) {
+	// An incoming low-value entry must not displace higher-value ones.
+	c := NewWritebackCache(20)
+	pay := func() []byte { return make([]byte, 10) }
+	c.Add(Writeback{ID: 1, Payload: pay(), Saving: 500})
+	c.Add(Writeback{ID: 2, Payload: pay(), Saving: 400})
+	if ok := c.Add(Writeback{ID: 3, Payload: pay(), Saving: 1}); ok {
+		t.Error("low-value entry reported as surviving")
+	}
+	if c.Pending(3) {
+		t.Error("low-value entry displaced a high-value one")
+	}
+	if !c.Pending(1) || !c.Pending(2) {
+		t.Error("high-value entries evicted by low-value add")
+	}
+}
+
+func TestWritebackInvalidate(t *testing.T) {
+	c := NewWritebackCache(1 << 16)
+	c.Add(Writeback{ID: 5, Payload: []byte("stale delta"), Saving: 100})
+	if !c.Invalidate(5) {
+		t.Fatal("Invalidate missed a pending entry")
+	}
+	if c.Invalidate(5) {
+		t.Fatal("double Invalidate reported success")
+	}
+	if got := c.DrainBest(10); len(got) != 0 {
+		t.Fatalf("invalidated entry drained: %+v", got)
+	}
+}
+
+func TestWritebackOversizedPayload(t *testing.T) {
+	c := NewWritebackCache(10)
+	if ok := c.Add(Writeback{ID: 1, Payload: make([]byte, 100), Saving: 999}); ok {
+		t.Error("oversized payload admitted")
+	}
+	if c.Len() != 0 {
+		t.Error("oversized payload resident")
+	}
+}
+
+func TestWritebackConcurrent(t *testing.T) {
+	c := NewWritebackCache(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := uint64(g*500 + i)
+				c.Add(Writeback{ID: id, Payload: make([]byte, 16), Saving: int64(i)})
+				if i%7 == 0 {
+					c.Invalidate(id)
+				}
+				if i%13 == 0 {
+					c.DrainBest(3)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Heap and map must agree after the storm.
+	n := c.Len()
+	drained := c.DrainBest(n + 100)
+	if len(drained) != n {
+		t.Fatalf("drained %d entries, Len said %d", len(drained), n)
+	}
+}
+
+func BenchmarkSourceCacheGetPut(b *testing.B) {
+	c := NewSourceCache(1 << 20)
+	data := make([]byte, 256)
+	for i := 0; i < b.N; i++ {
+		id := uint64(i & 4095)
+		c.Put(id, data)
+		c.Get(id)
+	}
+}
+
+func BenchmarkWritebackAdd(b *testing.B) {
+	c := NewWritebackCache(1 << 22)
+	data := make([]byte, 128)
+	for i := 0; i < b.N; i++ {
+		c.Add(Writeback{ID: uint64(i & 8191), Payload: data, Saving: int64(i % 1000)})
+	}
+}

@@ -1,0 +1,36 @@
+package delta_test
+
+import (
+	"fmt"
+	"strings"
+
+	"dbdedup/internal/delta"
+)
+
+// Example demonstrates the two-way encoding at the heart of dbDedup: one
+// compression pass yields the forward delta (shipped to replicas) and, via
+// re-encoding, the backward delta (stored locally).
+func Example() {
+	var sb strings.Builder
+	for i := 0; i < 60; i++ {
+		fmt.Fprintf(&sb, "Line %d of the document discusses result %d. ", i, i*3)
+	}
+	v1 := []byte(sb.String())
+	v2 := []byte(strings.Replace(sb.String(), "result 90", "REVISED result", 1) + "Appendix added.")
+
+	// Forward: v2 expressed against v1 — what replication ships.
+	fwd := delta.Compress(v1, v2, delta.Options{})
+	// Backward: v1 expressed against v2 — what storage keeps, derived
+	// without a second compression pass.
+	bwd := delta.Reencode(v1, v2, fwd)
+
+	gotV2, _ := delta.Apply(v1, fwd)
+	gotV1, _ := delta.Apply(v2, bwd)
+	fmt.Println("forward reconstructs v2:", string(gotV2) == string(v2))
+	fmt.Println("backward reconstructs v1:", string(gotV1) == string(v1))
+	fmt.Println("both deltas tiny:", fwd.EncodedSize() < len(v2)/10 && bwd.EncodedSize() < len(v1)/10)
+	// Output:
+	// forward reconstructs v2: true
+	// backward reconstructs v1: true
+	// both deltas tiny: true
+}

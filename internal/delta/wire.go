@@ -1,0 +1,157 @@
+package delta
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format (all integers unsigned varints):
+//
+//	magic byte 0xD5
+//	version byte 0x01
+//	targetLen
+//	instCount
+//	repeated instructions:
+//	  OpCopy:   0x01, off, len
+//	  OpInsert: 0x00, len, <len literal bytes>
+//
+// The encoded size of a delta is what dbDedup charges against storage and
+// network budgets, so Marshal is also the canonical "delta size" measure.
+
+const (
+	wireMagic   = 0xd5
+	wireVersion = 0x01
+)
+
+var errCorrupt = errors.New("delta: corrupt encoding")
+
+// Marshal serialises the delta into a compact binary form.
+func (d Delta) Marshal() []byte {
+	out := make([]byte, 0, d.marshalSize())
+	out = append(out, wireMagic, wireVersion)
+	out = binary.AppendUvarint(out, uint64(d.TargetLen))
+	out = binary.AppendUvarint(out, uint64(len(d.Insts)))
+	for _, inst := range d.Insts {
+		out = append(out, byte(inst.Op))
+		switch inst.Op {
+		case OpCopy:
+			out = binary.AppendUvarint(out, uint64(inst.Off))
+			out = binary.AppendUvarint(out, uint64(inst.Len))
+		case OpInsert:
+			out = binary.AppendUvarint(out, uint64(inst.Len))
+			out = append(out, inst.Data...)
+		}
+	}
+	return out
+}
+
+// EncodedSize returns len(d.Marshal()) without building the buffer.
+func (d Delta) EncodedSize() int { return d.marshalSize() }
+
+func (d Delta) marshalSize() int {
+	n := 2 + uvarintLen(uint64(d.TargetLen)) + uvarintLen(uint64(len(d.Insts)))
+	for _, inst := range d.Insts {
+		n++
+		switch inst.Op {
+		case OpCopy:
+			n += uvarintLen(uint64(inst.Off)) + uvarintLen(uint64(inst.Len))
+		case OpInsert:
+			n += uvarintLen(uint64(inst.Len)) + len(inst.Data)
+		}
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Unmarshal parses a delta previously produced by Marshal. The returned
+// delta's INSERT data aliases buf.
+func Unmarshal(buf []byte) (Delta, error) {
+	var d Delta
+	if len(buf) < 2 || buf[0] != wireMagic {
+		return d, errCorrupt
+	}
+	if buf[1] != wireVersion {
+		return d, fmt.Errorf("delta: unsupported version %d", buf[1])
+	}
+	p := buf[2:]
+
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, errCorrupt
+		}
+		p = p[n:]
+		return v, nil
+	}
+
+	tl, err := next()
+	if err != nil {
+		return d, err
+	}
+	count, err := next()
+	if err != nil {
+		return d, err
+	}
+	if count > uint64(len(buf)) {
+		return d, errCorrupt // cheap sanity bound: >=1 byte per instruction
+	}
+	d.TargetLen = int(tl)
+	d.Insts = make([]Instruction, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(p) == 0 {
+			return Delta{}, errCorrupt
+		}
+		op := Op(p[0])
+		p = p[1:]
+		switch op {
+		case OpCopy:
+			off, err := next()
+			if err != nil {
+				return Delta{}, err
+			}
+			l, err := next()
+			if err != nil {
+				return Delta{}, err
+			}
+			d.Insts = append(d.Insts, Instruction{Op: OpCopy, Off: int(off), Len: int(l)})
+		case OpInsert:
+			l, err := next()
+			if err != nil {
+				return Delta{}, err
+			}
+			if l > uint64(len(p)) {
+				return Delta{}, errCorrupt
+			}
+			d.Insts = append(d.Insts, Instruction{Op: OpInsert, Len: int(l), Data: p[:l]})
+			p = p[l:]
+		default:
+			return Delta{}, fmt.Errorf("delta: unknown op %d", op)
+		}
+	}
+	if len(p) != 0 {
+		return Delta{}, errCorrupt
+	}
+	// The declared target length must equal the instructions' total
+	// output; rejecting mismatches here keeps corrupt lengths from
+	// reaching Apply at all.
+	total := 0
+	for _, inst := range d.Insts {
+		if inst.Len < 0 || total > d.TargetLen {
+			return Delta{}, errCorrupt
+		}
+		total += inst.Len
+	}
+	if total != d.TargetLen {
+		return Delta{}, errCorrupt
+	}
+	return d, nil
+}

@@ -1,0 +1,854 @@
+// Package docstore implements the storage engine substrate dbDedup plugs
+// into: a log-structured record store in the spirit of the append-mostly
+// NoSQL engines the paper targets.
+//
+// Records — raw, delta-encoded, or tombstones — are framed into blocks;
+// blocks are sealed at a size threshold, optionally run through the
+// block-level compressor (the stand-in for WiredTiger's Snappy pass), and
+// appended to segment files. An in-memory index maps record IDs to block
+// locators; a small LRU block cache serves hot reads; dead bytes are
+// reclaimed by segment compaction. Opening an existing directory replays the
+// segments to rebuild the index, so the store is crash-consistent up to the
+// last sealed block (plus the unsealed tail, which is replayed too).
+//
+// The store knows nothing about deduplication policy: it faithfully stores
+// whatever form (raw or delta + base reference) the engine hands it, and
+// reports the size accounting the experiments need.
+package docstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dbdedup/internal/blockcomp"
+)
+
+// Form describes how a record's payload is stored.
+type Form byte
+
+const (
+	// FormRaw means Payload is the record's full content.
+	FormRaw Form = 0
+	// FormDelta means Payload is a delta program; the full content is
+	// recovered by applying it to the record identified by BaseID.
+	FormDelta Form = 1
+)
+
+// Record is the unit of storage.
+type Record struct {
+	// ID is the store-assigned (caller-chosen, unique) record identity.
+	ID uint64
+	// DB and Key identify the record to clients; the store treats them
+	// as opaque.
+	DB, Key string
+	// Form selects raw or delta representation.
+	Form Form
+	// BaseID is the decode base for FormDelta records.
+	BaseID uint64
+	// Tombstone marks a deletion marker frame.
+	Tombstone bool
+	// Stacked marks a record whose payload carries appended update
+	// sections on top of its original content (a referenced record that
+	// was client-updated; see the node's update path).
+	Stacked bool
+	// Hidden marks a record that was deleted by the client but is
+	// retained because other records still decode through it; reads
+	// treat it as absent.
+	Hidden bool
+	// Payload is the stored bytes (full content or marshalled delta).
+	Payload []byte
+}
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the storage directory. Empty selects a pure in-memory store
+	// (used by tests and benchmarks).
+	Dir string
+	// BlockSize is the target uncompressed block size before sealing.
+	// Defaults to 32 KiB.
+	BlockSize int
+	// Compress enables block-level compression of sealed blocks.
+	Compress bool
+	// SegmentSize is the target segment size. Defaults to 64 MiB.
+	SegmentSize int
+	// CacheBlocks bounds the decompressed-block LRU cache. Defaults
+	// to 64 blocks.
+	CacheBlocks int
+	// AppendDelay injects a fixed latency into every record append,
+	// simulating a slow storage device (the paper's HDD testbed). Zero
+	// disables it. Used by the write-back-cache experiment, where the
+	// effect under study is I/O contention.
+	AppendDelay time.Duration
+	// SyncWrites fsyncs the segment file after each sealed block,
+	// trading throughput for durability of acknowledged blocks. The
+	// paper runs with full journaling off; this is the corresponding
+	// opt-in knob.
+	SyncWrites bool
+}
+
+// Stats is the store's size accounting.
+type Stats struct {
+	// LiveRecords is the number of addressable (non-deleted) records.
+	LiveRecords int
+	// LogicalBytes is the total payload size of live records as stored
+	// (post-dedup, pre-block-compression) — the numerator of the paper's
+	// dedup-only compression ratios is the raw ingest size divided by
+	// this.
+	LogicalBytes int64
+	// BlockBytesIn is the uncompressed size of all sealed blocks ever
+	// written; BlockBytesOut the on-disk size after optional block
+	// compression. Their ratio is the block-compression factor.
+	BlockBytesIn  int64
+	BlockBytesOut int64
+	// DeadBytes is reclaimable space from superseded record versions.
+	DeadBytes int64
+	// Appends counts record frames written (including rewrites).
+	Appends uint64
+	// CacheHits/CacheMisses count block-cache outcomes on reads.
+	CacheHits, CacheMisses uint64
+}
+
+type locator struct {
+	seg      int   // segment index
+	off      int64 // block offset within segment
+	recStart int   // frame start within the decompressed block
+	live     bool
+}
+
+// Store is a log-structured record store. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	opts Options
+
+	segments []*segment
+	active   *segment // last element of segments
+
+	// block under construction (not yet sealed)
+	pending      []byte
+	pendingRecs  map[uint64]pendingRec
+	pendingOrder []uint64
+
+	index map[uint64]locator
+	meta  map[uint64]recMeta // DB/Key/Form/BaseID for live records
+	// dbBytes tracks live logical payload bytes per database.
+	dbBytes map[string]int64
+
+	cache *blockCache
+
+	stats  Stats
+	closed bool
+}
+
+type pendingRec struct {
+	rec Record
+}
+
+type recMeta struct {
+	db, key    string
+	form       Form
+	baseID     uint64
+	payloadLen int
+	stacked    bool
+	hidden     bool
+}
+
+type segment struct {
+	id   int
+	file *os.File // nil in memory mode
+	buf  []byte   // memory mode contents
+	size int64
+	dead int64 // dead bytes (superseded frames)
+}
+
+const (
+	blockMagic      = 0x444b4c42 // "BLKD"
+	blockHeaderSize = 4 + 4 + 4 + 4 + 1
+	flagCompressed  = 1 << 0
+)
+
+// Open creates or reopens a store.
+func Open(opts Options) (*Store, error) {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = 32 << 10
+	}
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = 64 << 20
+	}
+	if opts.CacheBlocks <= 0 {
+		opts.CacheBlocks = 64
+	}
+	s := &Store{
+		opts:        opts,
+		pendingRecs: make(map[uint64]pendingRec),
+		index:       make(map[uint64]locator),
+		meta:        make(map[uint64]recMeta),
+		dbBytes:     make(map[string]int64),
+		cache:       newBlockCache(opts.CacheBlocks),
+	}
+	if opts.Dir == "" {
+		s.segments = []*segment{{id: 0}}
+		s.active = s.segments[0]
+		return s, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("docstore: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(opts.Dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("docstore: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var id int
+		base := filepath.Base(name)
+		if _, err := fmt.Sscanf(base, "seg-%06d.log", &id); err != nil {
+			continue
+		}
+		f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("docstore: %w", err)
+		}
+		s.segments = append(s.segments, &segment{id: id, file: f, size: fi.Size()})
+	}
+	if len(s.segments) == 0 {
+		seg, err := s.newSegment(0)
+		if err != nil {
+			return nil, err
+		}
+		s.segments = append(s.segments, seg)
+	}
+	s.active = s.segments[len(s.segments)-1]
+	if err := s.replayAll(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) newSegment(id int) (*segment, error) {
+	if s.opts.Dir == "" {
+		return &segment{id: id}, nil
+	}
+	name := filepath.Join(s.opts.Dir, fmt.Sprintf("seg-%06d.log", id))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: %w", err)
+	}
+	return &segment{id: id, file: f}, nil
+}
+
+// Append stores rec, superseding any previous frame with the same ID. A
+// tombstone removes the ID from the index entirely.
+func (s *Store) Append(rec Record) error {
+	if strings.IndexByte(rec.DB, 0) >= 0 || strings.IndexByte(rec.Key, 0) >= 0 {
+		return errors.New("docstore: DB and Key must not contain NUL")
+	}
+	if s.opts.AppendDelay > 0 {
+		time.Sleep(s.opts.AppendDelay)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("docstore: store is closed")
+	}
+	s.supersede(rec.ID)
+	frame := appendFrame(nil, rec)
+	s.pending = append(s.pending, frame...)
+	if rec.Tombstone {
+		delete(s.pendingRecs, rec.ID)
+		delete(s.index, rec.ID)
+		delete(s.meta, rec.ID)
+	} else {
+		if _, dup := s.pendingRecs[rec.ID]; !dup {
+			s.pendingOrder = append(s.pendingOrder, rec.ID)
+		}
+		s.pendingRecs[rec.ID] = pendingRec{rec: rec}
+		s.meta[rec.ID] = recMeta{db: rec.DB, key: rec.Key, form: rec.Form,
+			baseID: rec.BaseID, payloadLen: len(rec.Payload),
+			stacked: rec.Stacked, hidden: rec.Hidden}
+		s.stats.LogicalBytes += int64(len(rec.Payload))
+		s.dbBytes[rec.DB] += int64(len(rec.Payload))
+		s.stats.LiveRecords++
+	}
+	s.stats.Appends++
+	if len(s.pending) >= s.opts.BlockSize {
+		return s.sealBlock()
+	}
+	return nil
+}
+
+// supersede retires the previous version of id from the accounting and
+// index (but not from disk; compaction reclaims the bytes later).
+func (s *Store) supersede(id uint64) {
+	if m, ok := s.meta[id]; ok {
+		s.stats.LogicalBytes -= int64(m.payloadLen)
+		s.dbBytes[m.db] -= int64(m.payloadLen)
+		s.stats.LiveRecords--
+		s.stats.DeadBytes += int64(m.payloadLen)
+	}
+	if loc, ok := s.index[id]; ok && loc.live {
+		s.segments[loc.seg].dead += int64(s.meta[id].payloadLen)
+		delete(s.index, id)
+	}
+	delete(s.pendingRecs, id)
+}
+
+// Get returns the stored form of record id.
+func (s *Store) Get(id uint64) (Record, bool, error) {
+	s.mu.RLock()
+	if p, ok := s.pendingRecs[id]; ok {
+		rec := p.rec
+		s.mu.RUnlock()
+		return rec, true, nil
+	}
+	loc, ok := s.index[id]
+	s.mu.RUnlock()
+	if !ok {
+		return Record{}, false, nil
+	}
+	block, err := s.loadBlock(loc.seg, loc.off)
+	if err != nil {
+		return Record{}, false, err
+	}
+	rec, _, err := parseFrame(block[loc.recStart:])
+	if err != nil {
+		return Record{}, false, err
+	}
+	if rec.ID != id {
+		return Record{}, false, fmt.Errorf("docstore: index corruption: wanted %d found %d", id, rec.ID)
+	}
+	return rec, true, nil
+}
+
+// Delete writes a tombstone for id.
+func (s *Store) Delete(id uint64) error {
+	return s.Append(Record{ID: id, Tombstone: true})
+}
+
+// Flush seals the pending block so its records are durable in the segment.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return nil
+	}
+	return s.sealBlock()
+}
+
+// sealBlock writes the pending buffer as one block. Caller holds mu.
+func (s *Store) sealBlock() error {
+	raw := s.pending
+	stored := raw
+	var flags byte
+	if s.opts.Compress {
+		if c := blockcomp.Encode(raw); len(c) < len(raw) {
+			stored = c
+			flags |= flagCompressed
+		}
+	}
+	var hdr [blockHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], blockMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(raw)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(stored)))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.ChecksumIEEE(stored))
+	hdr[16] = flags
+
+	seg := s.active
+	off := seg.size
+	if err := seg.write(hdr[:]); err != nil {
+		return err
+	}
+	if err := seg.write(stored); err != nil {
+		return err
+	}
+	if s.opts.SyncWrites && seg.file != nil {
+		if err := seg.file.Sync(); err != nil {
+			return fmt.Errorf("docstore: %w", err)
+		}
+	}
+
+	// Point every pending record at its sealed location.
+	scan := 0
+	for scan < len(raw) {
+		rec, n, err := parseFrame(raw[scan:])
+		if err != nil {
+			return fmt.Errorf("docstore: internal frame error: %w", err)
+		}
+		if cur, ok := s.pendingRecs[rec.ID]; ok && !rec.Tombstone && sameFrame(cur.rec, rec) {
+			s.index[rec.ID] = locator{seg: segPos(s.segments, seg), off: off, recStart: scan, live: true}
+		} else if !rec.Tombstone {
+			// A superseded duplicate within the same block.
+			seg.dead += int64(len(rec.Payload))
+		}
+		scan += n
+	}
+	for id := range s.pendingRecs {
+		delete(s.pendingRecs, id)
+	}
+	s.pendingOrder = s.pendingOrder[:0]
+	s.pending = nil
+
+	s.stats.BlockBytesIn += int64(len(raw))
+	s.stats.BlockBytesOut += int64(len(stored)) + blockHeaderSize
+
+	if seg.size >= int64(s.opts.SegmentSize) {
+		ns, err := s.newSegment(seg.id + 1)
+		if err != nil {
+			return err
+		}
+		s.segments = append(s.segments, ns)
+		s.active = ns
+	}
+	return nil
+}
+
+func sameFrame(a, b Record) bool {
+	return a.ID == b.ID && a.Form == b.Form && a.BaseID == b.BaseID &&
+		a.Stacked == b.Stacked && a.Hidden == b.Hidden &&
+		len(a.Payload) == len(b.Payload)
+}
+
+func segPos(segs []*segment, s *segment) int {
+	for i, x := range segs {
+		if x == s {
+			return i
+		}
+	}
+	panic("docstore: segment not registered")
+}
+
+func (seg *segment) write(p []byte) error {
+	if seg.file != nil {
+		if _, err := seg.file.WriteAt(p, seg.size); err != nil {
+			return fmt.Errorf("docstore: %w", err)
+		}
+	} else {
+		seg.buf = append(seg.buf, p...)
+	}
+	seg.size += int64(len(p))
+	return nil
+}
+
+func (seg *segment) readAt(p []byte, off int64) error {
+	if seg.file != nil {
+		if _, err := seg.file.ReadAt(p, off); err != nil {
+			return fmt.Errorf("docstore: %w", err)
+		}
+		return nil
+	}
+	if off+int64(len(p)) > int64(len(seg.buf)) {
+		return errors.New("docstore: short read")
+	}
+	copy(p, seg.buf[off:])
+	return nil
+}
+
+// loadBlock returns the decompressed contents of the block at (seg, off).
+func (s *Store) loadBlock(segIdx int, off int64) ([]byte, error) {
+	key := blockKey(segIdx, off)
+	if b, ok := s.cache.get(key); ok {
+		s.mu.Lock()
+		s.stats.CacheHits++
+		s.mu.Unlock()
+		return b, nil
+	}
+	s.mu.RLock()
+	if segIdx >= len(s.segments) {
+		s.mu.RUnlock()
+		return nil, errors.New("docstore: bad segment index")
+	}
+	seg := s.segments[segIdx]
+	s.mu.RUnlock()
+
+	var hdr [blockHeaderSize]byte
+	if err := seg.readAt(hdr[:], off); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != blockMagic {
+		return nil, errors.New("docstore: bad block magic")
+	}
+	rawLen := binary.LittleEndian.Uint32(hdr[4:])
+	storedLen := binary.LittleEndian.Uint32(hdr[8:])
+	sum := binary.LittleEndian.Uint32(hdr[12:])
+	flags := hdr[16]
+
+	stored := make([]byte, storedLen)
+	if err := seg.readAt(stored, off+blockHeaderSize); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(stored) != sum {
+		return nil, errors.New("docstore: block checksum mismatch")
+	}
+	raw := stored
+	if flags&flagCompressed != 0 {
+		var err error
+		raw, err = blockcomp.Decode(stored)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: %w", err)
+		}
+	}
+	if len(raw) != int(rawLen) {
+		return nil, errors.New("docstore: block length mismatch")
+	}
+	s.cache.put(key, raw)
+	s.mu.Lock()
+	s.stats.CacheMisses++
+	s.mu.Unlock()
+	return raw, nil
+}
+
+func blockKey(seg int, off int64) uint64 {
+	return uint64(seg)<<40 | uint64(off)&((1<<40)-1)
+}
+
+// Range calls fn for every live record's stored form, in unspecified order.
+// If fn returns false the iteration stops.
+func (s *Store) Range(fn func(Record) bool) error {
+	s.mu.RLock()
+	ids := make([]uint64, 0, len(s.meta))
+	for id := range s.meta {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	for _, id := range ids {
+		rec, ok, err := s.Get(id)
+		if err != nil {
+			return err
+		}
+		if ok && !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// MetaInfo is a record's metadata, readable without touching its payload.
+type MetaInfo struct {
+	DB, Key    string
+	Form       Form
+	BaseID     uint64
+	PayloadLen int
+	Stacked    bool
+	Hidden     bool
+}
+
+// Meta returns the metadata of record id without reading its payload.
+func (s *Store) Meta(id uint64) (MetaInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.meta[id]
+	if !ok {
+		return MetaInfo{}, false
+	}
+	return MetaInfo{DB: m.db, Key: m.key, Form: m.form, BaseID: m.baseID,
+		PayloadLen: m.payloadLen, Stacked: m.stacked, Hidden: m.hidden}, true
+}
+
+// DBLogicalBytes returns the live stored payload bytes of one database.
+func (s *Store) DBLogicalBytes(db string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dbBytes[db]
+}
+
+// Stats returns a snapshot of the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Close flushes the pending block and releases file handles.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var firstErr error
+	if len(s.pending) > 0 {
+		firstErr = s.sealBlock()
+	}
+	for _, seg := range s.segments {
+		if seg.file != nil {
+			if err := seg.file.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	s.closed = true
+	return firstErr
+}
+
+// replayAll rebuilds the index from segment contents. Caller is Open.
+func (s *Store) replayAll() error {
+	for segIdx, seg := range s.segments {
+		var off int64
+		for off < seg.size {
+			var hdr [blockHeaderSize]byte
+			if err := seg.readAt(hdr[:], off); err != nil {
+				break // truncated tail: stop at last complete block
+			}
+			if binary.LittleEndian.Uint32(hdr[0:]) != blockMagic {
+				break
+			}
+			storedLen := int64(binary.LittleEndian.Uint32(hdr[8:]))
+			if off+blockHeaderSize+storedLen > seg.size {
+				break
+			}
+			raw, err := s.loadBlock(segIdx, off)
+			if err != nil {
+				break
+			}
+			scan := 0
+			for scan < len(raw) {
+				rec, n, err := parseFrame(raw[scan:])
+				if err != nil {
+					return fmt.Errorf("docstore: replay: %w", err)
+				}
+				s.supersede(rec.ID)
+				if rec.Tombstone {
+					delete(s.index, rec.ID)
+					delete(s.meta, rec.ID)
+				} else {
+					s.index[rec.ID] = locator{seg: segIdx, off: off, recStart: scan, live: true}
+					s.meta[rec.ID] = recMeta{db: rec.DB, key: rec.Key, form: rec.Form,
+						baseID: rec.BaseID, payloadLen: len(rec.Payload),
+						stacked: rec.Stacked, hidden: rec.Hidden}
+					s.stats.LogicalBytes += int64(len(rec.Payload))
+					s.dbBytes[rec.DB] += int64(len(rec.Payload))
+					s.stats.LiveRecords++
+				}
+				scan += n
+			}
+			off += blockHeaderSize + storedLen
+		}
+		// Anything past the last complete block is a torn write; the
+		// active segment continues from here.
+		seg.size = minInt64(seg.size, segEnd(seg, s, segIdx))
+	}
+	return nil
+}
+
+// segEnd computes the end offset of the last valid block in seg (replayAll
+// has already walked it; recompute cheaply by walking headers only).
+func segEnd(seg *segment, s *Store, segIdx int) int64 {
+	var off int64
+	for off < seg.size {
+		var hdr [blockHeaderSize]byte
+		if err := seg.readAt(hdr[:], off); err != nil {
+			break
+		}
+		if binary.LittleEndian.Uint32(hdr[0:]) != blockMagic {
+			break
+		}
+		storedLen := int64(binary.LittleEndian.Uint32(hdr[8:]))
+		if off+blockHeaderSize+storedLen > seg.size {
+			break
+		}
+		off += blockHeaderSize + storedLen
+	}
+	return off
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Compact rewrites the live records of the segment with the most dead bytes
+// into the active segment and deletes the old one. It returns the number of
+// bytes reclaimed on disk. Compaction of the active segment is skipped.
+func (s *Store) Compact() (int64, error) {
+	s.mu.Lock()
+	var victim *segment
+	victimIdx := -1
+	for i, seg := range s.segments {
+		if seg == s.active {
+			continue
+		}
+		if victim == nil || seg.dead > victim.dead {
+			victim, victimIdx = seg, i
+		}
+	}
+	if victim == nil {
+		s.mu.Unlock()
+		return 0, nil
+	}
+	// Collect live records located in the victim.
+	var liveIDs []uint64
+	for id, loc := range s.index {
+		if loc.seg == victimIdx {
+			liveIDs = append(liveIDs, id)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, id := range liveIDs {
+		rec, ok, err := s.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			continue
+		}
+		// Re-append only if still located in the victim (a concurrent
+		// write may have moved it).
+		s.mu.Lock()
+		loc, still := s.index[id]
+		s.mu.Unlock()
+		if !still || loc.seg != victimIdx {
+			continue
+		}
+		if err := s.Append(rec); err != nil {
+			return 0, err
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return 0, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reclaimed := victim.size
+	if victim.file != nil {
+		name := victim.file.Name()
+		victim.file.Close()
+		os.Remove(name)
+	}
+	victim.buf = nil
+	victim.size = 0
+	victim.dead = 0
+	victim.file = nil
+	// Leave the slot in s.segments so existing locator indices stay
+	// valid; its index entries were all moved, so it is never read.
+	s.cache.dropSegment(victimIdx)
+	return reclaimed, nil
+}
+
+// DiskBytes returns the total bytes held by segments (plus the unsealed
+// pending block).
+func (s *Store) DiskBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, seg := range s.segments {
+		n += seg.size
+	}
+	return n + int64(len(s.pending))
+}
+
+// ---- record frame encoding ----
+
+// appendFrame serialises rec onto dst:
+//
+//	uvarint frameLen | uvarint id | flags byte | [uvarint baseID] |
+//	uvarint len(db) db | uvarint len(key) key | uvarint len(payload) payload
+func appendFrame(dst []byte, rec Record) []byte {
+	var body []byte
+	body = binary.AppendUvarint(body, rec.ID)
+	var flags byte
+	if rec.Form == FormDelta {
+		flags |= 1
+	}
+	if rec.Tombstone {
+		flags |= 2
+	}
+	if rec.Stacked {
+		flags |= 4
+	}
+	if rec.Hidden {
+		flags |= 8
+	}
+	body = append(body, flags)
+	if rec.Form == FormDelta {
+		body = binary.AppendUvarint(body, rec.BaseID)
+	}
+	body = binary.AppendUvarint(body, uint64(len(rec.DB)))
+	body = append(body, rec.DB...)
+	body = binary.AppendUvarint(body, uint64(len(rec.Key)))
+	body = append(body, rec.Key...)
+	body = binary.AppendUvarint(body, uint64(len(rec.Payload)))
+	body = append(body, rec.Payload...)
+
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+// parseFrame decodes one frame from buf, returning the record and the total
+// frame size consumed.
+func parseFrame(buf []byte) (Record, int, error) {
+	frameLen, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < frameLen {
+		return Record{}, 0, errors.New("docstore: truncated frame")
+	}
+	body := buf[n : n+int(frameLen)]
+	total := n + int(frameLen)
+
+	var rec Record
+	id, k := binary.Uvarint(body)
+	if k <= 0 {
+		return Record{}, 0, errors.New("docstore: bad frame id")
+	}
+	body = body[k:]
+	rec.ID = id
+	if len(body) < 1 {
+		return Record{}, 0, errors.New("docstore: bad frame flags")
+	}
+	flags := body[0]
+	body = body[1:]
+	if flags&1 != 0 {
+		rec.Form = FormDelta
+		base, k := binary.Uvarint(body)
+		if k <= 0 {
+			return Record{}, 0, errors.New("docstore: bad frame base")
+		}
+		rec.BaseID = base
+		body = body[k:]
+	}
+	rec.Tombstone = flags&2 != 0
+	rec.Stacked = flags&4 != 0
+	rec.Hidden = flags&8 != 0
+
+	readBytes := func() ([]byte, error) {
+		l, k := binary.Uvarint(body)
+		if k <= 0 || uint64(len(body)-k) < l {
+			return nil, errors.New("docstore: bad frame field")
+		}
+		v := body[k : k+int(l)]
+		body = body[k+int(l):]
+		return v, nil
+	}
+	db, err := readBytes()
+	if err != nil {
+		return Record{}, 0, err
+	}
+	key, err := readBytes()
+	if err != nil {
+		return Record{}, 0, err
+	}
+	payload, err := readBytes()
+	if err != nil {
+		return Record{}, 0, err
+	}
+	rec.DB = string(db)
+	rec.Key = string(key)
+	rec.Payload = payload
+	return rec, total, nil
+}

@@ -1,0 +1,503 @@
+package docstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func memStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestAppendGetPending(t *testing.T) {
+	s := memStore(t, Options{})
+	rec := Record{ID: 1, DB: "wiki", Key: "page/1", Payload: []byte("hello world")}
+	if err := s.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Still in the unsealed block.
+	got, ok, err := s.Get(1)
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if got.DB != "wiki" || got.Key != "page/1" || !bytes.Equal(got.Payload, rec.Payload) {
+		t.Fatalf("Get = %+v", got)
+	}
+}
+
+func TestGetAfterSeal(t *testing.T) {
+	s := memStore(t, Options{BlockSize: 64})
+	payload := bytes.Repeat([]byte("x"), 100) // forces a seal per append
+	for i := uint64(1); i <= 10; i++ {
+		if err := s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i), Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 10; i++ {
+		got, ok, err := s.Get(i)
+		if err != nil || !ok || !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("Get(%d) = %v %v %v", i, ok, err, got)
+		}
+	}
+}
+
+func TestSupersedeKeepsLatest(t *testing.T) {
+	s := memStore(t, Options{BlockSize: 64})
+	s.Append(Record{ID: 1, DB: "d", Key: "k", Payload: []byte("version one")})
+	s.Flush()
+	s.Append(Record{ID: 1, DB: "d", Key: "k", Form: FormDelta, BaseID: 9, Payload: []byte("delta!")})
+	got, ok, _ := s.Get(1)
+	if !ok || got.Form != FormDelta || got.BaseID != 9 || string(got.Payload) != "delta!" {
+		t.Fatalf("Get = %+v", got)
+	}
+	st := s.Stats()
+	if st.LiveRecords != 1 {
+		t.Errorf("LiveRecords = %d, want 1", st.LiveRecords)
+	}
+	if st.LogicalBytes != int64(len("delta!")) {
+		t.Errorf("LogicalBytes = %d, want %d", st.LogicalBytes, len("delta!"))
+	}
+	if st.DeadBytes != int64(len("version one")) {
+		t.Errorf("DeadBytes = %d, want %d", st.DeadBytes, len("version one"))
+	}
+}
+
+func TestSupersedeWithinPendingBlock(t *testing.T) {
+	s := memStore(t, Options{BlockSize: 1 << 20})
+	s.Append(Record{ID: 1, DB: "d", Key: "k", Payload: []byte("first")})
+	s.Append(Record{ID: 1, DB: "d", Key: "k", Payload: []byte("second")})
+	got, ok, _ := s.Get(1)
+	if !ok || string(got.Payload) != "second" {
+		t.Fatalf("Get = %+v", got)
+	}
+	s.Flush()
+	got, ok, _ = s.Get(1)
+	if !ok || string(got.Payload) != "second" {
+		t.Fatalf("post-seal Get = %+v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := memStore(t, Options{})
+	s.Append(Record{ID: 1, DB: "d", Key: "k", Payload: []byte("data")})
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(1); ok {
+		t.Fatal("deleted record still readable")
+	}
+	s.Flush()
+	if _, ok, _ := s.Get(1); ok {
+		t.Fatal("deleted record readable after seal")
+	}
+	if st := s.Stats(); st.LiveRecords != 0 {
+		t.Errorf("LiveRecords = %d, want 0", st.LiveRecords)
+	}
+}
+
+func TestMeta(t *testing.T) {
+	s := memStore(t, Options{})
+	s.Append(Record{ID: 3, DB: "mail", Key: "msg9", Form: FormDelta, BaseID: 2, Payload: []byte("abc")})
+	m, ok := s.Meta(3)
+	if !ok || m.DB != "mail" || m.Key != "msg9" || m.Form != FormDelta || m.BaseID != 2 || m.PayloadLen != 3 {
+		t.Fatalf("Meta = %+v %v", m, ok)
+	}
+	if _, ok := s.Meta(99); ok {
+		t.Fatal("Meta of absent record reported ok")
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := memStore(t, Options{BlockSize: 128})
+	want := map[uint64]string{}
+	for i := uint64(1); i <= 50; i++ {
+		payload := fmt.Sprintf("record %d payload", i)
+		want[i] = payload
+		s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i), Payload: []byte(payload)})
+	}
+	s.Delete(7)
+	delete(want, 7)
+
+	got := map[uint64]string{}
+	err := s.Range(func(r Record) bool {
+		got[r.ID] = string(r.Payload)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %d records, want %d", len(got), len(want))
+	}
+	for id, p := range want {
+		if got[id] != p {
+			t.Errorf("record %d = %q, want %q", id, got[id], p)
+		}
+	}
+}
+
+func TestBlockCompression(t *testing.T) {
+	comp := memStore(t, Options{BlockSize: 4096, Compress: true})
+	plain := memStore(t, Options{BlockSize: 4096})
+	payload := bytes.Repeat([]byte("compressible content "), 50)
+	for i := uint64(1); i <= 100; i++ {
+		comp.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i), Payload: payload})
+		plain.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i), Payload: payload})
+	}
+	comp.Flush()
+	plain.Flush()
+
+	cs, ps := comp.Stats(), plain.Stats()
+	if cs.BlockBytesOut >= ps.BlockBytesOut {
+		t.Errorf("compressed store used %d bytes, plain %d", cs.BlockBytesOut, ps.BlockBytesOut)
+	}
+	// Reads must still decode correctly.
+	got, ok, err := comp.Get(50)
+	if err != nil || !ok || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("compressed read failed: %v %v", ok, err)
+	}
+}
+
+func TestPersistenceAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, BlockSize: 256, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 30; i++ {
+		if err := s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i),
+			Payload: []byte(fmt.Sprintf("payload-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Append(Record{ID: 5, DB: "d", Key: "k5", Payload: []byte("updated-5")})
+	s.Delete(9)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir, BlockSize: 256, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok, err := s2.Get(5)
+	if err != nil || !ok || string(got.Payload) != "updated-5" {
+		t.Fatalf("Get(5) after reopen = %v %v %+v", ok, err, got)
+	}
+	if _, ok, _ := s2.Get(9); ok {
+		t.Fatal("deleted record resurrected by replay")
+	}
+	if _, ok, _ := s2.Get(30); !ok {
+		t.Fatal("record 30 lost across reopen")
+	}
+	if st := s2.Stats(); st.LiveRecords != 29 {
+		t.Errorf("LiveRecords after replay = %d, want 29", st.LiveRecords)
+	}
+}
+
+func TestReplayTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, BlockSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i),
+			Payload: bytes.Repeat([]byte("p"), 64)})
+	}
+	s.Close()
+
+	// Corrupt: chop bytes off the segment tail (torn write).
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) == 0 {
+		t.Fatal("no segment files")
+	}
+	last := segs[len(segs)-1]
+	fi, _ := os.Stat(last)
+	if err := os.Truncate(last, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir, BlockSize: 128})
+	if err != nil {
+		t.Fatalf("reopen after torn write failed: %v", err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.LiveRecords == 0 || st.LiveRecords >= 20 {
+		t.Errorf("LiveRecords after torn write = %d; want partial recovery", st.LiveRecords)
+	}
+	// New writes must land correctly after recovery.
+	if err := s2.Append(Record{ID: 100, DB: "d", Key: "new", Payload: []byte("fresh")}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Flush()
+	got, ok, _ := s2.Get(100)
+	if !ok || string(got.Payload) != "fresh" {
+		t.Fatal("write after recovery failed")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	s := memStore(t, Options{BlockSize: 256, SegmentSize: 2048})
+	payload := bytes.Repeat([]byte("v"), 100)
+	// Write and rewrite the same records so old segments fill with dead frames.
+	for round := 0; round < 20; round++ {
+		for i := uint64(1); i <= 10; i++ {
+			s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i), Payload: payload})
+		}
+	}
+	s.Flush()
+	before := s.DiskBytes()
+	reclaimed, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed == 0 {
+		t.Fatal("compaction reclaimed nothing despite heavy rewrites")
+	}
+	if after := s.DiskBytes(); after >= before {
+		t.Errorf("disk bytes %d -> %d; compaction did not shrink", before, after)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		got, ok, err := s.Get(i)
+		if err != nil || !ok || !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("Get(%d) after compaction = %v %v", i, ok, err)
+		}
+	}
+}
+
+func TestRejectNulInNames(t *testing.T) {
+	s := memStore(t, Options{})
+	if err := s.Append(Record{ID: 1, DB: "a\x00b", Key: "k"}); err == nil {
+		t.Error("NUL in DB accepted")
+	}
+}
+
+func TestConcurrentAppendGet(t *testing.T) {
+	s := memStore(t, Options{BlockSize: 512})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				id := uint64(g*1000 + i)
+				err := s.Append(Record{ID: id, DB: "d", Key: fmt.Sprintf("k%d", id),
+					Payload: []byte(fmt.Sprintf("payload %d", id))})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok, err := s.Get(id); err != nil || !ok ||
+					string(got.Payload) != fmt.Sprintf("payload %d", id) {
+					t.Errorf("Get(%d) = %v %v", id, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.LiveRecords != 1200 {
+		t.Errorf("LiveRecords = %d, want 1200", st.LiveRecords)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		rec := Record{
+			ID:      rng.Uint64(),
+			DB:      fmt.Sprintf("db%d", rng.Intn(5)),
+			Key:     fmt.Sprintf("key-%d", rng.Int63()),
+			Payload: make([]byte, rng.Intn(500)),
+		}
+		rng.Read(rec.Payload)
+		if rng.Intn(2) == 0 {
+			rec.Form = FormDelta
+			rec.BaseID = rng.Uint64()
+		}
+		if rng.Intn(10) == 0 {
+			rec.Tombstone = true
+		}
+		frame := appendFrame(nil, rec)
+		got, n, err := parseFrame(frame)
+		if err != nil || n != len(frame) {
+			t.Fatalf("parseFrame: %v (n=%d, len=%d)", err, n, len(frame))
+		}
+		if got.ID != rec.ID || got.DB != rec.DB || got.Key != rec.Key ||
+			got.Form != rec.Form || got.BaseID != rec.BaseID ||
+			got.Tombstone != rec.Tombstone || !bytes.Equal(got.Payload, rec.Payload) {
+			t.Fatalf("frame round trip mismatch: %+v != %+v", got, rec)
+		}
+	}
+}
+
+func TestParseFrameCorrupt(t *testing.T) {
+	rec := Record{ID: 1, DB: "d", Key: "k", Payload: []byte("some payload")}
+	frame := appendFrame(nil, rec)
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := parseFrame(frame[:cut]); err == nil && cut < len(frame) {
+			t.Fatalf("parseFrame accepted truncation at %d", cut)
+		}
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	s, _ := Open(Options{BlockSize: 32 << 10})
+	defer s.Close()
+	payload := bytes.Repeat([]byte("x"), 512)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(Record{ID: uint64(i), DB: "d", Key: "k", Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetSealed(b *testing.B) {
+	s, _ := Open(Options{BlockSize: 32 << 10})
+	defer s.Close()
+	payload := bytes.Repeat([]byte("x"), 512)
+	for i := 0; i < 10000; i++ {
+		s.Append(Record{ID: uint64(i), DB: "d", Key: "k", Payload: payload})
+	}
+	s.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := s.Get(uint64(i % 10000)); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSyncWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, BlockSize: 128, SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		if err := s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i),
+			Payload: bytes.Repeat([]byte("p"), 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Dir: dir, BlockSize: 128, SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.LiveRecords != 20 {
+		t.Fatalf("LiveRecords = %d, want 20", st.LiveRecords)
+	}
+}
+
+func TestBlockCacheHitAccounting(t *testing.T) {
+	s := memStore(t, Options{BlockSize: 256})
+	payload := bytes.Repeat([]byte("x"), 100)
+	for i := uint64(1); i <= 20; i++ {
+		s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i), Payload: payload})
+	}
+	s.Flush()
+	// First read of each block misses; repeats hit.
+	for round := 0; round < 3; round++ {
+		for i := uint64(1); i <= 20; i++ {
+			if _, ok, err := s.Get(i); err != nil || !ok {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.CacheMisses == 0 || st.CacheHits == 0 {
+		t.Fatalf("cache accounting: hits=%d misses=%d", st.CacheHits, st.CacheMisses)
+	}
+	if st.CacheHits < st.CacheMisses {
+		t.Errorf("expected mostly hits on repeated reads: hits=%d misses=%d", st.CacheHits, st.CacheMisses)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := memStore(t, Options{})
+	for i := uint64(1); i <= 10; i++ {
+		s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i), Payload: []byte("p")})
+	}
+	seen := 0
+	s.Range(func(Record) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("Range visited %d records after early stop, want 3", seen)
+	}
+}
+
+func TestCompactEmptyStore(t *testing.T) {
+	s := memStore(t, Options{})
+	reclaimed, err := s.Compact()
+	if err != nil || reclaimed != 0 {
+		t.Fatalf("Compact on empty store: %d, %v", reclaimed, err)
+	}
+}
+
+func TestMultiSegmentSpanning(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, BlockSize: 256, SegmentSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("s"), 200)
+	for i := uint64(1); i <= 50; i++ {
+		if err := s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i), Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments; segment rolling broken", len(segs))
+	}
+	s2, err := Open(Options{Dir: dir, BlockSize: 256, SegmentSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := uint64(1); i <= 50; i++ {
+		if got, ok, err := s2.Get(i); err != nil || !ok || !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("Get(%d) across segments: %v %v", i, ok, err)
+		}
+	}
+}
+
+func TestDBLogicalBytes(t *testing.T) {
+	s := memStore(t, Options{})
+	s.Append(Record{ID: 1, DB: "a", Key: "k1", Payload: make([]byte, 100)})
+	s.Append(Record{ID: 2, DB: "b", Key: "k2", Payload: make([]byte, 50)})
+	s.Append(Record{ID: 1, DB: "a", Key: "k1", Payload: make([]byte, 30)}) // supersede
+	if got := s.DBLogicalBytes("a"); got != 30 {
+		t.Errorf("a = %d, want 30", got)
+	}
+	if got := s.DBLogicalBytes("b"); got != 50 {
+		t.Errorf("b = %d, want 50", got)
+	}
+	s.Delete(2)
+	if got := s.DBLogicalBytes("b"); got != 0 {
+		t.Errorf("b after delete = %d, want 0", got)
+	}
+}

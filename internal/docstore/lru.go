@@ -1,0 +1,69 @@
+package docstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a count-bounded LRU of decompressed blocks keyed by
+// blockKey(segment, offset).
+type blockCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[uint64]*list.Element
+}
+
+type blockItem struct {
+	key  uint64
+	data []byte
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[uint64]*list.Element),
+	}
+}
+
+func (c *blockCache) get(key uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*blockItem).data, true
+}
+
+func (c *blockCache) put(key uint64, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*blockItem).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&blockItem{key: key, data: data})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		it := oldest.Value.(*blockItem)
+		c.ll.Remove(oldest)
+		delete(c.items, it.key)
+	}
+}
+
+// dropSegment evicts all cached blocks belonging to one segment (used after
+// compaction deletes it).
+func (c *blockCache) dropSegment(seg int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if int(key>>40) == seg {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package e2e runs whole-system integration tests: a client driving a
+// primary over the API protocol while a secondary follows over the
+// replication protocol, with persistence, compaction and write-back flushing
+// all active — the in-process equivalent of the paper's 3-node deployment.
+package e2e
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"dbdedup/internal/apiserver"
+	"dbdedup/internal/core"
+	"dbdedup/internal/node"
+	"dbdedup/internal/repl"
+	"dbdedup/internal/workload"
+)
+
+// cluster is one primary + one secondary, both file-backed, with their
+// listeners.
+type cluster struct {
+	prim, sec       *node.Node
+	api             *apiserver.Server
+	replSrv         *repl.Primary
+	replSub         *repl.Secondary
+	client          *apiserver.Client
+	primDir, secDir string
+}
+
+func startCluster(t *testing.T) *cluster {
+	t.Helper()
+	c := &cluster{primDir: t.TempDir(), secDir: t.TempDir()}
+	opts := func(dir string) node.Options {
+		return node.Options{
+			Dir:           dir,
+			Engine:        core.Config{GovernorWindow: 1 << 30},
+			FlushInterval: 2 * time.Millisecond,
+			Compaction:    node.CompactionOptions{Enabled: true, Interval: 50 * time.Millisecond},
+		}
+	}
+	var err error
+	if c.prim, err = node.Open(opts(c.primDir)); err != nil {
+		t.Fatal(err)
+	}
+	if c.sec, err = node.Open(opts(c.secDir)); err != nil {
+		t.Fatal(err)
+	}
+	if c.api, err = apiserver.ListenAndServe(c.prim, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if c.replSrv, err = repl.ListenAndServe(c.prim, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if c.replSub, err = repl.Connect(c.sec, c.replSrv.Addr(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.client, err = apiserver.Dial(c.api.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.stop() })
+	return c
+}
+
+func (c *cluster) stop() {
+	if c.client != nil {
+		c.client.Close()
+	}
+	if c.replSub != nil {
+		c.replSub.Close()
+	}
+	if c.replSrv != nil {
+		c.replSrv.Close()
+	}
+	if c.api != nil {
+		c.api.Close()
+	}
+	if c.sec != nil {
+		c.sec.Close()
+	}
+	if c.prim != nil {
+		c.prim.Close()
+	}
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	c := startCluster(t)
+
+	// Drive a Wikipedia-like workload through the network API.
+	tr := workload.New(workload.Config{Kind: workload.Wikipedia, Seed: 11, InsertBytes: 2 << 20})
+	inserted := map[string][]byte{}
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if err := c.client.Insert(op.DB, op.Key, op.Payload); err != nil {
+			t.Fatalf("insert %s: %v", op.Key, err)
+		}
+		inserted[op.Key] = op.Payload
+	}
+
+	// Mix in updates and deletes over the wire.
+	var some []string
+	for k := range inserted {
+		some = append(some, k)
+		if len(some) == 10 {
+			break
+		}
+	}
+	for i, k := range some {
+		if i%2 == 0 {
+			content := []byte(fmt.Sprintf("updated %s over the wire", k))
+			if err := c.client.Update("wiki", k, content); err != nil {
+				t.Fatal(err)
+			}
+			inserted[k] = content
+		} else {
+			if err := c.client.Delete("wiki", k); err != nil {
+				t.Fatal(err)
+			}
+			delete(inserted, k)
+		}
+	}
+
+	c.prim.Barrier()
+	if err := c.replSub.WaitForSeq(c.prim.Oplog().LastSeq(), 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both nodes converge and serve identical content.
+	checked := 0
+	for k, want := range inserted {
+		if checked >= 200 {
+			break
+		}
+		checked++
+		got, err := c.client.Get("wiki", k)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("primary %s: %v", k, err)
+		}
+		got, err = c.sec.Read("wiki", k)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("secondary %s: %v", k, err)
+		}
+	}
+
+	// The primary deduplicated and replication shipped deltas.
+	st, err := c.client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Deduped == 0 {
+		t.Error("no dedup hits over the network path")
+	}
+	if c.replSub.BytesReceived() >= st.RawInsertBytes {
+		t.Errorf("replication shipped %d bytes for %d raw", c.replSub.BytesReceived(), st.RawInsertBytes)
+	}
+}
+
+func TestClusterRestartPreservesData(t *testing.T) {
+	c := startCluster(t)
+	tr := workload.New(workload.Config{Kind: workload.Enron, Seed: 12, InsertBytes: 1 << 20})
+	inserted := map[string][]byte{}
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if err := c.client.Insert(op.DB, op.Key, op.Payload); err != nil {
+			t.Fatal(err)
+		}
+		inserted[op.Key] = op.Payload
+	}
+	c.prim.Barrier()
+	c.prim.FlushWritebacks(-1)
+
+	// Restart the primary from its directory.
+	c.client.Close()
+	c.api.Close()
+	c.replSrv.Close()
+	c.replSub.Close()
+	if err := c.prim.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := node.Open(node.Options{Dir: c.primDir, Engine: core.Config{GovernorWindow: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.prim = reopened
+	api2, err := apiserver.ListenAndServe(reopened, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.api = api2
+	client2, err := apiserver.Dial(api2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.client = client2
+
+	checked := 0
+	for k, want := range inserted {
+		if checked >= 100 {
+			break
+		}
+		checked++
+		got, err := client2.Get("mail", k)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s after restart: %v", k, err)
+		}
+	}
+	c.replSrv = nil
+	c.replSub = nil
+}
+
+func TestClusterSecondaryCatchUpViaSnapshot(t *testing.T) {
+	// Secondary joins late, after the (tiny) oplog has rolled over: it
+	// must converge via snapshot resync and then track live writes.
+	primDir := t.TempDir()
+	popts := node.Options{
+		Dir:           primDir,
+		Engine:        core.Config{GovernorWindow: 1 << 30},
+		OplogCapacity: 16,
+		FlushInterval: 2 * time.Millisecond,
+	}
+	prim, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prim.Close()
+
+	tr := workload.New(workload.Config{Kind: workload.StackExchange, Seed: 13, InsertBytes: 512 << 10})
+	inserted := map[string][]byte{}
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if err := prim.Insert(op.DB, op.Key, op.Payload); err != nil {
+			t.Fatal(err)
+		}
+		inserted[op.Key] = op.Payload
+	}
+	prim.Barrier()
+
+	srv, err := repl.ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sec, err := node.Open(node.Options{Engine: core.Config{GovernorWindow: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sec.Close()
+	sub, err := repl.Connect(sec, srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.WaitForSeq(prim.Oplog().LastSeq(), 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rs, _ := sub.Resyncs(); rs == 0 {
+		t.Fatal("expected a snapshot resync")
+	}
+	checked := 0
+	for k, want := range inserted {
+		if checked >= 100 {
+			break
+		}
+		checked++
+		got, err := sec.Read("qa", k)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s on late secondary: %v", k, err)
+		}
+	}
+	// Live tail after the snapshot.
+	if err := prim.Insert("qa", "tail-record", []byte("written after the snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	prim.Barrier()
+	if err := sub.WaitForSeq(prim.Oplog().LastSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sec.Read("qa", "tail-record")
+	if err != nil || string(got) != "written after the snapshot" {
+		t.Fatal("live streaming after snapshot failed")
+	}
+}

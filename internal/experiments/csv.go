@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// WriteCSV persists the figure's plot data as CSV files under dir so the
+// series can be re-plotted with external tooling. One file per panel; the
+// filename carries the figure identity.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// WriteCSV writes the per-dataset/config bars of Fig. 10.
+func (r *Fig10Result) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset.String(), row.Config,
+			fmt.Sprintf("%.4f", row.DedupRatio),
+			fmt.Sprintf("%.4f", row.SnappyFactor),
+			fmt.Sprintf("%.4f", row.CombinedRatio),
+			strconv.FormatInt(row.IndexMemoryBytes, 10),
+		})
+	}
+	return writeCSV(dir, "fig10.csv",
+		[]string{"dataset", "config", "dedup_ratio", "snappy_factor", "combined_ratio", "index_bytes"}, rows)
+}
+
+// WriteCSV writes the two CDFs per dataset of Fig. 7.
+func (r *Fig7Result) WriteCSV(dir string) error {
+	var rows [][]string
+	for _, ds := range r.Datasets {
+		for _, p := range ds.Points {
+			rows = append(rows, []string{
+				ds.Dataset.String(),
+				strconv.FormatInt(p.SizeBytes, 10),
+				fmt.Sprintf("%.4f", p.RecordFrac),
+				fmt.Sprintf("%.4f", p.SavingFrac),
+			})
+		}
+	}
+	return writeCSV(dir, "fig7.csv",
+		[]string{"dataset", "size_bytes", "record_cdf", "saving_cdf"}, rows)
+}
+
+// WriteCSV writes the read-latency CDFs of Fig. 12b plus the throughput
+// panel of Fig. 12a.
+func (r *Fig12Result) WriteCSV(dir string) error {
+	var tput [][]string
+	var cdf [][]string
+	for _, row := range r.Rows {
+		tput = append(tput, []string{
+			row.Dataset.String(), row.Config,
+			fmt.Sprintf("%.1f", row.OpsPerSec),
+		})
+		for _, pt := range row.ReadCDF {
+			cdf = append(cdf, []string{
+				row.Dataset.String(), row.Config,
+				strconv.FormatInt(pt.Value.Microseconds(), 10),
+				fmt.Sprintf("%.5f", pt.Fraction),
+			})
+		}
+	}
+	if err := writeCSV(dir, "fig12a_throughput.csv",
+		[]string{"dataset", "config", "ops_per_sec"}, tput); err != nil {
+		return err
+	}
+	return writeCSV(dir, "fig12b_latency_cdf.csv",
+		[]string{"dataset", "config", "latency_us", "cdf"}, cdf)
+}
+
+// WriteCSV writes the two burst time series of Fig. 13b.
+func (r *Fig13bResult) WriteCSV(dir string) error {
+	n := len(r.WithCache)
+	if len(r.WithoutCache) > n {
+		n = len(r.WithoutCache)
+	}
+	at := func(v []int64, i int) string {
+		if i < len(v) {
+			return strconv.FormatInt(v[i], 10)
+		}
+		return ""
+	}
+	var rows [][]string
+	for i := 0; i < n; i++ {
+		rows = append(rows, []string{
+			strconv.FormatInt((time.Duration(i) * r.SlotWidth).Milliseconds(), 10),
+			at(r.WithCache, i),
+			at(r.WithoutCache, i),
+		})
+	}
+	return writeCSV(dir, "fig13b_bursts.csv",
+		[]string{"t_ms", "inserts_with_cache", "inserts_without_cache"}, rows)
+}
+
+// WriteCSV writes the three panels of Fig. 14.
+func (r *Fig14Result) WriteCSV(dir string) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Scheme, strconv.Itoa(row.HopDistance),
+			fmt.Sprintf("%.4f", row.NormalizedRatio),
+			strconv.Itoa(row.WorstCaseRetrievals),
+			strconv.Itoa(row.MeasuredOldestRetrievals),
+			strconv.Itoa(row.Writebacks),
+		})
+	}
+	return writeCSV(dir, "fig14.csv",
+		[]string{"scheme", "hop_distance", "normalized_ratio", "worst_case_retrievals", "measured_retrievals", "writebacks"}, rows)
+}
+
+// WriteCSV writes the sweep of Fig. 15.
+func (r *Fig15Result) WriteCSV(dir string) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Config,
+			fmt.Sprintf("%.4f", row.CompressionRatio),
+			fmt.Sprintf("%.2f", row.ThroughputMBps),
+			strconv.FormatInt(row.IndexOps, 10),
+		})
+	}
+	return writeCSV(dir, "fig15.csv",
+		[]string{"config", "comp_ratio", "throughput_mbps", "index_ops"}, rows)
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+
+	"dbdedup/internal/workload"
+)
+
+// smallScale keeps experiment tests fast.
+var smallScale = Scale{InsertBytes: 2 << 20, Seed: 7}
+
+func TestFig10WikipediaShape(t *testing.T) {
+	res, err := RunFig10(smallScale, workload.Wikipedia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(cfg string) *Fig10Row {
+		r := res.Row(workload.Wikipedia, cfg)
+		if r == nil {
+			t.Fatalf("missing row %s", cfg)
+		}
+		return r
+	}
+	db64 := get("dbDedup-64B")
+	db1k := get("dbDedup-1KB")
+	tr4k := get("trad-4KB")
+	tr64 := get("trad-64B")
+	snappy := get("Snappy")
+
+	// Paper shapes (Fig. 1): dbDedup-64B best ratio; dbDedup beats trad
+	// at comparable chunk sizes; trad-64B needs far more index memory;
+	// Snappy alone gives a modest factor and compounds with dedup.
+	if db64.DedupRatio <= db1k.DedupRatio {
+		t.Errorf("dbDedup 64B ratio %.2f <= 1KB ratio %.2f", db64.DedupRatio, db1k.DedupRatio)
+	}
+	if db64.DedupRatio <= tr4k.DedupRatio {
+		t.Errorf("dbDedup-64B %.2f <= trad-4KB %.2f", db64.DedupRatio, tr4k.DedupRatio)
+	}
+	if db64.DedupRatio <= tr64.DedupRatio {
+		t.Errorf("dbDedup-64B %.2f <= trad-64B %.2f", db64.DedupRatio, tr64.DedupRatio)
+	}
+	if tr64.IndexMemoryBytes <= 4*db64.IndexMemoryBytes {
+		t.Errorf("trad-64B index %d not far above dbDedup-64B index %d",
+			tr64.IndexMemoryBytes, db64.IndexMemoryBytes)
+	}
+	if snappy.DedupRatio != 1.0 {
+		t.Errorf("snappy-only dedup ratio = %.2f", snappy.DedupRatio)
+	}
+	if snappy.SnappyFactor < 1.2 {
+		t.Errorf("snappy factor %.2f too low for text", snappy.SnappyFactor)
+	}
+	if db64.CombinedRatio <= db64.DedupRatio {
+		t.Error("block compression did not compound with dedup")
+	}
+	if db64.DedupRatio < 4 {
+		t.Errorf("dbDedup-64B Wikipedia ratio %.2f; want substantial (>=4) even at test scale", db64.DedupRatio)
+	}
+	if s := res.String(); len(s) == 0 {
+		t.Error("empty rendering")
+	}
+}
+
+func TestFig10DatasetOrdering(t *testing.T) {
+	// Wikipedia must dedup better than the forum datasets (paper §5.2).
+	wiki, err := RunFig10(smallScale, workload.Wikipedia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forum, err := RunFig10(smallScale, workload.MessageBoards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wiki.Row(workload.Wikipedia, "dbDedup-64B").DedupRatio
+	f := forum.Row(workload.MessageBoards, "dbDedup-64B").DedupRatio
+	if w <= f {
+		t.Errorf("Wikipedia ratio %.2f <= MessageBoards ratio %.2f", w, f)
+	}
+	if f < 1.1 {
+		t.Errorf("MessageBoards ratio %.2f; even the weakest dataset should exceed 1.1x", f)
+	}
+}

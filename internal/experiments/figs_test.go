@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dbdedup/internal/chain"
+	"dbdedup/internal/workload"
+)
+
+func chainLayoutForTest(h int) chain.Layout { return chain.New(chain.Hop, h) }
+
+func TestFig7Shape(t *testing.T) {
+	res, err := RunFig7(smallScale, workload.Wikipedia, workload.Enron)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range res.Datasets {
+		if ds.Records == 0 || ds.TotalSaving == 0 {
+			t.Fatalf("%v: empty dataset result", ds.Dataset)
+		}
+		// Monotone CDFs.
+		prevR, prevS := 0.0, 0.0
+		for _, p := range ds.Points {
+			if p.RecordFrac < prevR || p.SavingFrac < prevS-1e-9 {
+				t.Fatalf("%v: non-monotone CDF", ds.Dataset)
+			}
+			prevR, prevS = p.RecordFrac, p.SavingFrac
+		}
+		// The paper's headline: the smallest 40% of records contribute
+		// only a small slice (5-10%) of total savings.
+		if ds.SavingFracAtP40 > 0.35 {
+			t.Errorf("%v: smallest 40%% of records contribute %.0f%% of savings; want small",
+				ds.Dataset, ds.SavingFracAtP40*100)
+		}
+	}
+	if !strings.Contains(res.String(), "savings") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFig11StorageCloseToNetwork(t *testing.T) {
+	res, err := RunFig11(smallScale, workload.Wikipedia, workload.Enron)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// Paper: storage within 5% below network. In this reproduction
+		// storage can come out slightly *above* network because chain
+		// tails (first revisions, shipped raw before any similar record
+		// existed) are later re-encoded backward in storage. Accept a
+		// tight band around parity either way.
+		if row.StorageVsNetwork > 1.15 || row.StorageVsNetwork < 0.85 {
+			t.Errorf("%v: storage/network = %.3f, want within [0.85, 1.15]",
+				row.Dataset, row.StorageVsNetwork)
+		}
+	}
+}
+
+func TestFig12DedupOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, err := RunFig12(Scale{InsertBytes: 2 << 20, Seed: 3}, workload.Wikipedia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := res.Row(workload.Wikipedia, "Original")
+	dedup := res.Row(workload.Wikipedia, "dbDedup")
+	if orig == nil || dedup == nil {
+		t.Fatal("missing rows")
+	}
+	// The paper's claim is "negligible overhead" on a 4-core node where
+	// the background encoder runs beside the serving threads. On a
+	// single-core host against an in-memory store, encode CPU shows up
+	// in throughput; the read-heavy mix still bounds the damage. A
+	// collapse below 40% would mean the encoder blocks the client path.
+	if dedup.OpsPerSec < orig.OpsPerSec*0.4 {
+		t.Errorf("dbDedup throughput %.0f vs original %.0f: encoder on critical path?",
+			dedup.OpsPerSec, orig.OpsPerSec)
+	}
+	if len(dedup.ReadCDF) == 0 {
+		t.Error("latency CDF missing")
+	}
+}
+
+func TestFig13aShape(t *testing.T) {
+	res, err := RunFig13a(smallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(res.Rows))
+	}
+	byLabel := map[string]Fig13aRow{}
+	for _, r := range res.Rows {
+		byLabel[r.Label] = r
+	}
+	// Without a cache every source fetch reads the database.
+	if m := byLabel["no cache"].CacheMissRatio; m < 0.999 {
+		t.Errorf("no-cache miss ratio %.2f, want 1.0", m)
+	}
+	// The cache eliminates most reads even without the reward...
+	if m := byLabel["reward 0"].CacheMissRatio; m > 0.6 {
+		t.Errorf("reward-0 miss ratio %.2f, want well below no-cache", m)
+	}
+	// ...and cache-aware selection cuts it further.
+	if byLabel["reward 2"].CacheMissRatio >= byLabel["reward 0"].CacheMissRatio {
+		t.Errorf("reward 2 miss ratio %.2f not below reward 0 %.2f",
+			byLabel["reward 2"].CacheMissRatio, byLabel["reward 0"].CacheMissRatio)
+	}
+	// Compression ratio stays within a few percent across settings.
+	for _, r := range res.Rows {
+		if r.NormalizedRatio < 0.85 {
+			t.Errorf("%s: normalized ratio %.2f; cache-aware selection should not cost much compression",
+				r.Label, r.NormalizedRatio)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	res, err := RunFig14(Scale{InsertBytes: 3 << 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []int{4, 16, 32} {
+		hop := res.Row("hop", h)
+		vj := res.Row("version-jump", h)
+		if hop == nil || vj == nil {
+			t.Fatalf("missing rows for H=%d", h)
+		}
+		// Hop encoding keeps compression near backward encoding;
+		// version jumping loses substantially, most at small H.
+		if hop.NormalizedRatio < 0.80 {
+			t.Errorf("H=%d: hop normalized ratio %.2f, want >= 0.80", h, hop.NormalizedRatio)
+		}
+		if vj.NormalizedRatio >= hop.NormalizedRatio {
+			t.Errorf("H=%d: version jumping ratio %.2f >= hop %.2f",
+				h, vj.NormalizedRatio, hop.NormalizedRatio)
+		}
+		if hop.Writebacks < vj.Writebacks {
+			t.Errorf("H=%d: hop write-backs %d below version jumping %d",
+				h, hop.Writebacks, vj.Writebacks)
+		}
+	}
+	// Version jumping's ratio improves with H (fewer raw references).
+	if res.Row("version-jump", 4).NormalizedRatio >= res.Row("version-jump", 32).NormalizedRatio {
+		t.Error("version jumping ratio did not improve with hop distance")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	res, err := RunFig15(Scale{InsertBytes: 4 << 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd := res.Row("xDelta")
+	a16 := res.Row("anchor 16")
+	a64 := res.Row("anchor 64")
+	a128 := res.Row("anchor 128")
+	if xd == nil || a16 == nil || a64 == nil || a128 == nil {
+		t.Fatal("missing rows")
+	}
+	// Anchor 16 performs about like xDelta on ratio.
+	if a16.CompressionRatio < xd.CompressionRatio*0.7 {
+		t.Errorf("anchor-16 ratio %.1f far below xDelta %.1f", a16.CompressionRatio, xd.CompressionRatio)
+	}
+	// Larger intervals trade ratio for fewer index operations (the
+	// mechanism; wall-clock speedup depends on per-op index cost, which
+	// is host- and implementation-dependent — see EXPERIMENTS.md).
+	if a64.IndexOps*4 > xd.IndexOps {
+		t.Errorf("anchor-64 index ops %d not well below xDelta %d", a64.IndexOps, xd.IndexOps)
+	}
+	if a128.IndexOps >= a16.IndexOps {
+		t.Errorf("anchor-128 index ops %d >= anchor-16 %d", a128.IndexOps, a16.IndexOps)
+	}
+	// Throughput must at least not collapse relative to xDelta.
+	if a64.ThroughputMBps < xd.ThroughputMBps*0.6 {
+		t.Errorf("anchor-64 throughput %.1f far below xDelta %.1f", a64.ThroughputMBps, xd.ThroughputMBps)
+	}
+	if a128.CompressionRatio > a16.CompressionRatio {
+		t.Errorf("anchor-128 ratio %.1f above anchor-16 %.1f", a128.CompressionRatio, a16.CompressionRatio)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	res := RunTable2(200, 16)
+	get := func(scheme string) Table2Row {
+		for _, r := range res.Rows {
+			if r.Scheme == scheme {
+				return r
+			}
+		}
+		t.Fatalf("missing scheme %s", scheme)
+		return Table2Row{}
+	}
+	bw := get("backward")
+	vj := get("version-jump")
+	hop := get("hop")
+	if bw.RawRecords != 1 || hop.RawRecords != 1 {
+		t.Error("backward/hop must keep exactly one raw record")
+	}
+	if vj.RawRecords < 200/16 {
+		t.Errorf("version jumping raw records = %d, want ~N/H", vj.RawRecords)
+	}
+	if bw.WorstCaseRetrievals != 199 {
+		t.Errorf("backward worst case = %d, want N-1", bw.WorstCaseRetrievals)
+	}
+	if hop.WorstCaseRetrievals >= bw.WorstCaseRetrievals/2 {
+		t.Error("hop retrievals not clearly sublinear")
+	}
+	if hop.Writebacks <= bw.Writebacks {
+		t.Error("hop must pay extra write-backs")
+	}
+}
+
+func TestFig13bWritebackCacheShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, err := RunFig13b(smallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, without := res.BurstThroughputs()
+	if with == 0 || without == 0 {
+		t.Fatalf("empty series: with=%v without=%v", with, without)
+	}
+	// Deferring write-backs must lift burst throughput substantially on
+	// the simulated slow device (paper Fig. 13b).
+	if with < without*1.2 {
+		t.Errorf("burst throughput with cache %.0f vs without %.0f; expected >= 20%% uplift", with, without)
+	}
+}
+
+func TestFig14MeasuredMatchesAnalytic(t *testing.T) {
+	// The measured decode steps of reading the oldest chain record must
+	// track the chain layout's analytic prediction: the whole pipeline
+	// (engine bookkeeping -> write-backs -> storage -> decode) realises
+	// the designed encoding.
+	res, err := RunFig14(Scale{InsertBytes: 1 << 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []int{4, 16} {
+		hop := res.Row("hop", h)
+		predicted := chainRetrievalsOldest(t, h, res.ChainLen)
+		// The measured count tracks the analytic one loosely: similarity
+		// chains occasionally restart (a source that was not the chain
+		// head — the paper's <5% overlapped-encoding caveat), which
+		// perturbs hop positions. Same ballpark, far below chain length.
+		if hop.MeasuredOldestRetrievals > 2*predicted+4 {
+			t.Errorf("H=%d: measured %d steps vs predicted %d", h, hop.MeasuredOldestRetrievals, predicted)
+		}
+		if hop.MeasuredOldestRetrievals >= res.ChainLen/2 {
+			t.Errorf("H=%d: measured %d steps; hop encoding not effective end to end", h, hop.MeasuredOldestRetrievals)
+		}
+	}
+}
+
+func chainRetrievalsOldest(t *testing.T, h, n int) int {
+	t.Helper()
+	l := chainLayoutForTest(h)
+	return l.Retrievals(0, n)
+}
+
+func TestGovernorExperiment(t *testing.T) {
+	res, err := RunGovernor(Scale{InsertBytes: 2 << 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Dedupable && row.Disabled {
+			t.Errorf("%s: governor disabled a dedupable database", row.Database)
+		}
+		if !row.Dedupable {
+			if !row.Disabled {
+				t.Errorf("%s: governor kept dedup on for incompressible blobs", row.Database)
+			}
+			if row.IndexMemoryBytes != 0 {
+				t.Errorf("%s: index partition not freed (%d bytes)", row.Database, row.IndexMemoryBytes)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package featidx implements dbDedup's in-memory similarity feature index.
+//
+// The index maps features (sampled chunk hashes, see internal/sketch) to the
+// records that contain them, using a cuckoo-style hash table: d independent
+// hash functions map a feature to d candidate buckets, each holding several
+// entries, which gives high load factors with constant-bounded lookups
+// (paper §3.1.2, after ChunkStash).
+//
+// Each entry is deliberately tiny — a 2-byte checksum of the feature plus a
+// 4-byte record reference — so the whole index stays RAM-resident even for
+// large corpora. Checksum collisions merely add a false-positive candidate;
+// the final delta-compression step is byte-exact, so correctness never
+// depends on the index (unlike exact dedup, which must store full
+// collision-resistant hashes).
+package featidx
+
+import (
+	"dbdedup/internal/murmur"
+	"dbdedup/internal/sketch"
+)
+
+// Ref is a compact 4-byte reference to a record's location, assigned by the
+// caller (dbDedup uses a monotonically increasing insert ordinal that it maps
+// back to a database location).
+type Ref = uint32
+
+// EntryBytes is the design size of one index entry: a 2-byte feature
+// checksum plus a 4-byte record reference. Memory accounting is in units of
+// this size, matching the paper's index-memory measurements.
+const EntryBytes = 6
+
+// Config controls index geometry.
+type Config struct {
+	// CapacityEntries is the total number of entries the index can hold.
+	// It is rounded so the bucket count is a power of two. Once full, the
+	// least-recently-used entry among an insert's candidate buckets is
+	// evicted. Defaults to 1<<20.
+	CapacityEntries int
+	// BucketEntries is the number of entries per bucket. Defaults to 4.
+	BucketEntries int
+	// NumHashes is the number of cuckoo hash functions. Because entries
+	// store only a checksum of the feature, displaced entries cannot be
+	// relocated to their alternate buckets (their other positions are not
+	// recoverable); the index instead relies on several hash functions
+	// and LRU eviction. Defaults to 8.
+	NumHashes int
+	// MaxCandidates caps how many matching records a single feature
+	// lookup may return; past it the search terminates and the
+	// least-recently-used matching entry is evicted (paper §3.1.2).
+	// Defaults to 8.
+	MaxCandidates int
+	// Seed derives the hash functions.
+	Seed uint64
+}
+
+type entry struct {
+	used     bool
+	checksum uint16
+	ref      Ref
+	tick     uint32 // LRU clock value at last touch
+}
+
+// Index is a single-partition feature index. It is not safe for concurrent
+// use; dbDedup serialises index access on its background encode path, and
+// callers needing concurrency wrap it in their own lock.
+type Index struct {
+	buckets    [][]entry
+	bucketMask uint32
+	numHashes  int
+	maxCand    int
+	seed       uint64
+	clock      uint32
+	occupied   int
+	// stats
+	lookups   uint64
+	matches   uint64
+	evictions uint64
+}
+
+// New returns an empty index with the given configuration.
+func New(cfg Config) *Index {
+	if cfg.CapacityEntries <= 0 {
+		cfg.CapacityEntries = 1 << 20
+	}
+	if cfg.BucketEntries <= 0 {
+		cfg.BucketEntries = 4
+	}
+	if cfg.NumHashes <= 0 {
+		cfg.NumHashes = 8
+	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = 8
+	}
+	nb := nextPow2(cfg.CapacityEntries / cfg.BucketEntries)
+	if nb < 2 {
+		nb = 2
+	}
+	buckets := make([][]entry, nb)
+	backing := make([]entry, nb*cfg.BucketEntries)
+	for i := range buckets {
+		buckets[i], backing = backing[:cfg.BucketEntries:cfg.BucketEntries], backing[cfg.BucketEntries:]
+	}
+	return &Index{
+		buckets:    buckets,
+		bucketMask: uint32(nb - 1),
+		numHashes:  cfg.NumHashes,
+		maxCand:    cfg.MaxCandidates,
+		seed:       cfg.Seed,
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (ix *Index) hash(f sketch.Feature, i int) uint32 {
+	var b [8]byte
+	v := uint64(f)
+	for j := 0; j < 8; j++ {
+		b[j] = byte(v >> (8 * j))
+	}
+	return uint32(murmur.Sum64(b[:], ix.seed+uint64(i)*0x9e3779b97f4a7c15)) & ix.bucketMask
+}
+
+func checksumOf(f sketch.Feature) uint16 {
+	// Fold the feature down to 16 bits; any deterministic fold works.
+	v := uint64(f)
+	return uint16(v ^ v>>16 ^ v>>32 ^ v>>48)
+}
+
+// LookupInsert finds records sharing feature f and then registers (f, ref)
+// for future lookups, mirroring the paper's combined lookup/insert pass: the
+// search walks the candidate buckets, collects checksum matches, and the new
+// entry takes the first free slot found (or evicts the least-recently-used
+// candidate entry if every slot is taken).
+//
+// The returned refs may contain false positives (checksum collisions) and
+// never contain ref itself more than the index already held it.
+func (ix *Index) LookupInsert(f sketch.Feature, ref Ref) []Ref {
+	ix.clock++
+	ix.lookups++
+	sum := checksumOf(f)
+
+	var out []Ref
+	var freeB, freeE = -1, -1 // first empty slot
+	var lruB, lruE int        // least-recently-used slot among candidates
+	lruTick := uint32(1<<32 - 1)
+	var lruMatchB, lruMatchE = -1, -1 // LRU among *matching* entries
+	lruMatchTick := uint32(1<<32 - 1)
+
+	truncated := false
+scan:
+	for i := 0; i < ix.numHashes; i++ {
+		bi := ix.hash(f, i)
+		bucket := ix.buckets[bi]
+		for ei := range bucket {
+			e := &bucket[ei]
+			if !e.used {
+				if freeB < 0 {
+					freeB, freeE = int(bi), ei
+				}
+				// An empty slot marks the end of this feature's
+				// possible placements under insertion order; stop.
+				break scan
+			}
+			if e.tick < lruTick {
+				lruTick, lruB, lruE = e.tick, int(bi), ei
+			}
+			if e.checksum == sum {
+				e.tick = ix.clock
+				out = append(out, e.ref)
+				if e.tick < lruMatchTick || lruMatchB < 0 {
+					lruMatchTick, lruMatchB, lruMatchE = e.tick, int(bi), ei
+				}
+				if len(out) >= ix.maxCand {
+					truncated = true
+					break scan
+				}
+			}
+		}
+	}
+
+	if truncated && lruMatchB >= 0 {
+		// Too many similar records for this feature: drop the
+		// least-recently-used one to bound future lookup cost.
+		ix.buckets[lruMatchB][lruMatchE] = entry{used: true, checksum: sum, ref: ref, tick: ix.clock}
+		ix.evictions++
+		ix.matches += uint64(len(out))
+		return out
+	}
+
+	if freeB >= 0 {
+		ix.buckets[freeB][freeE] = entry{used: true, checksum: sum, ref: ref, tick: ix.clock}
+		ix.occupied++
+	} else {
+		// All candidate slots full: evict the LRU entry among them.
+		ix.buckets[lruB][lruE] = entry{used: true, checksum: sum, ref: ref, tick: ix.clock}
+		ix.evictions++
+	}
+	ix.matches += uint64(len(out))
+	return out
+}
+
+// Lookup returns the records sharing feature f without modifying the index
+// contents (LRU ticks are still refreshed). Intended for tests and tools.
+func (ix *Index) Lookup(f sketch.Feature) []Ref {
+	ix.clock++
+	sum := checksumOf(f)
+	var out []Ref
+	for i := 0; i < ix.numHashes; i++ {
+		bucket := ix.buckets[ix.hash(f, i)]
+		for ei := range bucket {
+			e := &bucket[ei]
+			if !e.used {
+				return out
+			}
+			if e.checksum == sum {
+				e.tick = ix.clock
+				out = append(out, e.ref)
+				if len(out) >= ix.maxCand {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Len returns the number of occupied entries.
+func (ix *Index) Len() int { return ix.occupied }
+
+// MemoryBytes returns the index's design-size memory consumption: occupied
+// entries times the 6-byte entry size. This matches how the paper reports
+// "index memory usage".
+func (ix *Index) MemoryBytes() int64 { return int64(ix.occupied) * EntryBytes }
+
+// CapacityBytes returns the design-size memory of the fully allocated table.
+func (ix *Index) CapacityBytes() int64 {
+	return int64(len(ix.buckets)*len(ix.buckets[0])) * EntryBytes
+}
+
+// Stats reports lookup counters since construction.
+func (ix *Index) Stats() (lookups, matches, evictions uint64) {
+	return ix.lookups, ix.matches, ix.evictions
+}

@@ -1,0 +1,160 @@
+package featidx
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbdedup/internal/sketch"
+)
+
+func TestLookupInsertRoundTrip(t *testing.T) {
+	ix := New(Config{CapacityEntries: 1 << 12})
+	f := sketch.Feature(0xdeadbeefcafe)
+
+	if got := ix.LookupInsert(f, 1); len(got) != 0 {
+		t.Fatalf("first lookup returned %v, want empty", got)
+	}
+	got := ix.LookupInsert(f, 2)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("second lookup = %v, want [1]", got)
+	}
+	got = ix.LookupInsert(f, 3)
+	if len(got) != 2 {
+		t.Fatalf("third lookup = %v, want two refs", got)
+	}
+}
+
+func TestDistinctFeaturesDoNotMatch(t *testing.T) {
+	ix := New(Config{CapacityEntries: 1 << 14})
+	rng := rand.New(rand.NewSource(1))
+	// Insert 1000 distinct features, then check lookups of fresh features
+	// return (almost) nothing. Checksum false positives are possible but
+	// must be rare.
+	for i := 0; i < 1000; i++ {
+		ix.LookupInsert(sketch.Feature(rng.Uint64()), Ref(i))
+	}
+	falsePos := 0
+	for i := 0; i < 1000; i++ {
+		falsePos += len(ix.Lookup(sketch.Feature(rng.Uint64())))
+	}
+	if falsePos > 10 {
+		t.Errorf("%d false-positive matches in 1000 fresh lookups", falsePos)
+	}
+}
+
+func TestMaxCandidatesTerminatesSearch(t *testing.T) {
+	ix := New(Config{CapacityEntries: 1 << 12, MaxCandidates: 3, BucketEntries: 8})
+	f := sketch.Feature(42)
+	for i := 0; i < 10; i++ {
+		got := ix.LookupInsert(f, Ref(i))
+		if len(got) > 3 {
+			t.Fatalf("insert %d returned %d candidates, cap is 3", i, len(got))
+		}
+	}
+	if got := ix.Lookup(f); len(got) > 3 {
+		t.Fatalf("Lookup returned %d candidates, cap is 3", len(got))
+	}
+}
+
+func TestEvictionWhenFull(t *testing.T) {
+	// A tiny index must keep working under pressure, evicting LRU entries
+	// rather than failing.
+	ix := New(Config{CapacityEntries: 64, BucketEntries: 2, NumHashes: 2})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		ix.LookupInsert(sketch.Feature(rng.Uint64()), Ref(i))
+	}
+	if ix.Len() > 64 {
+		t.Fatalf("occupied %d > capacity 64", ix.Len())
+	}
+	_, _, ev := ix.Stats()
+	if ev == 0 {
+		t.Fatal("expected evictions under pressure")
+	}
+}
+
+func TestRecentEntriesSurviveEviction(t *testing.T) {
+	// LRU behaviour: after heavy churn, a feature inserted at the very
+	// end should still be findable.
+	ix := New(Config{CapacityEntries: 256, BucketEntries: 4, NumHashes: 2})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		ix.LookupInsert(sketch.Feature(rng.Uint64()), Ref(i))
+	}
+	f := sketch.Feature(0x1234567890ab)
+	ix.LookupInsert(f, 99999)
+	got := ix.Lookup(f)
+	found := false
+	for _, r := range got {
+		if r == 99999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("entry inserted last was not found immediately afterwards")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	ix := New(Config{CapacityEntries: 1 << 10})
+	if ix.MemoryBytes() != 0 {
+		t.Fatalf("empty index reports %d bytes", ix.MemoryBytes())
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		ix.LookupInsert(sketch.Feature(rng.Uint64()), Ref(i))
+	}
+	if got := ix.MemoryBytes(); got != int64(ix.Len())*EntryBytes {
+		t.Errorf("MemoryBytes = %d, want %d", got, ix.Len()*EntryBytes)
+	}
+	if ix.CapacityBytes() < ix.MemoryBytes() {
+		t.Error("capacity below occupancy")
+	}
+}
+
+func TestHighLoadFactor(t *testing.T) {
+	// With the default number of hash functions and 4-entry buckets the
+	// index should reach a high load factor before evictions begin.
+	cap := 1 << 12
+	ix := New(Config{CapacityEntries: cap, BucketEntries: 4})
+	rng := rand.New(rand.NewSource(5))
+	inserted := 0
+	for {
+		ix.LookupInsert(sketch.Feature(rng.Uint64()), Ref(inserted))
+		inserted++
+		if _, _, ev := ix.Stats(); ev > 0 {
+			break
+		}
+		if inserted > 2*cap {
+			t.Fatal("no eviction after 2x capacity inserts; occupancy bookkeeping broken?")
+		}
+	}
+	load := float64(ix.Len()) / float64(cap)
+	if load < 0.5 {
+		t.Errorf("first eviction at load factor %.2f, want >= 0.5", load)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	ix := New(Config{})
+	if ix.Len() != 0 || ix.MemoryBytes() != 0 {
+		t.Fatal("zero-config index not empty")
+	}
+	ix.LookupInsert(7, 1)
+	if got := ix.Lookup(7); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Lookup = %v, want [1]", got)
+	}
+}
+
+func BenchmarkLookupInsert(b *testing.B) {
+	ix := New(Config{CapacityEntries: 1 << 20})
+	rng := rand.New(rand.NewSource(1))
+	feats := make([]sketch.Feature, 1<<16)
+	for i := range feats {
+		feats[i] = sketch.Feature(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.LookupInsert(feats[i&(len(feats)-1)], Ref(i))
+	}
+}

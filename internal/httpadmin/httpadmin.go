@@ -1,0 +1,108 @@
+// Package httpadmin serves a node's operational state over HTTP for
+// dashboards and scripted monitoring:
+//
+//	GET /stats    node counters and byte meters   (JSON)
+//	GET /dbs      per-database dedup/governor state (JSON)
+//	GET /verify   run the online integrity scrub  (JSON; 503 on errors)
+//	GET /healthz  liveness probe                  (200 "ok")
+//	GET /         plain-text summary for humans
+package httpadmin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"dbdedup/internal/metrics"
+	"dbdedup/internal/node"
+)
+
+// Server is an HTTP admin listener bound to one node.
+type Server struct {
+	node *node.Node
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ListenAndServe starts the admin endpoint on addr.
+func ListenAndServe(n *node.Node, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpadmin: %w", err)
+	}
+	s := &Server{node: n, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/dbs", s.handleDBs)
+	mux.HandleFunc("/verify", s.handleVerify)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", s.handleIndex)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.node.Stats())
+}
+
+func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.node.DBStats())
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	rep := s.node.VerifyAll()
+	if !rep.Ok() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, rep)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	st := s.node.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "dbdedup node\n============\n")
+	fmt.Fprintf(w, "ops:      %d inserts, %d reads, %d updates, %d deletes\n",
+		st.Inserts, st.Reads, st.Updates, st.Deletes)
+	fmt.Fprintf(w, "raw:      %s\n", metrics.FormatBytes(st.RawInsertBytes))
+	fmt.Fprintf(w, "stored:   %s (%.2fx)\n", metrics.FormatBytes(st.Store.LogicalBytes),
+		metrics.Ratio(st.RawInsertBytes, st.Store.LogicalBytes))
+	fmt.Fprintf(w, "oplog:    %s (%.2fx)\n", metrics.FormatBytes(st.OplogBytes),
+		metrics.Ratio(st.RawInsertBytes, st.OplogBytes))
+	fmt.Fprintf(w, "dedup:    %d hits, index %s\n", st.Engine.Deduped,
+		metrics.FormatBytes(st.Engine.IndexMemoryBytes))
+	fmt.Fprintf(w, "wb:       %d applied, %d skipped\n", st.WritebacksApplied, st.WritebacksSkipped)
+	fmt.Fprintf(w, "\ndatabases:\n")
+	for _, d := range s.node.DBStats() {
+		verdict := "active"
+		if d.Disabled {
+			verdict = "governor-disabled"
+		}
+		fmt.Fprintf(w, "  %-12s %-18s stored %-10s window %.2fx, chains %d\n",
+			d.Name, verdict, metrics.FormatBytes(d.StoredBytes), d.WindowRatio(), d.Chains)
+	}
+	fmt.Fprintf(w, "\nendpoints: /stats /dbs /verify /healthz\n")
+}

@@ -1,0 +1,93 @@
+package httpadmin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dbdedup/internal/core"
+	"dbdedup/internal/node"
+)
+
+func testAdmin(t *testing.T) (*node.Node, *Server) {
+	t.Helper()
+	n, err := node.Open(node.Options{
+		SyncEncode: true, DisableAutoFlush: true,
+		Engine: core.Config{GovernorWindow: 1 << 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	s, err := ListenAndServe(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return n, s
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	n, s := testAdmin(t)
+	for i := 0; i < 10; i++ {
+		payload := []byte(fmt.Sprintf("versioned record content number %d, with enough body to chunk", i))
+		if err := n.Insert("wiki", fmt.Sprintf("k%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/stats")
+	if code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	var st node.Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if st.Inserts != 10 {
+		t.Errorf("stats.Inserts = %d", st.Inserts)
+	}
+
+	code, body = get(t, base+"/dbs")
+	if code != 200 || !strings.Contains(body, "wiki") {
+		t.Fatalf("dbs: %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/verify")
+	if code != 200 || !strings.Contains(body, `"Records"`) {
+		t.Fatalf("verify: %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/")
+	if code != 200 || !strings.Contains(body, "dbdedup node") || !strings.Contains(body, "wiki") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+
+	code, _ = get(t, base+"/nonexistent")
+	if code != 404 {
+		t.Fatalf("unknown path: %d, want 404", code)
+	}
+}

@@ -1,0 +1,257 @@
+// Package metrics provides the measurement plumbing the experiments use:
+// latency histograms with CDF and percentile extraction (Fig. 12b),
+// throughput-over-time series (Figs. 12a, 13b), and simple byte meters for
+// storage/network accounting (Figs. 10, 11).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram records durations in exponentially spaced buckets, cheap enough
+// for per-operation use, precise enough for 99.9th-percentile reads.
+//
+// Buckets span 1µs to ~17.9min with 16 sub-buckets per power of two.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	histSubBits = 4 // 16 sub-buckets per octave
+	histBuckets = 30 << histSubBits
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBuckets), min: math.MaxInt64}
+}
+
+// bucketOf maps a duration to its bucket: microsecond values below 16 get
+// exact buckets 0..15; above that, each power of two is split into 16
+// sub-buckets, giving <= 1/16 relative width everywhere.
+func bucketOf(d time.Duration) int {
+	us := uint64(d.Microseconds())
+	if d < 0 {
+		us = 0
+	}
+	if us < 1<<histSubBits {
+		return int(us)
+	}
+	exp := 63 - leadingZeros(us) // >= histSubBits
+	sub := (us >> (uint(exp) - histSubBits)) & ((1 << histSubBits) - 1)
+	b := (exp-histSubBits+1)<<histSubBits | int(sub)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the largest duration the bucket can hold.
+func bucketUpper(b int) time.Duration {
+	if b < 1<<histSubBits {
+		return time.Duration(b) * time.Microsecond
+	}
+	exp := b>>histSubBits + histSubBits - 1
+	sub := b & ((1 << histSubBits) - 1)
+	us := (uint64(1<<histSubBits+sub+1) << (uint(exp) - histSubBits)) - 1
+	return time.Duration(us) * time.Microsecond
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.counts[bucketOf(d)]++
+	h.total++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the average observed duration.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1), e.g.
+// Quantile(0.999) is the 99.9th-percentile latency.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	want := uint64(math.Ceil(q * float64(h.total)))
+	if want < 1 {
+		want = 1
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= want {
+			u := bucketUpper(b)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64 // fraction of observations <= Value
+}
+
+// CDF returns the latency CDF at each non-empty bucket boundary.
+func (h *Histogram) CDF() []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var seen uint64
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		pts = append(pts, CDFPoint{Value: bucketUpper(b), Fraction: float64(seen) / float64(h.total)})
+	}
+	return pts
+}
+
+// Meter is a monotonically increasing byte/op counter, safe for concurrent
+// use without locking.
+type Meter struct {
+	n atomic.Int64
+}
+
+// Add increments the meter.
+func (m *Meter) Add(n int64) { m.n.Add(n) }
+
+// Total returns the current value.
+func (m *Meter) Total() int64 { return m.n.Load() }
+
+// Series records a value per fixed time slot, for throughput-over-time
+// plots. Slot 0 starts at the Series' creation.
+type Series struct {
+	mu    sync.Mutex
+	start time.Time
+	slot  time.Duration
+	vals  []int64
+}
+
+// NewSeries returns a Series with the given slot width.
+func NewSeries(slot time.Duration) *Series {
+	return &Series{start: time.Now(), slot: slot}
+}
+
+// Add adds n to the current slot.
+func (s *Series) Add(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := int(time.Since(s.start) / s.slot)
+	for len(s.vals) <= idx {
+		s.vals = append(s.vals, 0)
+	}
+	s.vals[idx] += n
+}
+
+// Values returns a copy of the per-slot totals.
+func (s *Series) Values() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
+// SlotWidth returns the slot duration.
+func (s *Series) SlotWidth() time.Duration {
+	return s.slot
+}
+
+// Ratio formats a compression ratio (orig/compressed) defensively.
+func Ratio(orig, compressed int64) float64 {
+	if compressed <= 0 {
+		return 0
+	}
+	return float64(orig) / float64(compressed)
+}
+
+// FormatBytes renders a byte count in human units.
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// Percentiles is a convenience for sorted percentile extraction from raw
+// samples (used by tests to cross-check the histogram).
+func Percentiles(samples []time.Duration, qs ...float64) []time.Duration {
+	if len(samples) == 0 {
+		return make([]time.Duration, len(qs))
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package node
+
+import (
+	"time"
+)
+
+// CompactionOptions tunes the background space reclaimer. Backward encoding
+// rewrites records constantly (every write-back supersedes a frame), so a
+// dedup-heavy node accumulates dead bytes faster than a plain store; the
+// compactor keeps disk usage proportional to live data.
+type CompactionOptions struct {
+	// Enabled starts the background compactor.
+	Enabled bool
+	// Interval is how often the dead-space ratio is checked (default 1s).
+	Interval time.Duration
+	// TriggerRatio is the dead/disk fraction that triggers compaction
+	// (default 0.5).
+	TriggerRatio float64
+}
+
+// startCompactor launches the background compaction loop.
+func (n *Node) startCompactor(opts CompactionOptions) {
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	if opts.TriggerRatio <= 0 {
+		opts.TriggerRatio = 0.5
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(opts.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-n.stopCh:
+				return
+			case <-ticker.C:
+				st := n.store.Stats()
+				disk := n.store.DiskBytes()
+				if disk == 0 {
+					continue
+				}
+				if float64(st.DeadBytes)/float64(disk) < opts.TriggerRatio {
+					continue
+				}
+				if _, err := n.store.Compact(); err != nil {
+					// Compaction failure is not fatal — space simply
+					// stays unreclaimed until the next attempt.
+					continue
+				}
+				n.mu.Lock()
+				n.stats.Compactions++
+				n.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Compact triggers one synchronous compaction pass, returning the bytes
+// reclaimed.
+func (n *Node) Compact() (int64, error) {
+	reclaimed, err := n.store.Compact()
+	if err == nil && reclaimed > 0 {
+		n.mu.Lock()
+		n.stats.Compactions++
+		n.mu.Unlock()
+	}
+	return reclaimed, err
+}

@@ -1,0 +1,1279 @@
+// Package node implements a dbDedup DBMS node: the document store, oplog,
+// dedup engine, and caches wired together per paper §4.1 (Fig. 8).
+//
+// Inserts are stored raw and acknowledged immediately; the dedup encoder
+// runs behind a FIFO queue, off the critical path, and produces (a) the
+// forward-encoded oplog entry that replication ships and (b) backward
+// write-backs that the lossy write-back cache applies when the node is idle.
+// Reads decode through backward-delta chains, consulting the source record
+// cache. Reference counts protect every record that serves as a decode base:
+// updates to referenced records append ("stack") instead of overwriting, and
+// deletes hide instead of removing, with opportunistic chain repair on reads.
+package node
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dbdedup/internal/core"
+	"dbdedup/internal/dedupcache"
+	"dbdedup/internal/delta"
+	"dbdedup/internal/docstore"
+	"dbdedup/internal/metrics"
+	"dbdedup/internal/oplog"
+)
+
+// ErrNotFound is returned for reads/updates/deletes of absent records.
+var ErrNotFound = errors.New("node: record not found")
+
+// Options configures a node.
+type Options struct {
+	// Dir is the storage directory ("" = in-memory).
+	Dir string
+	// Engine configures the dedup engine.
+	Engine core.Config
+	// DisableDedup turns the dedup engine off entirely (the "Original"
+	// baseline configuration in Fig. 12).
+	DisableDedup bool
+	// BlockCompression enables block-level compression in the store (the
+	// "Snappy" configuration).
+	BlockCompression bool
+	// BlockSize, SegmentSize, CacheBlocks pass through to the store.
+	BlockSize, SegmentSize, CacheBlocks int
+	// OplogCapacity bounds the retained oplog entries.
+	OplogCapacity int
+	// WritebackCacheBytes bounds the lossy write-back cache (default
+	// 8 MiB; negative disables the cache, applying write-backs inline —
+	// the Fig. 13b "without write-back cache" configuration).
+	WritebackCacheBytes int64
+	// SyncEncode makes the encoder run inline with Insert instead of
+	// behind the background queue. Deterministic; used by tests and the
+	// compression-ratio experiments.
+	SyncEncode bool
+	// EncodeQueue bounds the background encode pipeline (default 1024).
+	EncodeQueue int
+	// DisableAutoFlush stops the background idle flusher; callers drive
+	// FlushWritebacks manually (experiments do).
+	DisableAutoFlush bool
+	// FlushInterval is the idle-detection period (default 10ms).
+	FlushInterval time.Duration
+	// IdleFlushBatch is how many write-backs one idle tick applies
+	// (default 64).
+	IdleFlushBatch int
+	// SimulatedAppendDelay injects per-append device latency into the
+	// store (experiments emulating slow disks).
+	SimulatedAppendDelay time.Duration
+	// Compaction configures background dead-space reclamation.
+	Compaction CompactionOptions
+}
+
+// Stats is a node-level snapshot.
+type Stats struct {
+	Store  docstore.Stats
+	Engine core.Stats
+	// RawInsertBytes is the total client payload bytes inserted.
+	RawInsertBytes int64
+	// OplogBytes is the marshalled size of all oplog entries produced —
+	// what replication would ship.
+	OplogBytes int64
+	// Inserts/Reads/Updates/Deletes count client operations.
+	Inserts, Reads, Updates, Deletes uint64
+	// WritebacksApplied / WritebacksSkipped count flush outcomes.
+	WritebacksApplied, WritebacksSkipped uint64
+	// DecodeSteps counts base fetches performed by reads.
+	DecodeSteps uint64
+	// HiddenRepaired counts hidden records spliced out of decode chains.
+	HiddenRepaired uint64
+	// Compactions counts segment compaction passes.
+	Compactions uint64
+}
+
+// Node is a single DBMS node (primary or secondary).
+type Node struct {
+	opts  Options
+	store *docstore.Store
+	log   *oplog.Log
+	eng   *core.Engine
+	wb    *dedupcache.WritebackCache
+
+	mu        sync.RWMutex
+	keys      map[string]map[string]uint64 // db -> key -> record ID
+	refcnt    map[uint64]int               // decode-base reference counts
+	version   map[uint64]uint32            // bumped on client update/delete
+	nextID    uint64
+	stats     Stats
+	latIns    *metrics.Histogram
+	latRead   *metrics.Histogram
+	recentOps int64 // ops since last idle check (idleness proxy)
+	opSeq     uint64
+	lastMut   map[uint64]uint64 // record id -> opSeq of last update/delete
+	inlineJob encodeJob         // staging slot for synchronous mode
+
+	// applyMu serialises form-changing rewrites (write-back application
+	// and hidden-chain repair) so their refcount updates stay coherent.
+	applyMu sync.Mutex
+
+	// The encode queue is unbounded and appended to under n.mu, so job
+	// order always matches the order client mutations took effect — the
+	// property oplog correctness rests on.
+	jobQueue  []encodeJob
+	jobCond   *sync.Cond
+	asyncMode bool
+
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+	closed bool
+}
+
+type encodeJob struct {
+	kind    oplog.OpType
+	db, key string
+	id      uint64
+	payload []byte
+	// version is the record's version counter at the time the mutation
+	// took effect; write-backs against this record as a base carry it so
+	// later client mutations invalidate them.
+	version uint32
+	// opSeq orders this job among all client mutations; the encoder uses
+	// it to detect sources mutated after this insert was accepted.
+	opSeq   uint64
+	barrier chan struct{} // non-nil: sentinel, closed when reached
+}
+
+// Open creates a node.
+func Open(opts Options) (*Node, error) {
+	if opts.EncodeQueue <= 0 {
+		opts.EncodeQueue = 1024
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = 10 * time.Millisecond
+	}
+	if opts.IdleFlushBatch <= 0 {
+		opts.IdleFlushBatch = 64
+	}
+	store, err := docstore.Open(docstore.Options{
+		Dir:         opts.Dir,
+		BlockSize:   opts.BlockSize,
+		Compress:    opts.BlockCompression,
+		SegmentSize: opts.SegmentSize,
+		CacheBlocks: opts.CacheBlocks,
+		AppendDelay: opts.SimulatedAppendDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		opts:    opts,
+		store:   store,
+		log:     oplog.New(opts.OplogCapacity),
+		keys:    make(map[string]map[string]uint64),
+		refcnt:  make(map[uint64]int),
+		version: make(map[uint64]uint32),
+		lastMut: make(map[uint64]uint64),
+		nextID:  1,
+		latIns:  metrics.NewHistogram(),
+		latRead: metrics.NewHistogram(),
+		stopCh:  make(chan struct{}),
+	}
+	if !opts.DisableDedup {
+		n.eng = core.NewEngine(opts.Engine, fetcher{n})
+	}
+	if opts.WritebackCacheBytes >= 0 {
+		n.wb = dedupcache.NewWritebackCache(opts.WritebackCacheBytes)
+	}
+	if err := n.recover(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	n.jobCond = sync.NewCond(&n.mu)
+	if !opts.SyncEncode {
+		n.asyncMode = true
+		n.wg.Add(1)
+		go n.encodeLoop()
+	}
+	if !opts.DisableAutoFlush && n.wb != nil {
+		n.wg.Add(1)
+		go n.flushLoop()
+	}
+	if opts.Compaction.Enabled {
+		n.startCompactor(opts.Compaction)
+	}
+	return n, nil
+}
+
+// recover rebuilds key maps and reference counts from the store.
+func (n *Node) recover() error {
+	maxID := uint64(0)
+	var rangeErr error
+	err := n.store.Range(func(rec docstore.Record) bool {
+		if rec.ID > maxID {
+			maxID = rec.ID
+		}
+		if !rec.Hidden {
+			dbm := n.keys[rec.DB]
+			if dbm == nil {
+				dbm = make(map[string]uint64)
+				n.keys[rec.DB] = dbm
+			}
+			dbm[rec.Key] = rec.ID
+		}
+		if rec.Form == docstore.FormDelta {
+			n.refcnt[rec.BaseID]++
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	n.nextID = maxID + 1
+	return rangeErr
+}
+
+// Close drains the encode queue, flushes pending write-backs, and closes
+// the store.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+
+	n.jobCond.Broadcast()
+	close(n.stopCh)
+	n.wg.Wait()
+	if n.wb != nil {
+		n.FlushWritebacks(-1)
+	}
+	return n.store.Close()
+}
+
+// Barrier waits until all encode work queued before the call has been
+// processed. Tests and experiments use it to observe a settled state.
+func (n *Node) Barrier() {
+	n.mu.Lock()
+	if !n.asyncMode || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	done := make(chan struct{})
+	n.jobQueue = append(n.jobQueue, encodeJob{barrier: done})
+	n.jobCond.Signal()
+	n.mu.Unlock()
+	<-done
+}
+
+// enqueueLocked stamps the job with its mutation order and queues it;
+// caller holds n.mu. In synchronous mode the job is returned for the caller
+// to run after releasing the lock.
+func (n *Node) enqueueLocked(job encodeJob) (encodeJob, bool) {
+	n.opSeq++
+	job.opSeq = n.opSeq
+	if !n.asyncMode {
+		return job, true
+	}
+	n.jobQueue = append(n.jobQueue, job)
+	n.jobCond.Signal()
+	return job, false
+}
+
+// ---------------------------------------------------------------- client ops
+
+// Insert stores a new record under (db, key). The record is durable (modulo
+// block buffering) when Insert returns; dedup encoding happens behind it.
+func (n *Node) Insert(db, key string, payload []byte) error {
+	start := time.Now()
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("node: closed")
+	}
+	dbm := n.keys[db]
+	if dbm == nil {
+		dbm = make(map[string]uint64)
+		n.keys[db] = dbm
+	}
+	if _, exists := dbm[key]; exists {
+		n.mu.Unlock()
+		return fmt.Errorf("node: duplicate key %q/%q", db, key)
+	}
+	id := n.nextID
+	n.nextID++
+	dbm[key] = id
+	n.stats.Inserts++
+	n.stats.RawInsertBytes += int64(len(payload))
+	n.recentOps++
+	ver := n.version[id]
+
+	// Store the record raw (paper: new records are always stored in
+	// original form; backward encoding touches older records) and queue
+	// its encode job inside the same critical section, so the record is
+	// readable the moment the key is visible and the oplog order matches
+	// the mutation order.
+	cp := append([]byte(nil), payload...)
+	if err := n.store.Append(docstore.Record{ID: id, DB: db, Key: key, Payload: cp}); err != nil {
+		delete(dbm, key)
+		n.mu.Unlock()
+		return err
+	}
+	job, inline := n.enqueueLocked(encodeJob{kind: oplog.OpInsert, db: db, key: key, id: id, payload: cp, version: ver})
+	n.mu.Unlock()
+
+	if inline {
+		n.process(job)
+	}
+	n.latIns.Observe(time.Since(start))
+	return nil
+}
+
+// Update overwrites the record's visible content.
+func (n *Node) Update(db, key string, payload []byte) error {
+	job, inline, err := n.updateLocalEmit(db, key, payload, true)
+	if err != nil {
+		return err
+	}
+	if inline {
+		n.process(job)
+	}
+	return nil
+}
+
+// updateLocal performs the storage-side update without emitting an oplog
+// entry (the replication apply path).
+func (n *Node) updateLocal(db, key string, payload []byte) error {
+	_, _, err := n.updateLocalEmit(db, key, payload, false)
+	return err
+}
+
+// updateLocalEmit performs the update and, when emit is set, queues the
+// oplog job in the same critical section as the version bump so entry order
+// matches mutation order.
+func (n *Node) updateLocalEmit(db, key string, payload []byte, emit bool) (encodeJob, bool, error) {
+	var job encodeJob
+	inline := false
+	n.mu.Lock()
+	id, ok := n.lookup(db, key)
+	if !ok {
+		n.mu.Unlock()
+		return job, false, ErrNotFound
+	}
+	n.version[id]++
+	n.stats.Updates++
+	n.recentOps++
+	refs := n.refcnt[id]
+	if emit {
+		job, inline = n.enqueueLocked(encodeJob{kind: oplog.OpUpdate, db: db, key: key,
+			id: id, payload: append([]byte(nil), payload...)})
+	} else {
+		n.opSeq++
+	}
+	n.lastMut[id] = n.opSeq
+	n.mu.Unlock()
+
+	// A pending deferred write-back must never clobber fresh client data.
+	if n.wb != nil {
+		n.wb.Invalidate(id)
+	}
+	// The cached decode/dedup-source content is stale now.
+	if n.eng != nil && n.eng.SourceCache() != nil {
+		n.eng.SourceCache().Remove(id)
+	}
+
+	cp := append([]byte(nil), payload...)
+	if refs == 0 {
+		// Nobody decodes through this record: plain overwrite. If the
+		// old form was a delta, its base loses a reference.
+		var oldBase uint64
+		hadBase := false
+		if m, okM := n.store.Meta(id); okM && m.Form == docstore.FormDelta {
+			oldBase, hadBase = m.BaseID, true
+		}
+		if err := n.store.Append(docstore.Record{ID: id, DB: db, Key: key, Payload: cp}); err != nil {
+			return job, inline, err
+		}
+		if hadBase {
+			n.releaseRef(oldBase)
+		}
+	} else {
+		// Referenced: keep the stored form intact as section 0 and
+		// stack the update on top (paper §4.1, Update).
+		rec, okRec, err := n.store.Get(id)
+		if err != nil {
+			return job, inline, err
+		}
+		if !okRec {
+			return job, inline, ErrNotFound
+		}
+		var stacked []byte
+		if rec.Stacked {
+			// Replace the visible (last) section.
+			sections, err := splitSections(rec.Payload)
+			if err != nil {
+				return job, inline, err
+			}
+			sections[len(sections)-1] = cp
+			stacked = joinSections(sections)
+		} else {
+			stacked = joinSections([][]byte{rec.Payload, cp})
+		}
+		rec.Stacked = true
+		rec.Payload = stacked
+		if err := n.store.Append(rec); err != nil {
+			return job, inline, err
+		}
+	}
+	return job, inline, nil
+}
+
+// Delete removes the record from the client's view. If other records decode
+// through it, it is hidden rather than destroyed and reclaimed later.
+func (n *Node) Delete(db, key string) error {
+	job, inline, err := n.deleteLocalEmit(db, key, true)
+	if err != nil {
+		return err
+	}
+	if inline {
+		n.process(job)
+	}
+	return nil
+}
+
+// deleteLocal performs the storage-side delete without emitting an oplog
+// entry (the replication apply path).
+func (n *Node) deleteLocal(db, key string) error {
+	_, _, err := n.deleteLocalEmit(db, key, false)
+	return err
+}
+
+func (n *Node) deleteLocalEmit(db, key string, emit bool) (encodeJob, bool, error) {
+	var job encodeJob
+	inline := false
+	n.mu.Lock()
+	id, ok := n.lookup(db, key)
+	if !ok {
+		n.mu.Unlock()
+		return job, false, ErrNotFound
+	}
+	delete(n.keys[db], key)
+	n.version[id]++
+	n.stats.Deletes++
+	n.recentOps++
+	refs := n.refcnt[id]
+	if emit {
+		job, inline = n.enqueueLocked(encodeJob{kind: oplog.OpDelete, db: db, key: key, id: id})
+	} else {
+		n.opSeq++
+	}
+	n.lastMut[id] = n.opSeq
+	n.mu.Unlock()
+
+	if n.wb != nil {
+		n.wb.Invalidate(id)
+	}
+	if n.eng != nil && n.eng.SourceCache() != nil {
+		n.eng.SourceCache().Remove(id)
+	}
+
+	if refs == 0 {
+		if err := n.reclaim(id); err != nil {
+			return job, inline, err
+		}
+	} else {
+		rec, okRec, err := n.store.Get(id)
+		if err != nil {
+			return job, inline, err
+		}
+		if okRec {
+			rec.Hidden = true
+			if err := n.store.Append(rec); err != nil {
+				return job, inline, err
+			}
+		}
+	}
+	return job, inline, nil
+}
+
+// reclaim removes record id from the store and releases its base reference,
+// cascading into hidden bases whose last reference disappears and compacting
+// stacked ones. It acquires applyMu; use reclaimLocked when already holding
+// it.
+func (n *Node) reclaim(id uint64) error {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	return n.reclaimLocked(id)
+}
+
+func (n *Node) reclaimLocked(id uint64) error {
+	for {
+		rec, ok, err := n.store.Get(id)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := n.store.Delete(id); err != nil {
+			return err
+		}
+		n.mu.Lock()
+		// Note: the version entry is retained (not deleted) so pending
+		// write-backs that name this record as base keep failing their
+		// version check.
+		var nextID uint64
+		freed := false
+		if rec.Form == docstore.FormDelta {
+			n.refcnt[rec.BaseID]--
+			if n.refcnt[rec.BaseID] <= 0 {
+				delete(n.refcnt, rec.BaseID)
+				nextID = rec.BaseID
+				freed = true
+			}
+		}
+		n.mu.Unlock()
+		if !freed {
+			return nil
+		}
+		m, okMeta := n.store.Meta(nextID)
+		switch {
+		case okMeta && m.Hidden:
+			id = nextID // cascade into the deleted base
+		case okMeta && m.Stacked:
+			n.compactStackedLocked(nextID)
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// Read returns the record's visible content.
+func (n *Node) Read(db, key string) ([]byte, error) {
+	start := time.Now()
+	n.mu.Lock()
+	id, ok := n.lookup(db, key)
+	n.stats.Reads++
+	n.recentOps++
+	n.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	content, err := n.decodeVisible(id)
+	if err != nil {
+		return nil, err
+	}
+	n.latRead.Observe(time.Since(start))
+	return content, nil
+}
+
+// lookup requires n.mu held.
+func (n *Node) lookup(db, key string) (uint64, bool) {
+	dbm, ok := n.keys[db]
+	if !ok {
+		return 0, false
+	}
+	id, ok := dbm[key]
+	return id, ok
+}
+
+// Has reports whether (db, key) exists.
+func (n *Node) Has(db, key string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.lookup(db, key)
+	return ok
+}
+
+// ------------------------------------------------------------------- encode
+
+// process runs the dedup workflow for one queued mutation and emits its
+// oplog entry. It runs on the encode goroutine (or inline with SyncEncode).
+func (n *Node) process(job encodeJob) {
+	switch job.kind {
+	case oplog.OpInsert:
+		n.processInsert(job)
+	case oplog.OpUpdate:
+		e := oplog.Entry{TS: time.Now().UnixNano(), Op: oplog.OpUpdate,
+			DB: job.db, Key: job.key, Payload: job.payload}
+		n.appendOplog(e)
+	case oplog.OpDelete:
+		e := oplog.Entry{TS: time.Now().UnixNano(), Op: oplog.OpDelete,
+			DB: job.db, Key: job.key}
+		n.appendOplog(e)
+	}
+}
+
+func (n *Node) processInsert(job encodeJob) {
+	entry := oplog.Entry{TS: time.Now().UnixNano(), Op: oplog.OpInsert,
+		DB: job.db, Key: job.key, Form: oplog.FormRaw, Payload: job.payload}
+
+	n.mu.RLock()
+	alreadyMutated := n.version[job.id] != job.version || n.lastMut[job.id] > job.opSeq
+	n.mu.RUnlock()
+	if n.eng != nil && !alreadyMutated {
+		res, err := n.eng.Encode(job.db, job.id, job.payload)
+		// If the record was client-mutated while encoding, the engine
+		// may have cached its stale insert payload as a dedup source;
+		// scrub it. The content-verifying write-back guard below makes
+		// any remaining staleness harmless.
+		n.mu.RLock()
+		mutatedDuring := n.version[job.id] != job.version
+		n.mu.RUnlock()
+		if mutatedDuring && n.eng.SourceCache() != nil {
+			n.eng.SourceCache().Remove(job.id)
+		}
+		if err == nil && res.Deduped {
+			// The forward delta was computed against the source's
+			// *current* content. The secondary decodes it against the
+			// source content as of this entry's position in the oplog,
+			// so if the source was client-mutated after this insert was
+			// accepted, the two differ: ship raw instead. The local
+			// write-backs stay valid (they are version-guarded).
+			n.mu.RLock()
+			srcMutatedSince := n.lastMut[res.SourceID] > job.opSeq
+			n.mu.RUnlock()
+			srcKey, ok := n.keyOf(res.SourceID)
+			if ok && !srcMutatedSince {
+				entry.Form = oplog.FormDelta
+				entry.BaseKey = srcKey
+				entry.Payload = res.Forward.Marshal()
+			}
+			n.queueWritebacks(res.Writebacks, job.id, job.version)
+		}
+	}
+	n.appendOplog(entry)
+}
+
+// keyOf returns the client key of record id (hidden records excluded).
+func (n *Node) keyOf(id uint64) (string, bool) {
+	m, ok := n.store.Meta(id)
+	if !ok || m.Hidden {
+		return "", false
+	}
+	return m.Key, true
+}
+
+func (n *Node) appendOplog(e oplog.Entry) {
+	n.log.Append(e)
+	n.mu.Lock()
+	n.stats.OplogBytes += int64(e.MarshalledSize())
+	n.mu.Unlock()
+}
+
+// queueWritebacks routes the engine's write-back decisions through the lossy
+// cache (or applies them inline when the cache is disabled). newID/newVer
+// identify the just-inserted record and its version at insert time: deltas
+// were computed against its insert payload, so client mutations to it in
+// the meantime (version[newID] != newVer) must invalidate them — the stored
+// version guard captures exactly that.
+func (n *Node) queueWritebacks(wbs []core.Writeback, newID uint64, newVer uint32) {
+	for _, wb := range wbs {
+		n.mu.RLock()
+		ver := n.version[wb.ID]
+		baseVer := n.version[wb.Base]
+		if wb.Base == newID {
+			baseVer = newVer
+		}
+		n.mu.RUnlock()
+		payload := encodeWritebackPayload(wb, ver, baseVer)
+		if n.wb == nil {
+			n.applyWriteback(wb.ID, payload)
+			continue
+		}
+		n.wb.Add(dedupcache.Writeback{ID: wb.ID, Payload: payload, Saving: wb.EstimatedSaving})
+	}
+}
+
+// Write-back payloads carry (base, version-of-record, version-of-base,
+// delta) so the flusher can validate, long after the encode decision, that
+// neither the record nor the content it would decode from has been changed
+// by the client in the meantime.
+func encodeWritebackPayload(wb core.Writeback, version, baseVersion uint32) []byte {
+	out := binary.AppendUvarint(nil, wb.Base)
+	out = binary.AppendUvarint(out, uint64(version))
+	out = binary.AppendUvarint(out, uint64(baseVersion))
+	return append(out, wb.Delta.Marshal()...)
+}
+
+func decodeWritebackPayload(p []byte) (base uint64, version, baseVersion uint32, deltaBytes []byte, err error) {
+	base, k := binary.Uvarint(p)
+	if k <= 0 {
+		return 0, 0, 0, nil, errors.New("node: bad write-back payload")
+	}
+	p = p[k:]
+	v, k := binary.Uvarint(p)
+	if k <= 0 {
+		return 0, 0, 0, nil, errors.New("node: bad write-back payload")
+	}
+	p = p[k:]
+	bv, k := binary.Uvarint(p)
+	if k <= 0 {
+		return 0, 0, 0, nil, errors.New("node: bad write-back payload")
+	}
+	return base, uint32(v), uint32(bv), p[k:], nil
+}
+
+// FlushWritebacks applies up to max pending write-backs (all of them when
+// max < 0), returning how many were applied.
+func (n *Node) FlushWritebacks(max int) int {
+	if n.wb == nil {
+		return 0
+	}
+	if max < 0 {
+		max = n.wb.Len()
+	}
+	applied := 0
+	for _, wb := range n.wb.DrainBest(max) {
+		if n.applyWriteback(wb.ID, wb.Payload) {
+			applied++
+		}
+	}
+	return applied
+}
+
+// PendingWritebacks returns the size of the write-back backlog.
+func (n *Node) PendingWritebacks() int {
+	if n.wb == nil {
+		return 0
+	}
+	return n.wb.Len()
+}
+
+// applyWriteback replaces record id's stored form with the backward delta,
+// unless the record — or the base it would decode from — changed since the
+// delta was computed. Skipping is always safe: the record just stays in its
+// older, larger form (the "lossy" property of §3.3.2).
+func (n *Node) applyWriteback(id uint64, payload []byte) bool {
+	base, ver, baseVer, deltaBytes, err := decodeWritebackPayload(payload)
+	if err != nil {
+		return false
+	}
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+
+	n.mu.Lock()
+	if n.version[id] != ver || n.version[base] != baseVer {
+		n.stats.WritebacksSkipped++
+		n.mu.Unlock()
+		return false
+	}
+	n.mu.Unlock()
+
+	rec, ok, err := n.store.Get(id)
+	if err != nil || !ok {
+		return false
+	}
+	if rec.Stacked || rec.Hidden {
+		// Changed shape since encode; leave it alone (lossy is fine).
+		n.mu.Lock()
+		n.stats.WritebacksSkipped++
+		n.mu.Unlock()
+		return false
+	}
+	oldForm, oldBase := rec.Form, rec.BaseID
+
+	// End-to-end guard: the re-encoding must reproduce exactly the
+	// content this record currently decodes to. The version checks above
+	// are fast-path filters; this catches every residual staleness
+	// (e.g. a delta computed from a cache entry that a concurrent client
+	// mutation invalidated mid-encode). Skipping costs only compression.
+	cur, err := n.decodeBaseNoRepair(id)
+	if err != nil {
+		return false
+	}
+	baseContent, err := n.decodeBaseNoRepair(base)
+	if err != nil {
+		n.mu.Lock()
+		n.stats.WritebacksSkipped++
+		n.mu.Unlock()
+		return false
+	}
+	d, err := delta.Unmarshal(deltaBytes)
+	if err != nil {
+		return false
+	}
+	reconstructed, err := delta.Apply(baseContent, d)
+	if err != nil || !bytesEqual(reconstructed, cur) {
+		n.mu.Lock()
+		n.stats.WritebacksSkipped++
+		n.mu.Unlock()
+		return false
+	}
+
+	rec.Form = docstore.FormDelta
+	rec.BaseID = base
+	rec.Payload = deltaBytes
+	if err := n.store.Append(rec); err != nil {
+		return false
+	}
+
+	n.mu.Lock()
+	n.refcnt[base]++
+	n.stats.WritebacksApplied++
+	n.mu.Unlock()
+	if oldForm == docstore.FormDelta {
+		n.releaseRefLocked(oldBase)
+	}
+	return true
+}
+
+// releaseRef decrements a base's reference count. A record that becomes
+// unreferenced is reclaimed if the client had deleted it (hidden), or
+// compacted back to plain form if it carries stacked client updates
+// (paper §4.1: "when the reference count reaches zero, dbDedup compacts all
+// the updates to the record and replaces it with the new data").
+// It acquires applyMu; use releaseRefLocked when already holding it.
+func (n *Node) releaseRef(baseID uint64) {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.releaseRefLocked(baseID)
+}
+
+func (n *Node) releaseRefLocked(baseID uint64) {
+	n.mu.Lock()
+	n.refcnt[baseID]--
+	gone := n.refcnt[baseID] <= 0
+	if gone {
+		delete(n.refcnt, baseID)
+	}
+	n.mu.Unlock()
+	if !gone {
+		return
+	}
+	m, ok := n.store.Meta(baseID)
+	if !ok {
+		return
+	}
+	switch {
+	case m.Hidden:
+		n.reclaimLocked(baseID)
+	case m.Stacked:
+		n.compactStackedLocked(baseID)
+	}
+}
+
+// compactStackedLocked rewrites an unreferenced stacked record as a plain
+// raw record holding its visible content. Caller holds applyMu.
+func (n *Node) compactStackedLocked(id uint64) {
+	n.mu.RLock()
+	refs := n.refcnt[id]
+	n.mu.RUnlock()
+	if refs > 0 {
+		return // re-referenced concurrently
+	}
+	rec, ok, err := n.store.Get(id)
+	if err != nil || !ok || !rec.Stacked {
+		return
+	}
+	sections, err := splitSections(rec.Payload)
+	if err != nil {
+		return
+	}
+	visible := sections[len(sections)-1]
+	oldForm, oldBase := rec.Form, rec.BaseID
+	rec.Stacked = false
+	rec.Form = docstore.FormRaw
+	rec.BaseID = 0
+	rec.Payload = append([]byte(nil), visible...)
+	if err := n.store.Append(rec); err != nil {
+		return
+	}
+	if oldForm == docstore.FormDelta {
+		n.releaseRefLocked(oldBase)
+	}
+}
+
+func (n *Node) encodeLoop() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		for len(n.jobQueue) == 0 && !n.closed {
+			n.jobCond.Wait()
+		}
+		if len(n.jobQueue) == 0 && n.closed {
+			n.mu.Unlock()
+			return
+		}
+		job := n.jobQueue[0]
+		n.jobQueue = n.jobQueue[1:]
+		n.mu.Unlock()
+		if job.barrier != nil {
+			close(job.barrier)
+			continue
+		}
+		n.process(job)
+	}
+}
+
+// flushLoop applies write-backs when the node looks idle (the paper's I/O
+// queue length signal; our proxy is the client op rate plus the encode
+// queue depth).
+func (n *Node) flushLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+			n.mu.Lock()
+			busy := n.recentOps > 4
+			n.recentOps = 0
+			n.mu.Unlock()
+			if busy {
+				continue
+			}
+			n.mu.Lock()
+			backlog := len(n.jobQueue)
+			n.mu.Unlock()
+			if backlog > 0 {
+				continue
+			}
+			n.FlushWritebacks(n.opts.IdleFlushBatch)
+		}
+	}
+}
+
+// ------------------------------------------------------------------- decode
+
+// fetcher adapts the node to core.Fetcher. The engine needs the content a
+// delta against this record would decode from — the record's base content
+// (original, pre-stacked-update).
+type fetcher struct{ n *Node }
+
+func (f fetcher) FetchDecoded(id uint64) ([]byte, error) {
+	return f.n.decodeBase(id)
+}
+
+// decodeVisible returns what a client read of record id yields.
+func (n *Node) decodeVisible(id uint64) ([]byte, error) {
+	rec, ok, err := n.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || rec.Hidden {
+		return nil, ErrNotFound
+	}
+	if rec.Stacked {
+		sections, err := splitSections(rec.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return sections[len(sections)-1], nil
+	}
+	return n.decodeRecord(rec, true)
+}
+
+// decodeBase returns the content other records decode through: the original
+// content, ignoring stacked client updates.
+func (n *Node) decodeBase(id uint64) ([]byte, error) {
+	rec, ok, err := n.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("node: decode base %d missing", id)
+	}
+	if rec.Stacked {
+		sections, err := splitSections(rec.Payload)
+		if err != nil {
+			return nil, err
+		}
+		rec.Payload = sections[0]
+		rec.Stacked = false
+	}
+	return n.decodeRecord(rec, true)
+}
+
+// decodeBaseNoRepair is decodeBase without opportunistic chain repair, for
+// use while already holding applyMu.
+func (n *Node) decodeBaseNoRepair(id uint64) ([]byte, error) {
+	rec, ok, err := n.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("node: decode base %d missing", id)
+	}
+	if rec.Stacked {
+		sections, err := splitSections(rec.Payload)
+		if err != nil {
+			return nil, err
+		}
+		rec.Payload = sections[0]
+		rec.Stacked = false
+	}
+	return n.decodeRecord(rec, false)
+}
+
+// decodeRecord resolves rec's delta chain. rec.Payload must already be the
+// record's own stored form (section 0 for stacked records).
+func (n *Node) decodeRecord(rec docstore.Record, allowRepair bool) ([]byte, error) {
+	if rec.Form == docstore.FormRaw {
+		return rec.Payload, nil
+	}
+	// Walk the chain collecting deltas until a decodable base is found.
+	type step struct {
+		id      uint64
+		d       delta.Delta
+		isHid   bool
+		content []byte // filled during the apply pass
+	}
+	var steps []step
+	var baseContent []byte
+	baseID := uint64(0)
+	baseHidden := false
+	baseFromCache := false
+	cur := rec
+	for {
+		d, err := delta.Unmarshal(cur.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("node: record %d: %w", cur.ID, err)
+		}
+		steps = append(steps, step{id: cur.ID, d: d, isHid: cur.Hidden})
+		baseID = cur.BaseID
+
+		// Source record cache: a decoded base short-circuits the walk.
+		if n.eng != nil && n.eng.SourceCache() != nil {
+			if c, ok := n.eng.SourceCache().Get(baseID); ok {
+				// Cached content is the record's base content only
+				// when it has no stacked updates.
+				if m, okM := n.store.Meta(baseID); okM && !m.Stacked {
+					baseContent = c
+					baseHidden = m.Hidden
+					baseFromCache = true
+					break
+				}
+			}
+		}
+
+		next, ok, err := n.store.Get(baseID)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("node: record %d: base %d missing", cur.ID, baseID)
+		}
+		n.mu.Lock()
+		n.stats.DecodeSteps++
+		n.mu.Unlock()
+		if next.Stacked {
+			sections, err := splitSections(next.Payload)
+			if err != nil {
+				return nil, err
+			}
+			next.Payload = sections[0]
+			next.Stacked = false
+		}
+		if next.Form == docstore.FormRaw {
+			baseContent = next.Payload
+			baseHidden = next.Hidden
+			break
+		}
+		cur = next
+		if len(steps) > 1<<20 {
+			return nil, errors.New("node: decode chain cycle")
+		}
+	}
+
+	// Apply the deltas from the base outward, keeping each intermediate
+	// content for potential chain repair.
+	content := baseContent
+	for i := len(steps) - 1; i >= 0; i-- {
+		var err error
+		content, err = delta.Apply(content, steps[i].d)
+		if err != nil {
+			return nil, fmt.Errorf("node: applying delta for record %d: %w", steps[i].id, err)
+		}
+		steps[i].content = content
+	}
+
+	// Opportunistic repair (paper §4.1, Garbage Collection): the first
+	// hidden record on the path gets spliced out by re-binding its
+	// dependant directly to the record behind it (or to raw form when
+	// the hidden record terminates the chain).
+	if !allowRepair {
+		return content, nil
+	}
+	if !baseFromCache || !baseHidden {
+		for i := 0; i+1 < len(steps); i++ {
+			if steps[i+1].isHid {
+				n.repairPastHidden(steps[i].id, steps[i+1].id, steps[i].content, steps[i+1].content)
+				baseHidden = false // at most one repair per read
+				break
+			}
+		}
+	}
+	if baseHidden && len(steps) > 0 {
+		last := steps[len(steps)-1]
+		n.repairPastHidden(last.id, baseID, last.content, nil)
+	}
+	return content, nil
+}
+
+// repairPastHidden re-binds record depID (whose decoded content is
+// depContent) past the hidden record hidID: to hidID's own base when hidID
+// is delta-encoded, or back to raw form when hidID terminates the chain.
+// hidContent is hidID's decoded content when known (nil otherwise). One
+// reference to hidID is released, eventually reclaiming it.
+func (n *Node) repairPastHidden(depID, hidID uint64, depContent, hidContent []byte) {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+
+	// Re-verify under the lock: the dependant must still decode through
+	// the hidden record, and the hidden record must still be hidden.
+	depMeta, ok := n.store.Meta(depID)
+	if !ok || depMeta.Form != docstore.FormDelta || depMeta.BaseID != hidID {
+		return
+	}
+	hidMeta, ok := n.store.Meta(hidID)
+	if !ok || !hidMeta.Hidden {
+		return
+	}
+	dep, ok, err := n.store.Get(depID)
+	if err != nil || !ok {
+		return
+	}
+
+	var newPayload []byte
+	newForm := docstore.FormRaw
+	var newBaseID uint64
+	if hidMeta.Form == docstore.FormDelta {
+		// Splice: delta the dependant directly against the hidden
+		// record's own base.
+		hidRec, okH, errH := n.store.Get(hidID)
+		if errH != nil || !okH {
+			return
+		}
+		newBaseID = hidRec.BaseID
+		baseContent, err := n.decodeBaseNoRepair(newBaseID)
+		if err != nil {
+			return
+		}
+		d := delta.Compress(baseContent, depContent, delta.Options{})
+		newPayload = d.Marshal()
+		newForm = docstore.FormDelta
+	} else {
+		// The hidden record terminates the chain: the dependant goes
+		// back to raw form.
+		newPayload = append([]byte(nil), depContent...)
+	}
+	_ = hidContent
+
+	if dep.Stacked {
+		sections, err := splitSections(dep.Payload)
+		if err != nil {
+			return
+		}
+		sections[0] = newPayload
+		dep.Payload = joinSections(sections)
+	} else {
+		dep.Payload = newPayload
+	}
+	dep.Form = newForm
+	dep.BaseID = newBaseID
+	if err := n.store.Append(dep); err != nil {
+		return
+	}
+	n.mu.Lock()
+	if newForm == docstore.FormDelta {
+		n.refcnt[newBaseID]++
+	}
+	n.stats.HiddenRepaired++
+	n.mu.Unlock()
+	n.releaseRefLocked(hidID)
+}
+
+// ------------------------------------------------------------------ getters
+
+// Oplog exposes the node's operation log to the replication layer.
+func (n *Node) Oplog() *oplog.Log { return n.log }
+
+// Engine exposes the dedup engine (nil when dedup is disabled).
+func (n *Node) Engine() *core.Engine { return n.eng }
+
+// Store exposes the underlying record store.
+func (n *Node) Store() *docstore.Store { return n.store }
+
+// InsertLatency and ReadLatency expose the client latency histograms.
+func (n *Node) InsertLatency() *metrics.Histogram { return n.latIns }
+func (n *Node) ReadLatency() *metrics.Histogram   { return n.latRead }
+
+// Stats returns a node snapshot.
+func (n *Node) Stats() Stats {
+	n.mu.RLock()
+	s := n.stats
+	n.mu.RUnlock()
+	s.Store = n.store.Stats()
+	if n.eng != nil {
+		s.Engine = n.eng.Stats()
+	}
+	return s
+}
+
+// DBStats returns the engine's per-database partitions (nil when dedup is
+// disabled).
+func (n *Node) DBStats() []core.DBStats {
+	if n.eng == nil {
+		return nil
+	}
+	stats := n.eng.DBStats()
+	for i := range stats {
+		stats[i].StoredBytes = n.store.DBLogicalBytes(stats[i].Name)
+	}
+	return stats
+}
+
+// RefCount returns the decode-base reference count of (db, key)'s record.
+func (n *Node) RefCount(db, key string) int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	id, ok := n.lookup(db, key)
+	if !ok {
+		return 0
+	}
+	return n.refcnt[id]
+}
+
+// ------------------------------------------------------------- stacked utils
+
+func splitSections(p []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(p) > 0 {
+		l, k := binary.Uvarint(p)
+		if k <= 0 || uint64(len(p)-k) < l {
+			return nil, errors.New("node: corrupt stacked payload")
+		}
+		out = append(out, p[k:k+int(l)])
+		p = p[k+int(l):]
+	}
+	if len(out) == 0 {
+		return nil, errors.New("node: empty stacked payload")
+	}
+	return out, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinSections(sections [][]byte) []byte {
+	var out []byte
+	for _, s := range sections {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	return out
+}

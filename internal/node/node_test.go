@@ -1,0 +1,531 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbdedup/internal/chain"
+	"dbdedup/internal/core"
+	"dbdedup/internal/docstore"
+	"dbdedup/internal/oplog"
+)
+
+func testNode(t *testing.T, opts Options) *Node {
+	t.Helper()
+	if opts.Engine.GovernorWindow == 0 {
+		opts.Engine.GovernorWindow = 1 << 30 // keep the governor quiet in unit tests
+	}
+	opts.SyncEncode = true
+	opts.DisableAutoFlush = true
+	n, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func prose(rng *rand.Rand, n int) []byte {
+	words := []string{"the", "record", "database", "version", "of", "and",
+		"revision", "content", "chunk", "update", "a", "delta", "system"}
+	var buf bytes.Buffer
+	for buf.Len() < n {
+		buf.WriteString(words[rng.Intn(len(words))])
+		buf.WriteByte(' ')
+	}
+	return buf.Bytes()[:n]
+}
+
+func editText(rng *rand.Rand, data []byte, k int) []byte {
+	out := append([]byte(nil), data...)
+	for i := 0; i < k; i++ {
+		pos := rng.Intn(len(out) - 20)
+		copy(out[pos:], prose(rng, 12))
+	}
+	return append(out, prose(rng, 30+rng.Intn(80))...)
+}
+
+func TestInsertRead(t *testing.T) {
+	n := testNode(t, Options{})
+	payload := []byte("hello dbdedup world, a record large enough to not be trivial")
+	if err := n.Insert("db", "k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Read("db", "k1")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	if _, err := n.Read("db", "missing"); err != ErrNotFound {
+		t.Fatalf("missing read err = %v", err)
+	}
+	if err := n.Insert("db", "k1", payload); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+}
+
+// insertChain inserts nVersions successive revisions and returns their
+// contents, keyed vN.
+func insertChain(t *testing.T, n *Node, db string, nVersions int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	content := prose(rng, 8192)
+	var all [][]byte
+	for i := 0; i < nVersions; i++ {
+		if err := n.Insert(db, fmt.Sprintf("v%d", i), content); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, content)
+		content = editText(rng, content, 2)
+	}
+	return all
+}
+
+func TestVersionChainRoundTrip(t *testing.T) {
+	n := testNode(t, Options{})
+	versions := insertChain(t, n, "wiki", 30, 1)
+	// Apply all write-backs, then verify every version decodes.
+	n.FlushWritebacks(-1)
+	for i, want := range versions {
+		got, err := n.Read("wiki", fmt.Sprintf("v%d", i))
+		if err != nil {
+			t.Fatalf("v%d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("v%d: content mismatch after backward encoding", i)
+		}
+	}
+}
+
+func TestStorageShrinksWithDedup(t *testing.T) {
+	dedup := testNode(t, Options{})
+	orig := testNode(t, Options{DisableDedup: true})
+	for _, n := range []*Node{dedup, orig} {
+		insertChain(t, n, "wiki", 40, 2)
+		n.FlushWritebacks(-1)
+	}
+	ds, os := dedup.Stats(), orig.Stats()
+	if ds.RawInsertBytes != os.RawInsertBytes {
+		t.Fatalf("raw bytes differ: %d vs %d", ds.RawInsertBytes, os.RawInsertBytes)
+	}
+	if ds.Store.LogicalBytes*4 > os.Store.LogicalBytes {
+		t.Errorf("dedup logical bytes %d not far below original %d",
+			ds.Store.LogicalBytes, os.Store.LogicalBytes)
+	}
+	if ds.OplogBytes*4 > os.OplogBytes {
+		t.Errorf("dedup oplog bytes %d not far below original %d",
+			ds.OplogBytes, os.OplogBytes)
+	}
+}
+
+func TestReadLatestNeedsNoDecode(t *testing.T) {
+	n := testNode(t, Options{})
+	versions := insertChain(t, n, "wiki", 20, 3)
+	n.FlushWritebacks(-1)
+	before := n.Stats().DecodeSteps
+	got, err := n.Read("wiki", "v19")
+	if err != nil || !bytes.Equal(got, versions[19]) {
+		t.Fatal("latest read failed")
+	}
+	if after := n.Stats().DecodeSteps; after != before {
+		t.Errorf("reading the newest record performed %d decode steps, want 0", after-before)
+	}
+}
+
+func TestUpdateUnreferencedOverwrites(t *testing.T) {
+	n := testNode(t, Options{})
+	n.Insert("db", "k", []byte("original content that is long enough to matter"))
+	if err := n.Update("db", "k", []byte("replaced content")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Read("db", "k")
+	if err != nil || string(got) != "replaced content" {
+		t.Fatalf("Read after update = %q, %v", got, err)
+	}
+	if err := n.Update("db", "missing", []byte("x")); err != ErrNotFound {
+		t.Fatalf("update missing err = %v", err)
+	}
+}
+
+func TestUpdateReferencedRecordPreservesDecoding(t *testing.T) {
+	n := testNode(t, Options{})
+	versions := insertChain(t, n, "wiki", 5, 4)
+	n.FlushWritebacks(-1)
+	// v4 is the raw head; v3 is encoded against it... but update v4
+	// (referenced by v3) and check v3 still decodes and v4 reads new.
+	if rc := n.RefCount("wiki", "v4"); rc == 0 {
+		t.Fatal("test premise broken: head not referenced")
+	}
+	newContent := []byte("completely new content after client update")
+	if err := n.Update("wiki", "v4", newContent); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Read("wiki", "v4")
+	if err != nil || !bytes.Equal(got, newContent) {
+		t.Fatalf("updated record reads %q, %v", got, err)
+	}
+	got, err = n.Read("wiki", "v3")
+	if err != nil || !bytes.Equal(got, versions[3]) {
+		t.Fatal("record decoding through an updated base broke")
+	}
+}
+
+func TestUpdateInvalidatesPendingWriteback(t *testing.T) {
+	n := testNode(t, Options{})
+	insertChain(t, n, "wiki", 5, 5)
+	// v3's write-back (against v4) is pending. Update v3 now.
+	if n.PendingWritebacks() == 0 {
+		t.Fatal("no pending write-backs")
+	}
+	fresh := []byte("fresh client content that must survive")
+	if err := n.Update("wiki", "v3", fresh); err != nil {
+		t.Fatal(err)
+	}
+	n.FlushWritebacks(-1)
+	got, err := n.Read("wiki", "v3")
+	if err != nil || !bytes.Equal(got, fresh) {
+		t.Fatalf("stale write-back clobbered a client update: %q, %v", got, err)
+	}
+}
+
+func TestDeleteUnreferenced(t *testing.T) {
+	n := testNode(t, Options{})
+	n.Insert("db", "k", []byte("some content to delete"))
+	if err := n.Delete("db", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Read("db", "k"); err != ErrNotFound {
+		t.Fatalf("read after delete err = %v", err)
+	}
+	if err := n.Delete("db", "k"); err != ErrNotFound {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestDeleteReferencedRecordHidesAndPreservesDecoding(t *testing.T) {
+	n := testNode(t, Options{})
+	versions := insertChain(t, n, "wiki", 6, 6)
+	n.FlushWritebacks(-1)
+	// Delete the head (v5), which v4 decodes through.
+	if err := n.Delete("wiki", "v5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Read("wiki", "v5"); err != ErrNotFound {
+		t.Fatal("deleted record still visible")
+	}
+	got, err := n.Read("wiki", "v4")
+	if err != nil || !bytes.Equal(got, versions[4]) {
+		t.Fatalf("decoding through hidden record failed: %v", err)
+	}
+	// The read above should have repaired the chain past the hidden
+	// record; eventually v5's storage is reclaimed.
+	if n.Stats().HiddenRepaired == 0 {
+		t.Error("no hidden-record repair performed")
+	}
+}
+
+func TestBlockCompressionStacks(t *testing.T) {
+	comp := testNode(t, Options{BlockCompression: true})
+	plain := testNode(t, Options{})
+	for _, n := range []*Node{comp, plain} {
+		insertChain(t, n, "wiki", 30, 7)
+		n.FlushWritebacks(-1)
+		n.Store().Flush()
+	}
+	cs, ps := comp.Stats().Store, plain.Stats().Store
+	if cs.BlockBytesOut >= ps.BlockBytesOut {
+		t.Errorf("block compression did not shrink post-dedup data: %d vs %d",
+			cs.BlockBytesOut, ps.BlockBytesOut)
+	}
+}
+
+func TestOplogFormsMatchDedupOutcome(t *testing.T) {
+	n := testNode(t, Options{})
+	insertChain(t, n, "wiki", 10, 8)
+	ents, err := n.Oplog().EntriesSince(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 10 {
+		t.Fatalf("%d oplog entries, want 10", len(ents))
+	}
+	if ents[0].Form != oplog.FormRaw {
+		t.Error("first insert should ship raw")
+	}
+	deltas := 0
+	for _, e := range ents[1:] {
+		if e.Form == oplog.FormDelta {
+			deltas++
+			if e.BaseKey == "" {
+				t.Error("forward-encoded entry without BaseKey")
+			}
+		}
+	}
+	if deltas < 8 {
+		t.Errorf("only %d/9 follow-up inserts were forward-encoded", deltas)
+	}
+}
+
+func TestReplicationConvergence(t *testing.T) {
+	prim := testNode(t, Options{})
+	sec := testNode(t, Options{})
+
+	versions := insertChain(t, prim, "wiki", 25, 9)
+	prim.Update("wiki", "v10", []byte("updated content on primary"))
+	prim.Delete("wiki", "v3")
+
+	ents, err := prim.Oplog().EntriesSince(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped int64
+	for _, e := range ents {
+		shipped += int64(e.MarshalledSize())
+		if err := sec.ApplyReplicated(e); err != nil {
+			t.Fatalf("apply seq %d: %v", e.Seq, err)
+		}
+	}
+	// Shipped bytes must be far below raw bytes (forward encoding).
+	if raw := prim.Stats().RawInsertBytes; shipped*3 > raw {
+		t.Errorf("shipped %d bytes for %d raw bytes; forward encoding ineffective", shipped, raw)
+	}
+
+	// Secondary must serve identical contents.
+	prim.FlushWritebacks(-1)
+	sec.FlushWritebacks(-1)
+	for i, want := range versions {
+		key := fmt.Sprintf("v%d", i)
+		switch i {
+		case 3:
+			if _, err := sec.Read("wiki", key); err != ErrNotFound {
+				t.Errorf("deleted %s visible on secondary", key)
+			}
+		case 10:
+			got, err := sec.Read("wiki", key)
+			if err != nil || string(got) != "updated content on primary" {
+				t.Errorf("updated %s = %q, %v", key, got, err)
+			}
+		default:
+			got, err := sec.Read("wiki", key)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Errorf("%s mismatch on secondary: %v", key, err)
+			}
+		}
+	}
+	// And its storage must also be deduplicated.
+	ss := sec.Stats()
+	if ss.Store.LogicalBytes*3 > ss.RawInsertBytes {
+		t.Errorf("secondary stored %d logical bytes for %d raw; re-encoding ineffective",
+			ss.Store.LogicalBytes, ss.RawInsertBytes)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, SyncEncode: true, DisableAutoFlush: true}
+	opts.Engine.GovernorWindow = 1 << 30
+	n, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	content := prose(rng, 4096)
+	var versions [][]byte
+	for i := 0; i < 10; i++ {
+		if err := n.Insert("wiki", fmt.Sprintf("v%d", i), content); err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, content)
+		content = editText(rng, content, 2)
+	}
+	n.FlushWritebacks(-1)
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	for i, want := range versions {
+		got, err := n2.Read("wiki", fmt.Sprintf("v%d", i))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("v%d after reopen: %v", i, err)
+		}
+	}
+	// New inserts must work and dedup against... fresh state (index is
+	// in-memory and rebuilt empty; contents still decode).
+	if err := n2.Insert("wiki", "v10", versions[9]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n2.Read("wiki", "v10")
+	if err != nil || !bytes.Equal(got, versions[9]) {
+		t.Fatal("insert after reopen failed")
+	}
+}
+
+func TestAsyncEncodePipeline(t *testing.T) {
+	opts := Options{DisableAutoFlush: true}
+	opts.Engine.GovernorWindow = 1 << 30
+	n, err := Open(opts) // async (SyncEncode false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	rng := rand.New(rand.NewSource(11))
+	content := prose(rng, 4096)
+	var versions [][]byte
+	for i := 0; i < 50; i++ {
+		if err := n.Insert("wiki", fmt.Sprintf("v%d", i), content); err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, content)
+		content = editText(rng, content, 2)
+	}
+	n.Barrier()
+	n.FlushWritebacks(-1)
+	for i, want := range versions {
+		got, err := n.Read("wiki", fmt.Sprintf("v%d", i))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("v%d via async pipeline: %v", i, err)
+		}
+	}
+	ents, _ := n.Oplog().EntriesSince(0, 0)
+	if len(ents) != 50 {
+		t.Fatalf("oplog has %d entries, want 50", len(ents))
+	}
+	for i := 1; i < len(ents); i++ {
+		if ents[i].Seq != ents[i-1].Seq+1 {
+			t.Fatal("oplog entries out of order from async pipeline")
+		}
+	}
+}
+
+func TestHopEncodingBoundsDecodeSteps(t *testing.T) {
+	hop := testNode(t, Options{Engine: core.Config{Scheme: chain.Hop, HopDistance: 4, DisableSizeFilter: true}})
+	bwd := testNode(t, Options{Engine: core.Config{Scheme: chain.Backward, DisableSizeFilter: true}})
+	for _, n := range []*Node{hop, bwd} {
+		insertChain(t, n, "wiki", 60, 12)
+		n.FlushWritebacks(-1)
+	}
+
+	readOldest := func(n *Node) uint64 {
+		before := n.Stats().DecodeSteps
+		if _, err := n.Read("wiki", "v0"); err != nil {
+			t.Fatal(err)
+		}
+		return n.Stats().DecodeSteps - before
+	}
+	// Drop decode shortcuts: both nodes' caches hold recent records only,
+	// so v0 exercises the chain. Compare steps.
+	hopSteps := readOldest(hop)
+	bwdSteps := readOldest(bwd)
+	if hopSteps >= bwdSteps {
+		t.Errorf("hop decode steps %d >= backward %d", hopSteps, bwdSteps)
+	}
+}
+
+func TestWritebackCacheDisabledStillCorrect(t *testing.T) {
+	n := testNode(t, Options{WritebackCacheBytes: -1})
+	versions := insertChain(t, n, "wiki", 20, 13)
+	for i, want := range versions {
+		got, err := n.Read("wiki", fmt.Sprintf("v%d", i))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("v%d with inline write-backs: %v", i, err)
+		}
+	}
+	if n.Stats().WritebacksApplied == 0 {
+		t.Error("inline write-backs not applied")
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	n := testNode(t, Options{})
+	insertChain(t, n, "wiki", 10, 14)
+	n.Read("wiki", "v9")
+	st := n.Stats()
+	if st.Inserts != 10 || st.Reads != 1 {
+		t.Errorf("op counts: %+v", st)
+	}
+	if st.Engine.Deduped == 0 {
+		t.Error("engine stats not plumbed")
+	}
+	if st.OplogBytes == 0 || st.RawInsertBytes == 0 {
+		t.Error("byte accounting not plumbed")
+	}
+}
+
+func BenchmarkInsertVersioned(b *testing.B) {
+	opts := Options{SyncEncode: true, DisableAutoFlush: true}
+	opts.Engine.GovernorWindow = 1 << 30
+	n, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	rng := rand.New(rand.NewSource(1))
+	content := prose(rng, 8192)
+	b.SetBytes(int64(len(content)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Insert("wiki", fmt.Sprintf("v%d", i), content); err != nil {
+			b.Fatal(err)
+		}
+		content = editText(rng, content, 2)
+	}
+}
+
+func TestStackedRecordCompactedWhenUnreferenced(t *testing.T) {
+	n := testNode(t, Options{})
+	// Two-version chain: after the write-back, v0 is a delta whose base
+	// is v1, so refcnt(v1) = 1.
+	insertChain(t, n, "wiki", 2, 30)
+	n.FlushWritebacks(-1)
+	if rc := n.RefCount("wiki", "v1"); rc != 1 {
+		t.Fatalf("premise: refcount(v1) = %d, want 1", rc)
+	}
+	// A client update stacks onto the referenced v1.
+	updated := []byte("client update stacked on a referenced record")
+	if err := n.Update("wiki", "v1", updated); err != nil {
+		t.Fatal(err)
+	}
+	findV1 := func() (docstore.MetaInfo, bool) {
+		var id uint64
+		n.Store().Range(func(rec docstore.Record) bool {
+			if rec.Key == "v1" {
+				id = rec.ID
+				return false
+			}
+			return true
+		})
+		return n.Store().Meta(id)
+	}
+	if m, ok := findV1(); !ok || !m.Stacked {
+		t.Fatalf("premise: v1 should be stacked, got %+v %v", m, ok)
+	}
+	// Deleting v0 releases v1's last reference: the stacked record must
+	// be compacted back to a plain raw record (paper §4.1).
+	if err := n.Delete("wiki", "v0"); err != nil {
+		t.Fatal(err)
+	}
+	if rc := n.RefCount("wiki", "v1"); rc != 0 {
+		t.Fatalf("v1 still referenced (%d) after deleting v0", rc)
+	}
+	m, ok := findV1()
+	if !ok {
+		t.Fatal("v1 missing")
+	}
+	if m.Stacked {
+		t.Error("v1 still stacked after losing its last reference")
+	}
+	if m.Form != docstore.FormRaw {
+		t.Error("compacted record not raw")
+	}
+	got, err := n.Read("wiki", "v1")
+	if err != nil || !bytes.Equal(got, updated) {
+		t.Fatalf("v1 after compaction: %q, %v", got, err)
+	}
+	verifyRefcounts(t, n)
+}

@@ -1,0 +1,107 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"dbdedup/internal/delta"
+	"dbdedup/internal/docstore"
+	"dbdedup/internal/oplog"
+)
+
+// ErrBaseMissing reports that a forward-encoded insert references a base
+// record this node does not hold. The replication layer reacts by fetching
+// the full record from the primary (paper §4.1 fn. 4).
+var ErrBaseMissing = errors.New("node: delta base not present")
+
+// ApplyReplicated applies one oplog entry shipped from a primary. Entries
+// must be applied in sequence order. Forward-encoded inserts are decoded
+// against the locally stored base record and then re-encoded backward (the
+// dbDedup re-encoder of Fig. 8), so the secondary converges to the same
+// storage layout as the primary without ever receiving full record contents.
+func (n *Node) ApplyReplicated(e oplog.Entry) error {
+	switch e.Op {
+	case oplog.OpInsert:
+		return n.applyReplicatedInsert(e)
+	case oplog.OpUpdate:
+		return n.updateLocal(e.DB, e.Key, e.Payload)
+	case oplog.OpDelete:
+		return n.deleteLocal(e.DB, e.Key)
+	default:
+		return fmt.Errorf("node: unknown replicated op %d", e.Op)
+	}
+}
+
+func (n *Node) applyReplicatedInsert(e oplog.Entry) error {
+	n.mu.Lock()
+	dbm := n.keys[e.DB]
+	if dbm == nil {
+		dbm = make(map[string]uint64)
+		n.keys[e.DB] = dbm
+	}
+	if _, exists := dbm[e.Key]; exists {
+		n.mu.Unlock()
+		return fmt.Errorf("node: replicated insert of existing key %q/%q", e.DB, e.Key)
+	}
+	id := n.nextID
+	n.nextID++
+	dbm[e.Key] = id
+	n.stats.Inserts++
+	n.mu.Unlock()
+
+	if e.Form == oplog.FormRaw {
+		payload := append([]byte(nil), e.Payload...)
+		if err := n.store.Append(docstore.Record{ID: id, DB: e.DB, Key: e.Key, Payload: payload}); err != nil {
+			return err
+		}
+		n.mu.Lock()
+		n.stats.RawInsertBytes += int64(len(payload))
+		n.mu.Unlock()
+		if n.eng != nil {
+			n.eng.ObserveRaw(e.DB, id, payload)
+		}
+		return nil
+	}
+
+	// Forward-encoded insert: reconstruct the record from the local copy
+	// of the base, then mirror the primary's backward encoding.
+	n.mu.RLock()
+	srcID, ok := n.lookup(e.DB, e.BaseKey)
+	n.mu.RUnlock()
+	if !ok {
+		// Rare: the base is almost always already replicated. Undo the
+		// key reservation and let the caller fall back to fetching the
+		// full record from the primary.
+		n.mu.Lock()
+		delete(n.keys[e.DB], e.Key)
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q/%q (insert of %q)", ErrBaseMissing, e.DB, e.BaseKey, e.Key)
+	}
+	srcContent, err := n.decodeBase(srcID)
+	if err != nil {
+		return fmt.Errorf("node: decoding base %q/%q: %w", e.DB, e.BaseKey, err)
+	}
+	fwd, err := delta.Unmarshal(e.Payload)
+	if err != nil {
+		return fmt.Errorf("node: forward delta for %q/%q: %w", e.DB, e.Key, err)
+	}
+	payload, err := delta.Apply(srcContent, fwd)
+	if err != nil {
+		return fmt.Errorf("node: applying forward delta for %q/%q: %w", e.DB, e.Key, err)
+	}
+	if err := n.store.Append(docstore.Record{ID: id, DB: e.DB, Key: e.Key, Payload: payload}); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.stats.RawInsertBytes += int64(len(payload))
+	n.mu.Unlock()
+
+	if n.eng != nil {
+		res := n.eng.EncodeAsReplica(e.DB, id, payload, srcID, srcContent, fwd)
+		n.mu.RLock()
+		newVer := n.version[id]
+		n.mu.RUnlock()
+		n.queueWritebacks(res.Writebacks, id, newVer)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package node
+
+import (
+	"sort"
+
+	"dbdedup/internal/docstore"
+	"dbdedup/internal/oplog"
+)
+
+// Snapshot streams every visible record's decoded content to fn, in a
+// stable (db, key) order, stopping early if fn returns false. It reads live
+// state — records mutated concurrently may appear in either version — which
+// is sufficient for replication resync, where the oplog entries issued
+// during the scan are replayed on top afterwards.
+func (n *Node) Snapshot(fn func(db, key string, content []byte) bool) error {
+	type entry struct{ db, key string }
+	n.mu.RLock()
+	var all []entry
+	for db, keys := range n.keys {
+		for key := range keys {
+			all = append(all, entry{db, key})
+		}
+	}
+	n.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].db != all[j].db {
+			return all[i].db < all[j].db
+		}
+		return all[i].key < all[j].key
+	})
+	for _, e := range all {
+		content, err := n.Read(e.db, e.key)
+		if err == ErrNotFound {
+			continue // deleted during the scan
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(e.db, e.key, content) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ApplySnapshotRecord installs one record from a primary's snapshot stream:
+// insert-or-replace semantics, no oplog entry.
+func (n *Node) ApplySnapshotRecord(db, key string, payload []byte) error {
+	n.mu.RLock()
+	_, exists := n.lookup(db, key)
+	n.mu.RUnlock()
+	if exists {
+		return n.updateLocal(db, key, payload)
+	}
+	return n.insertSnapshot(db, key, payload)
+}
+
+func (n *Node) insertSnapshot(db, key string, payload []byte) error {
+	n.mu.Lock()
+	dbm := n.keys[db]
+	if dbm == nil {
+		dbm = make(map[string]uint64)
+		n.keys[db] = dbm
+	}
+	id := n.nextID
+	n.nextID++
+	dbm[key] = id
+	n.stats.Inserts++
+	n.stats.RawInsertBytes += int64(len(payload))
+	n.mu.Unlock()
+
+	cp := append([]byte(nil), payload...)
+	if err := n.store.Append(docstore.Record{ID: id, DB: db, Key: key, Payload: cp}); err != nil {
+		return err
+	}
+	if n.eng != nil {
+		n.eng.ObserveRaw(db, id, cp)
+	}
+	return nil
+}
+
+// ApplyReplicatedLenient applies an oplog entry with resync tolerance: ops
+// may have been concurrent with the snapshot scan, so an insert of an
+// existing key becomes a replace, and updates/deletes of missing keys are
+// ignored. Used by the replication layer while catching up across a
+// snapshot window.
+func (n *Node) ApplyReplicatedLenient(e oplog.Entry) error {
+	switch e.Op {
+	case oplog.OpInsert:
+		n.mu.RLock()
+		_, exists := n.lookup(e.DB, e.Key)
+		n.mu.RUnlock()
+		if exists {
+			// The snapshot already carried this record; the entry's
+			// payload may be forward-encoded against state we can
+			// resolve, but replacing with the snapshot's copy is
+			// equivalent — skip.
+			return nil
+		}
+		if e.Form == oplog.FormDelta {
+			// Base may itself have arrived via snapshot; the normal
+			// path handles that (bases are resolved by key).
+			err := n.ApplyReplicated(e)
+			if err != nil {
+				// Base genuinely missing (e.g. deleted during the
+				// window): cannot reconstruct. The record will be
+				// re-delivered by a future snapshot if still live.
+				return nil
+			}
+			return nil
+		}
+		return n.ApplyReplicated(e)
+	case oplog.OpUpdate:
+		err := n.updateLocal(e.DB, e.Key, e.Payload)
+		if err == ErrNotFound {
+			return nil
+		}
+		return err
+	case oplog.OpDelete:
+		err := n.deleteLocal(e.DB, e.Key)
+		if err == ErrNotFound {
+			return nil
+		}
+		return err
+	default:
+		return n.ApplyReplicated(e)
+	}
+}
+
+// ReconcileAfterSnapshot deletes local visible records that the just-applied
+// snapshot did not contain: they were deleted on the primary while this
+// secondary was disconnected. keep maps db -> key -> present.
+func (n *Node) ReconcileAfterSnapshot(keep map[string]map[string]bool) {
+	type entry struct{ db, key string }
+	var stale []entry
+	n.mu.RLock()
+	for db, keys := range n.keys {
+		kept := keep[db]
+		for key := range keys {
+			if kept == nil || !kept[key] {
+				stale = append(stale, entry{db, key})
+			}
+		}
+	}
+	n.mu.RUnlock()
+	for _, e := range stale {
+		// Best effort: a failure leaves a stale record, not corruption.
+		_ = n.deleteLocal(e.db, e.key)
+	}
+}

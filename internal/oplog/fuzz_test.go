@@ -1,0 +1,24 @@
+package oplog
+
+import "testing"
+
+// FuzzUnmarshal feeds arbitrary bytes to the entry decoder.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(Entry{Seq: 1, TS: 2, Op: OpInsert, DB: "db", Key: "key", Payload: []byte("p")}.Marshal())
+	f.Add(Entry{Seq: 9, Op: OpDelete, DB: "d", Key: "k"}.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		e, n, err := Unmarshal(buf)
+		if err != nil {
+			return
+		}
+		if n > len(buf) {
+			t.Fatalf("Unmarshal consumed %d of %d bytes", n, len(buf))
+		}
+		// Round trip what was accepted.
+		again, _, err := Unmarshal(e.Marshal())
+		if err != nil || again.Seq != e.Seq || again.Key != e.Key {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+	})
+}

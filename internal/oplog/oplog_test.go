@@ -1,0 +1,199 @@
+package oplog
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestAppendAssignsSequence(t *testing.T) {
+	l := New(16)
+	for i := 1; i <= 5; i++ {
+		seq := l.Append(Entry{Op: OpInsert, DB: "d", Key: fmt.Sprintf("k%d", i)})
+		if seq != uint64(i) {
+			t.Fatalf("Append #%d returned seq %d", i, seq)
+		}
+	}
+	if l.LastSeq() != 5 || l.Len() != 5 {
+		t.Fatalf("LastSeq=%d Len=%d", l.LastSeq(), l.Len())
+	}
+}
+
+func TestEntriesSince(t *testing.T) {
+	l := New(16)
+	for i := 1; i <= 10; i++ {
+		l.Append(Entry{Op: OpInsert, Key: fmt.Sprintf("k%d", i)})
+	}
+	got, err := l.EntriesSince(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Seq != 5 || got[2].Seq != 7 {
+		t.Fatalf("EntriesSince(4,3) = %+v", got)
+	}
+	all, err := l.EntriesSince(0, 0)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("EntriesSince(0) returned %d entries, err %v", len(all), err)
+	}
+	empty, err := l.EntriesSince(10, 0)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("EntriesSince(last) = %v, %v", empty, err)
+	}
+}
+
+func TestRingOverflowTruncates(t *testing.T) {
+	l := New(4)
+	for i := 1; i <= 10; i++ {
+		l.Append(Entry{Op: OpInsert, Key: fmt.Sprintf("k%d", i)})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if _, err := l.EntriesSince(0, 0); err != ErrTruncated {
+		t.Fatalf("EntriesSince(0) err = %v, want ErrTruncated", err)
+	}
+	got, err := l.EntriesSince(6, 0)
+	if err != nil || len(got) != 4 || got[0].Seq != 7 {
+		t.Fatalf("EntriesSince(6) = %+v, %v", got, err)
+	}
+}
+
+func TestTrimTo(t *testing.T) {
+	l := New(16)
+	for i := 1; i <= 10; i++ {
+		l.Append(Entry{Op: OpInsert, Key: "k", Payload: []byte("xxxx")})
+	}
+	l.TrimTo(7)
+	if l.Len() != 3 {
+		t.Fatalf("Len after trim = %d, want 3", l.Len())
+	}
+	if _, err := l.EntriesSince(5, 0); err != ErrTruncated {
+		t.Fatal("trimmed entries still served")
+	}
+	got, err := l.EntriesSince(7, 0)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("EntriesSince(7) after trim: %v, %v", got, err)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	l := New(4)
+	var want int64
+	for i := 1; i <= 4; i++ {
+		e := Entry{Op: OpInsert, DB: "db", Key: "key", Payload: bytes.Repeat([]byte("p"), i*10)}
+		l.Append(e)
+		e.Seq = uint64(i)
+		want += int64(e.MarshalledSize())
+	}
+	if l.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", l.Bytes(), want)
+	}
+	// Overflow: oldest drops out of accounting.
+	l.Append(Entry{Op: OpInsert, DB: "db", Key: "key", Payload: []byte("new")})
+	if l.Bytes() >= want+100 {
+		t.Fatal("Bytes did not drop the evicted entry")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		e := Entry{
+			Seq:     rng.Uint64(),
+			TS:      rng.Int63() - rng.Int63(),
+			Op:      OpType(rng.Intn(3)),
+			DB:      fmt.Sprintf("db%d", rng.Intn(4)),
+			Key:     fmt.Sprintf("key-%d", rng.Int63()),
+			Form:    PayloadForm(rng.Intn(2)),
+			Payload: make([]byte, rng.Intn(300)),
+		}
+		if e.Form == FormDelta {
+			e.BaseKey = fmt.Sprintf("base-%d", rng.Int63())
+		}
+		rng.Read(e.Payload)
+
+		buf := e.Marshal()
+		if len(buf) != e.MarshalledSize() {
+			t.Fatalf("MarshalledSize %d != len(Marshal) %d", e.MarshalledSize(), len(buf))
+		}
+		got, n, err := Unmarshal(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("Unmarshal: %v (n=%d len=%d)", err, n, len(buf))
+		}
+		if got.Seq != e.Seq || got.TS != e.TS || got.Op != e.Op || got.DB != e.DB ||
+			got.Key != e.Key || got.Form != e.Form || got.BaseKey != e.BaseKey ||
+			!bytes.Equal(got.Payload, e.Payload) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, e)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	e := Entry{Seq: 7, TS: 12345, Op: OpUpdate, DB: "d", Key: "k", Payload: []byte("payload")}
+	good := e.Marshal()
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := Unmarshal(good[:cut]); err == nil {
+			t.Fatalf("Unmarshal accepted truncation at %d", cut)
+		}
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-len(e.Payload)-2] = 0x63 // corrupt the op/form/length area
+	_, _, _ = Unmarshal(bad)              // must not panic
+}
+
+func TestConcurrentAppendRead(t *testing.T) {
+	l := New(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Append(Entry{Op: OpInsert, Key: "k", Payload: []byte("x")})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var cursor uint64
+		for i := 0; i < 200; i++ {
+			ents, err := l.EntriesSince(cursor, 64)
+			if err == ErrTruncated {
+				cursor = 0
+				continue
+			}
+			for j := 1; j < len(ents); j++ {
+				if ents[j].Seq != ents[j-1].Seq+1 {
+					t.Error("non-contiguous sequence in batch")
+					return
+				}
+			}
+			if len(ents) > 0 {
+				cursor = ents[len(ents)-1].Seq
+			}
+		}
+	}()
+	wg.Wait()
+	if l.LastSeq() != 4000 {
+		t.Fatalf("LastSeq = %d, want 4000", l.LastSeq())
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	l := New(1 << 16)
+	e := Entry{Op: OpInsert, DB: "db", Key: "key", Payload: make([]byte, 256)}
+	for i := 0; i < b.N; i++ {
+		l.Append(e)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	e := Entry{Seq: 1, TS: 2, Op: OpInsert, DB: "db", Key: "key", Payload: make([]byte, 256)}
+	b.SetBytes(int64(e.MarshalledSize()))
+	for i := 0; i < b.N; i++ {
+		e.Marshal()
+	}
+}

@@ -1,0 +1,131 @@
+package rabin
+
+// Chunk describes one content-defined chunk of an input buffer.
+type Chunk struct {
+	// Offset is the byte offset of the chunk within the input.
+	Offset int
+	// Length is the chunk length in bytes.
+	Length int
+}
+
+// ChunkerConfig controls content-defined chunking.
+type ChunkerConfig struct {
+	// AvgSize is the target average chunk size in bytes. It must be a
+	// power of two >= 2; a boundary is declared when the low log2(AvgSize)
+	// bits of the window fingerprint equal the magic pattern.
+	AvgSize int
+	// MinSize suppresses boundaries that would create chunks smaller than
+	// this. Defaults to AvgSize/4 when zero.
+	MinSize int
+	// MaxSize forces a boundary when a chunk reaches this length.
+	// Defaults to AvgSize*4 when zero.
+	MaxSize int
+	// Window is the sliding-window size; defaults to DefaultWindow, but is
+	// clamped to MinSize so tiny-chunk configurations (e.g. the 64 B
+	// chunks in the paper's experiments) still make content-local
+	// boundary decisions.
+	Window int
+	// Polynomial defaults to DefaultPolynomial when zero.
+	Polynomial Polynomial
+}
+
+// magicPattern is the value the masked fingerprint bits are compared with.
+// Any fixed value works; a non-zero pattern avoids degenerate behaviour on
+// runs of zero bytes.
+const magicPattern = 0x78
+
+// Chunker splits byte buffers into content-defined chunks. It is immutable
+// after construction and safe for concurrent use by multiple goroutines
+// (each Split call uses its own rolling state).
+type Chunker struct {
+	table   *Table
+	mask    uint64
+	pattern uint64
+	min     int
+	max     int
+}
+
+// NewChunker validates cfg, fills in defaults, and returns a Chunker.
+// It panics if AvgSize is not a power of two >= 2, or if the size bounds are
+// inconsistent; configuration is programmer input, not runtime data.
+func NewChunker(cfg ChunkerConfig) *Chunker {
+	if cfg.AvgSize < 2 || cfg.AvgSize&(cfg.AvgSize-1) != 0 {
+		panic("rabin: AvgSize must be a power of two >= 2")
+	}
+	if cfg.MinSize == 0 {
+		cfg.MinSize = cfg.AvgSize / 4
+	}
+	if cfg.MinSize < 1 {
+		cfg.MinSize = 1
+	}
+	if cfg.MaxSize == 0 {
+		cfg.MaxSize = cfg.AvgSize * 4
+	}
+	if cfg.MinSize > cfg.MaxSize {
+		panic("rabin: MinSize > MaxSize")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.Window > cfg.MinSize {
+		cfg.Window = cfg.MinSize
+	}
+	if cfg.Polynomial == 0 {
+		cfg.Polynomial = DefaultPolynomial
+	}
+	mask := uint64(cfg.AvgSize - 1)
+	return &Chunker{
+		table:   NewTable(cfg.Polynomial, cfg.Window),
+		mask:    mask,
+		pattern: magicPattern & mask,
+		min:     cfg.MinSize,
+		max:     cfg.MaxSize,
+	}
+}
+
+// Split divides data into content-defined chunks. The returned chunks are
+// contiguous, non-empty, and cover data exactly. An empty input yields nil.
+func (c *Chunker) Split(data []byte) []Chunk {
+	if len(data) == 0 {
+		return nil
+	}
+	// Preallocate for the expected chunk count.
+	chunks := make([]Chunk, 0, len(data)/int(c.mask+1)+1)
+	h := c.table.NewHasher()
+	start := 0
+	for i := 0; i < len(data); i++ {
+		fp := h.Roll(data[i])
+		n := i - start + 1
+		if n >= c.max || (n >= c.min && fp&c.mask == c.pattern) {
+			chunks = append(chunks, Chunk{Offset: start, Length: n})
+			start = i + 1
+			h.Reset()
+		}
+	}
+	if start < len(data) {
+		chunks = append(chunks, Chunk{Offset: start, Length: len(data) - start})
+	}
+	return chunks
+}
+
+// SplitFunc invokes fn for each content-defined chunk of data, avoiding the
+// slice allocation of Split. fn receives the chunk bytes, aliased into data.
+func (c *Chunker) SplitFunc(data []byte, fn func(chunk []byte)) {
+	if len(data) == 0 {
+		return
+	}
+	h := c.table.NewHasher()
+	start := 0
+	for i := 0; i < len(data); i++ {
+		fp := h.Roll(data[i])
+		n := i - start + 1
+		if n >= c.max || (n >= c.min && fp&c.mask == c.pattern) {
+			fn(data[start : i+1])
+			start = i + 1
+			h.Reset()
+		}
+	}
+	if start < len(data) {
+		fn(data[start:])
+	}
+}

@@ -1,0 +1,138 @@
+// Package rabin implements Rabin fingerprinting over a sliding window and
+// the content-defined chunking built on it.
+//
+// A Rabin fingerprint treats a byte string as a polynomial over GF(2) and
+// reduces it modulo a fixed irreducible polynomial P of degree 63. Because
+// the fingerprint of a sliding window can be updated in O(1) as the window
+// advances one byte (add the incoming byte, subtract the outgoing byte's
+// precomputed contribution), it is the standard tool for content-defined
+// chunking: a chunk boundary is declared wherever the low n bits of the
+// window fingerprint match a fixed pattern, which yields an expected chunk
+// size of 2^n bytes regardless of insertions or deletions elsewhere in the
+// stream (paper §2.2, §3.1.1).
+package rabin
+
+// Polynomial is an irreducible polynomial over GF(2) represented with the
+// degree-64 coefficient implicit. The default is irreducible of degree 64.
+type Polynomial uint64
+
+// DefaultPolynomial is a commonly used irreducible polynomial for Rabin
+// fingerprinting (the one popularised by LBFS).
+const DefaultPolynomial Polynomial = 0xbfe6b8a5bf378d83
+
+// DefaultWindow is the sliding-window size in bytes used for boundary
+// detection. 48 bytes is the conventional choice (LBFS, and typical dedup
+// systems); it is large enough to make boundary decisions content-stable and
+// small enough to keep per-byte cost low.
+const DefaultWindow = 48
+
+// Table holds the precomputed lookup tables for a polynomial/window pair.
+// A Table is immutable after construction and safe for concurrent use.
+type Table struct {
+	poly Polynomial
+	win  int
+	// mod[b] is the reduction of b<<64 mod poly: appending a byte is
+	//   fp = ((fp << 8) | b) mod P
+	// computed as table lookup on the byte shifted out of the top.
+	mod [256]uint64
+	// undo[b] is the contribution of byte b at the leading (oldest)
+	// position of the window, i.e. b * x^(8*(win-1)) mod P, so the oldest
+	// byte can be cancelled in O(1) when the window slides.
+	undo [256]uint64
+}
+
+// NewTable precomputes lookup tables for the given polynomial and window
+// size. It panics if window < 1.
+func NewTable(poly Polynomial, window int) *Table {
+	if window < 1 {
+		panic("rabin: window must be >= 1")
+	}
+	t := &Table{poly: poly, win: window}
+
+	// mod table: for each possible top byte b, the value of b*x^64 mod P,
+	// used to reduce the 8 bits shifted out of the top on each append.
+	for b := 0; b < 256; b++ {
+		t.mod[b] = shiftLeftMod(uint64(b), 64, uint64(poly))
+	}
+
+	// undo table: contribution of a byte that entered the fingerprint
+	// window-1 byte-shifts ago.
+	for b := 0; b < 256; b++ {
+		t.undo[b] = shiftLeftMod(uint64(b), 8*(window-1), uint64(poly))
+	}
+	return t
+}
+
+// shiftLeftMod returns (v * x^shift) mod P for the degree-64 polynomial P
+// (with implicit x^64 term).
+func shiftLeftMod(v uint64, shift int, poly uint64) uint64 {
+	for i := 0; i < shift; i++ {
+		if v&(1<<63) != 0 {
+			v = v<<1 ^ poly
+		} else {
+			v <<= 1
+		}
+	}
+	return v
+}
+
+// Window returns the sliding-window size the table was built for.
+func (t *Table) Window() int { return t.win }
+
+// Hasher maintains the rolling fingerprint of the last Window bytes written.
+// The zero Hasher is not usable; obtain one with Table.NewHasher.
+type Hasher struct {
+	t   *Table
+	fp  uint64
+	buf []byte // circular window contents
+	pos int    // next write position in buf
+	n   int    // bytes written so far, capped at window size
+}
+
+// NewHasher returns a Hasher with an empty window.
+func (t *Table) NewHasher() *Hasher {
+	return &Hasher{t: t, buf: make([]byte, t.win)}
+}
+
+// Reset clears the window.
+func (h *Hasher) Reset() {
+	h.fp = 0
+	h.pos = 0
+	h.n = 0
+	for i := range h.buf {
+		h.buf[i] = 0
+	}
+}
+
+// Roll appends one byte to the window, evicting the oldest byte once the
+// window is full, and returns the updated fingerprint.
+func (h *Hasher) Roll(b byte) uint64 {
+	if h.n == h.t.win {
+		old := h.buf[h.pos]
+		h.fp ^= h.t.undo[old]
+	} else {
+		h.n++
+	}
+	h.buf[h.pos] = b
+	h.pos++
+	if h.pos == h.t.win {
+		h.pos = 0
+	}
+	top := byte(h.fp >> 56)
+	h.fp = (h.fp<<8 | uint64(b)) ^ h.t.mod[top]
+	return h.fp
+}
+
+// Sum64 returns the current fingerprint.
+func (h *Hasher) Sum64() uint64 { return h.fp }
+
+// Fingerprint returns the Rabin fingerprint of data in one call (all bytes
+// in a window of len(data), no sliding). Useful for whole-buffer hashing.
+func (t *Table) Fingerprint(data []byte) uint64 {
+	var fp uint64
+	for _, b := range data {
+		top := byte(fp >> 56)
+		fp = (fp<<8 | uint64(b)) ^ t.mod[top]
+	}
+	return fp
+}

@@ -1,0 +1,281 @@
+package rabin
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRollingMatchesDirect(t *testing.T) {
+	// The fingerprint of a full window maintained by Roll must equal the
+	// direct fingerprint of those window bytes.
+	const win = 16
+	tbl := NewTable(DefaultPolynomial, win)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 500)
+	rng.Read(data)
+
+	h := tbl.NewHasher()
+	for i, b := range data {
+		got := h.Roll(b)
+		lo := i + 1 - win
+		if lo < 0 {
+			lo = 0
+		}
+		want := tbl.Fingerprint(data[lo : i+1])
+		if got != want {
+			t.Fatalf("pos %d: rolling fp %#x != direct fp %#x", i, got, want)
+		}
+	}
+}
+
+func TestRollWindowIndependence(t *testing.T) {
+	// Once the window is full, the fingerprint must depend only on the
+	// last `win` bytes, not on anything earlier.
+	const win = 32
+	tbl := NewTable(DefaultPolynomial, win)
+	suffix := []byte("the last thirty-two bytes matter")
+	if len(suffix) != win {
+		t.Fatalf("suffix must be %d bytes, got %d", win, len(suffix))
+	}
+
+	fpFor := func(prefix []byte) uint64 {
+		h := tbl.NewHasher()
+		for _, b := range prefix {
+			h.Roll(b)
+		}
+		for _, b := range suffix {
+			h.Roll(b)
+		}
+		return h.Sum64()
+	}
+
+	base := fpFor(nil)
+	for _, prefix := range [][]byte{
+		[]byte("x"),
+		[]byte("completely different prefix data"),
+		bytes.Repeat([]byte{0xff}, 1000),
+	} {
+		if got := fpFor(prefix); got != base {
+			t.Errorf("fingerprint depends on bytes outside the window: %#x != %#x", got, base)
+		}
+	}
+}
+
+func TestHasherReset(t *testing.T) {
+	tbl := NewTable(DefaultPolynomial, 8)
+	h := tbl.NewHasher()
+	for _, b := range []byte("some data to dirty the state") {
+		h.Roll(b)
+	}
+	h.Reset()
+	if h.Sum64() != 0 {
+		t.Fatalf("Sum64 after Reset = %#x, want 0", h.Sum64())
+	}
+	var want uint64
+	{
+		h2 := tbl.NewHasher()
+		for _, b := range []byte("abc") {
+			want = h2.Roll(b)
+		}
+	}
+	var got uint64
+	for _, b := range []byte("abc") {
+		got = h.Roll(b)
+	}
+	if got != want {
+		t.Fatalf("post-Reset fingerprint %#x != fresh fingerprint %#x", got, want)
+	}
+}
+
+func TestChunksCoverInput(t *testing.T) {
+	c := NewChunker(ChunkerConfig{AvgSize: 64})
+	f := func(data []byte) bool {
+		chunks := c.Split(data)
+		if len(data) == 0 {
+			return chunks == nil
+		}
+		pos := 0
+		for _, ch := range chunks {
+			if ch.Offset != pos || ch.Length <= 0 {
+				return false
+			}
+			pos += ch.Length
+		}
+		return pos == len(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChunkSizeBounds(t *testing.T) {
+	cfg := ChunkerConfig{AvgSize: 256, MinSize: 64, MaxSize: 1024}
+	c := NewChunker(cfg)
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 64*1024)
+	rng.Read(data)
+	chunks := c.Split(data)
+	for i, ch := range chunks {
+		if ch.Length > cfg.MaxSize {
+			t.Fatalf("chunk %d length %d > MaxSize %d", i, ch.Length, cfg.MaxSize)
+		}
+		// The final chunk may be short; all others respect MinSize.
+		if i < len(chunks)-1 && ch.Length < cfg.MinSize {
+			t.Fatalf("chunk %d length %d < MinSize %d", i, ch.Length, cfg.MinSize)
+		}
+	}
+}
+
+func TestAverageChunkSize(t *testing.T) {
+	// With n mask bits the expected chunk size is ~2^n; accept a factor-2
+	// band on random data.
+	for _, avg := range []int{64, 256, 1024} {
+		c := NewChunker(ChunkerConfig{AvgSize: avg})
+		rng := rand.New(rand.NewSource(7))
+		data := make([]byte, 256*1024)
+		rng.Read(data)
+		chunks := c.Split(data)
+		got := float64(len(data)) / float64(len(chunks))
+		if got < float64(avg)/2 || got > float64(avg)*2 {
+			t.Errorf("avg %d: measured mean chunk size %.0f outside [%d, %d]",
+				avg, got, avg/2, avg*2)
+		}
+	}
+}
+
+func TestBoundaryStabilityUnderEdit(t *testing.T) {
+	// The defining property of content-defined chunking: a local edit
+	// must only disturb chunk boundaries near the edit. We verify that
+	// the chunk sets before and after an edit share most boundaries.
+	c := NewChunker(ChunkerConfig{AvgSize: 256})
+	rng := rand.New(rand.NewSource(99))
+	data := make([]byte, 128*1024)
+	rng.Read(data)
+
+	edited := append([]byte(nil), data[:len(data)/2]...)
+	edited = append(edited, []byte("INSERTED EDIT PAYLOAD")...)
+	edited = append(edited, data[len(data)/2:]...)
+
+	bounds := func(d []byte, from int) map[int]bool {
+		m := make(map[int]bool)
+		for _, ch := range c.Split(d) {
+			if ch.Offset >= from {
+				m[ch.Offset] = true
+			}
+		}
+		return m
+	}
+
+	// Compare boundary offsets in the untouched first half.
+	before := bounds(data[:len(data)/2], 0)
+	after := bounds(edited[:len(data)/2], 0)
+	common := 0
+	for off := range before {
+		if after[off] {
+			common++
+		}
+	}
+	if common != len(before) || len(before) != len(after) {
+		t.Errorf("boundaries before the edit changed: %d common of %d/%d", common, len(before), len(after))
+	}
+
+	// In the suffix after the edit, boundaries should re-align quickly:
+	// count shared suffix content boundaries (shifted by the insert size).
+	shift := len(edited) - len(data)
+	beforeTail := c.Split(data)
+	afterTail := bounds(edited, len(data)/2+4096)
+	realigned := 0
+	total := 0
+	for _, ch := range beforeTail {
+		if ch.Offset >= len(data)/2+4096-shift {
+			total++
+			if afterTail[ch.Offset+shift] {
+				realigned++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("test corpus too small")
+	}
+	if frac := float64(realigned) / float64(total); frac < 0.95 {
+		t.Errorf("only %.2f of boundaries re-aligned after edit, want >= 0.95", frac)
+	}
+}
+
+func TestSplitFuncMatchesSplit(t *testing.T) {
+	c := NewChunker(ChunkerConfig{AvgSize: 128})
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 32*1024)
+	rng.Read(data)
+
+	var viaFunc [][]byte
+	c.SplitFunc(data, func(chunk []byte) {
+		viaFunc = append(viaFunc, chunk)
+	})
+	viaSplit := c.Split(data)
+	if len(viaFunc) != len(viaSplit) {
+		t.Fatalf("SplitFunc yielded %d chunks, Split %d", len(viaFunc), len(viaSplit))
+	}
+	for i, ch := range viaSplit {
+		if !bytes.Equal(viaFunc[i], data[ch.Offset:ch.Offset+ch.Length]) {
+			t.Fatalf("chunk %d differs between SplitFunc and Split", i)
+		}
+	}
+}
+
+func TestTinyChunkConfig(t *testing.T) {
+	// The paper's 64 B configuration: window is clamped to MinSize.
+	c := NewChunker(ChunkerConfig{AvgSize: 64})
+	data := bytes.Repeat([]byte("versioned database record content "), 100)
+	chunks := c.Split(data)
+	if len(chunks) < 10 {
+		t.Fatalf("expected many small chunks, got %d", len(chunks))
+	}
+}
+
+func TestNewChunkerValidation(t *testing.T) {
+	for _, cfg := range []ChunkerConfig{
+		{AvgSize: 0},
+		{AvgSize: 3},
+		{AvgSize: 64, MinSize: 100, MaxSize: 50},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewChunker(%+v) did not panic", cfg)
+				}
+			}()
+			NewChunker(cfg)
+		}()
+	}
+}
+
+func BenchmarkRoll(b *testing.B) {
+	tbl := NewTable(DefaultPolynomial, DefaultWindow)
+	h := tbl.NewHasher()
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range data {
+			h.Roll(c)
+		}
+	}
+}
+
+func BenchmarkSplit1KB(b *testing.B) { benchSplit(b, 1024) }
+func BenchmarkSplit64B(b *testing.B) { benchSplit(b, 64) }
+
+func benchSplit(b *testing.B, avg int) {
+	c := NewChunker(ChunkerConfig{AvgSize: avg})
+	data := make([]byte, 64*1024)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SplitFunc(data, func([]byte) {})
+	}
+}

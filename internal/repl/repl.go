@@ -1,0 +1,699 @@
+// Package repl implements asynchronous primary→secondary replication over
+// TCP: the paper's oplog syncer (Fig. 8). A secondary connects to the
+// primary, announces the last sequence number it has applied, and the
+// primary streams oplog entry batches from there — entries whose insert
+// payloads the dedup engine has already rewritten into forward-encoded
+// (base reference + delta) form, which is where the network savings of
+// Fig. 11 come from.
+//
+// Wire protocol (all frames length-prefixed):
+//
+//	frame      := uint32(len) byte(type) payload
+//	hello      := type 'H', payload uvarint(afterSeq)            secondary → primary
+//	batch      := type 'B', payload uvarint(n) n×entry           primary → secondary
+//	error      := type 'E', payload utf-8 message                primary → secondary
+//	snap-begin := type 'G', payload uvarint(resumeSeq)           primary → secondary
+//	snap-batch := type 'N', payload uvarint(n) n×(db,key,value)  primary → secondary
+//	snap-end   := type 'F', payload uvarint(endSeq)              primary → secondary
+//
+// Entries inside a batch use oplog.Entry's own marshalling. A secondary that
+// requests entries older than the primary's retained oplog window receives a
+// full snapshot (begin/batches/end) and then resumes incremental streaming;
+// entries concurrent with the snapshot scan (seq ≤ endSeq) are applied with
+// lenient semantics. The secondary counts received frame bytes, giving the
+// experiments exact replication traffic numbers.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dbdedup/internal/metrics"
+	"dbdedup/internal/node"
+	"dbdedup/internal/oplog"
+)
+
+const (
+	frameHello = 'H'
+	frameBatch = 'B'
+	frameError = 'E'
+	// Snapshot resync frames: a secondary that requests entries the
+	// primary no longer retains gets a full snapshot (begin / record
+	// batches / end) and then resumes normal batch streaming.
+	frameSnapBegin = 'G'
+	frameSnapBatch = 'N'
+	frameSnapEnd   = 'F'
+	// Record-fetch frames (on a dedicated connection): a secondary that
+	// cannot resolve a forward-encoded insert's base asks the primary
+	// for the record's full content (paper §4.1 fn. 4).
+	frameFetch  = 'Q'
+	frameRecord = 'V'
+
+	// frameEpoch announces the primary's oplog epoch right after hello.
+	frameEpoch = 'P'
+
+	// hello modes
+	helloStream = 'S'
+	helloFetch  = 'F'
+
+	// maxFrame bounds a frame so a corrupt length cannot allocate wildly.
+	maxFrame = 64 << 20
+	// batchEntries is how many oplog entries one batch carries at most.
+	batchEntries = 256
+	// pollInterval is the primary's idle wait when the secondary is
+	// caught up.
+	pollInterval = 2 * time.Millisecond
+)
+
+// Primary serves the local node's oplog to connecting secondaries.
+type Primary struct {
+	node *node.Node
+	ln   net.Listener
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+	sentOut metrics.Meter
+}
+
+// ListenAndServe starts a replication listener for n on addr (e.g.
+// "127.0.0.1:0").
+func ListenAndServe(n *node.Node, addr string) (*Primary, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	p := &Primary{node: n, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the listen address.
+func (p *Primary) Addr() string { return p.ln.Addr().String() }
+
+// BytesSent returns total frame bytes sent to all secondaries.
+func (p *Primary) BytesSent() int64 { return p.sentOut.Total() }
+
+// Close stops serving and closes all replica connections.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Primary) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.serveConn(conn)
+	}
+}
+
+func (p *Primary) serveConn(conn net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+		conn.Close()
+	}()
+
+	typ, payload, err := readFrame(conn)
+	if err != nil || typ != frameHello || len(payload) < 1 {
+		return
+	}
+	mode := payload[0]
+	if mode == helloFetch {
+		p.serveFetches(conn)
+		return
+	}
+	rest := payload[1:]
+	cursor, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return
+	}
+	expectEpoch, k2 := binary.Uvarint(rest[k:])
+	if k2 <= 0 {
+		return
+	}
+
+	// Announce our epoch so the secondary can resume correctly later.
+	epoch := p.node.Oplog().Epoch()
+	if n, err := writeFrame(conn, frameEpoch, binary.AppendUvarint(nil, epoch)); err != nil {
+		return
+	} else {
+		p.sentOut.Add(int64(n))
+	}
+	if expectEpoch != 0 && expectEpoch != epoch {
+		// The secondary's cursor belongs to a previous incarnation of
+		// this primary's oplog: its sequence numbers are meaningless
+		// here. Full resync.
+		newCursor, serr := p.sendSnapshot(conn)
+		if serr != nil {
+			return
+		}
+		cursor = newCursor
+	}
+
+	for {
+		ents, err := p.node.Oplog().EntriesSince(cursor, batchEntries)
+		if errors.Is(err, oplog.ErrTruncated) {
+			// The secondary is behind the retained window: full resync.
+			newCursor, serr := p.sendSnapshot(conn)
+			if serr != nil {
+				return
+			}
+			cursor = newCursor
+			continue
+		}
+		if err != nil {
+			writeFrame(conn, frameError, []byte(err.Error()))
+			return
+		}
+		if len(ents) == 0 {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(pollInterval)
+			continue
+		}
+		var buf []byte
+		buf = binary.AppendUvarint(buf, uint64(len(ents)))
+		for _, e := range ents {
+			buf = append(buf, e.Marshal()...)
+		}
+		n, err := writeFrame(conn, frameBatch, buf)
+		if err != nil {
+			return
+		}
+		p.sentOut.Add(int64(n))
+		cursor = ents[len(ents)-1].Seq
+	}
+}
+
+// serveFetches answers record-fetch requests on a dedicated connection.
+func (p *Primary) serveFetches(conn net.Conn) {
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil || typ != frameFetch {
+			return
+		}
+		db, rest, ok := readLenBytes(payload)
+		if !ok {
+			return
+		}
+		key, _, ok := readLenBytes(rest)
+		if !ok {
+			return
+		}
+		content, err := p.node.Read(string(db), string(key))
+		if err != nil {
+			if _, werr := writeFrame(conn, frameError, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		n, err := writeFrame(conn, frameRecord, content)
+		if err != nil {
+			return
+		}
+		p.sentOut.Add(int64(n))
+	}
+}
+
+// sendSnapshot streams the node's full visible state and returns the oplog
+// cursor normal streaming should resume from (the sequence number observed
+// when the scan started; entries after it are replayed leniently on top).
+func (p *Primary) sendSnapshot(conn net.Conn) (uint64, error) {
+	startSeq := p.node.Oplog().LastSeq()
+	begin := binary.AppendUvarint(nil, startSeq)
+	if n, err := writeFrame(conn, frameSnapBegin, begin); err != nil {
+		return 0, err
+	} else {
+		p.sentOut.Add(int64(n))
+	}
+
+	const batchRecords = 128
+	var buf []byte
+	count := 0
+	flush := func() error {
+		if count == 0 {
+			return nil
+		}
+		frame := binary.AppendUvarint(nil, uint64(count))
+		frame = append(frame, buf...)
+		n, err := writeFrame(conn, frameSnapBatch, frame)
+		if err != nil {
+			return err
+		}
+		p.sentOut.Add(int64(n))
+		buf = buf[:0]
+		count = 0
+		return nil
+	}
+	var streamErr error
+	err := p.node.Snapshot(func(db, key string, content []byte) bool {
+		buf = appendLenBytes(buf, []byte(db))
+		buf = appendLenBytes(buf, []byte(key))
+		buf = appendLenBytes(buf, content)
+		count++
+		if count >= batchRecords {
+			if streamErr = flush(); streamErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		writeFrame(conn, frameError, []byte(err.Error()))
+		return 0, err
+	}
+	if streamErr != nil {
+		return 0, streamErr
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+
+	endSeq := p.node.Oplog().LastSeq()
+	end := binary.AppendUvarint(nil, endSeq)
+	n, err := writeFrame(conn, frameSnapEnd, end)
+	if err != nil {
+		return 0, err
+	}
+	p.sentOut.Add(int64(n))
+	return startSeq, nil
+}
+
+func appendLenBytes(dst, v []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
+}
+
+func readLenBytes(p []byte) ([]byte, []byte, bool) {
+	l, k := binary.Uvarint(p)
+	if k <= 0 || uint64(len(p)-k) < l {
+		return nil, nil, false
+	}
+	return p[k : k+int(l)], p[k+int(l):], true
+}
+
+// Secondary pulls and applies the primary's oplog into the local node.
+type Secondary struct {
+	node *node.Node
+	conn net.Conn
+
+	mu         sync.Mutex
+	appliedSeq uint64
+	// lenientUntil marks the end of a snapshot catch-up window: entries
+	// with Seq <= lenientUntil were concurrent with the snapshot scan
+	// and are applied with insert-or-skip/ignore-missing semantics.
+	lenientUntil uint64
+	// snapStartSeq holds the in-flight snapshot's resume cursor;
+	// appliedSeq only advances to it once the snapshot is fully applied.
+	snapStartSeq uint64
+	resyncs      uint64
+	snapRecords  uint64
+	baseFetches  uint64
+	epoch        uint64
+	// snapKeys collects the keys received during an in-flight snapshot so
+	// stale local records (deleted on the primary while disconnected) can
+	// be reconciled away at snapshot end.
+	snapKeys map[string]map[string]bool
+	err      error
+	done     chan struct{}
+	bytesIn  metrics.Meter
+
+	addr      string
+	fetchMu   sync.Mutex
+	fetchConn net.Conn
+}
+
+// Connect dials the primary and starts applying its oplog from afterSeq
+// (normally 0 for a fresh secondary).
+func Connect(n *node.Node, addr string, afterSeq uint64) (*Secondary, error) {
+	return connect(n, addr, afterSeq, 0)
+}
+
+// ConnectResume is Connect for a secondary holding a cursor from a previous
+// session: expectEpoch is the primary oplog epoch the cursor belongs to. If
+// the primary has restarted since (epoch mismatch), the stream transparently
+// falls back to a full snapshot resync.
+func ConnectResume(n *node.Node, addr string, afterSeq, expectEpoch uint64) (*Secondary, error) {
+	return connect(n, addr, afterSeq, expectEpoch)
+}
+
+func connect(n *node.Node, addr string, afterSeq, expectEpoch uint64) (*Secondary, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	hello := append([]byte{helloStream}, binary.AppendUvarint(nil, afterSeq)...)
+	hello = binary.AppendUvarint(hello, expectEpoch)
+	if _, err := writeFrame(conn, frameHello, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	s := &Secondary{node: n, conn: conn, addr: addr, appliedSeq: afterSeq, done: make(chan struct{})}
+	go s.applyLoop()
+	return s, nil
+}
+
+// fetchRecord asks the primary for a record's full content over a lazily
+// opened dedicated connection.
+func (s *Secondary) fetchRecord(db, key string) ([]byte, error) {
+	s.fetchMu.Lock()
+	defer s.fetchMu.Unlock()
+	if s.fetchConn == nil {
+		conn, err := net.Dial("tcp", s.addr)
+		if err != nil {
+			return nil, fmt.Errorf("repl: fetch dial: %w", err)
+		}
+		if _, err := writeFrame(conn, frameHello, []byte{helloFetch}); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("repl: %w", err)
+		}
+		s.fetchConn = conn
+	}
+	req := appendLenBytes(nil, []byte(db))
+	req = appendLenBytes(req, []byte(key))
+	if _, err := writeFrame(s.fetchConn, frameFetch, req); err != nil {
+		s.fetchConn.Close()
+		s.fetchConn = nil
+		return nil, err
+	}
+	typ, payload, err := readFrame(s.fetchConn)
+	if err != nil {
+		s.fetchConn.Close()
+		s.fetchConn = nil
+		return nil, err
+	}
+	s.bytesIn.Add(int64(len(payload) + 5))
+	switch typ {
+	case frameRecord:
+		return payload, nil
+	case frameError:
+		return nil, fmt.Errorf("repl: primary: %s", payload)
+	default:
+		return nil, fmt.Errorf("repl: unexpected fetch frame %q", typ)
+	}
+}
+
+func (s *Secondary) applyLoop() {
+	defer close(s.done)
+	for {
+		typ, payload, err := readFrame(s.conn)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.bytesIn.Add(int64(len(payload) + 5))
+		switch typ {
+		case frameBatch:
+			count, k := binary.Uvarint(payload)
+			if k <= 0 {
+				s.fail(errors.New("repl: corrupt batch"))
+				return
+			}
+			p := payload[k:]
+			for i := uint64(0); i < count; i++ {
+				e, n, err := oplog.Unmarshal(p)
+				if err != nil {
+					s.fail(fmt.Errorf("repl: batch entry: %w", err))
+					return
+				}
+				p = p[n:]
+				s.mu.Lock()
+				lenient := e.Seq <= s.lenientUntil
+				s.mu.Unlock()
+				if lenient {
+					err = s.node.ApplyReplicatedLenient(e)
+				} else {
+					err = s.node.ApplyReplicated(e)
+				}
+				if errors.Is(err, node.ErrBaseMissing) {
+					// Fall back to fetching the full record from the
+					// primary (paper §4.1 fn. 4).
+					content, ferr := s.fetchRecord(e.DB, e.Key)
+					if ferr == nil {
+						err = s.node.ApplySnapshotRecord(e.DB, e.Key, content)
+						s.mu.Lock()
+						s.baseFetches++
+						s.mu.Unlock()
+					} else {
+						err = fmt.Errorf("%w (fetch fallback: %v)", err, ferr)
+					}
+				}
+				if err != nil {
+					s.fail(fmt.Errorf("repl: applying seq %d: %w", e.Seq, err))
+					return
+				}
+				s.mu.Lock()
+				s.appliedSeq = e.Seq
+				s.mu.Unlock()
+			}
+		case frameEpoch:
+			ep, k := binary.Uvarint(payload)
+			if k <= 0 {
+				s.fail(errors.New("repl: corrupt epoch frame"))
+				return
+			}
+			s.mu.Lock()
+			s.epoch = ep
+			s.mu.Unlock()
+		case frameSnapBegin:
+			startSeq, k := binary.Uvarint(payload)
+			if k <= 0 {
+				s.fail(errors.New("repl: corrupt snapshot begin"))
+				return
+			}
+			s.mu.Lock()
+			s.resyncs++
+			// Until the end frame arrives, every entry is in-window.
+			// appliedSeq is NOT advanced yet: the snapshot's records
+			// are still in flight, and WaitForSeq must not observe
+			// progress before they are applied.
+			s.lenientUntil = ^uint64(0)
+			s.snapStartSeq = startSeq
+			s.snapKeys = make(map[string]map[string]bool)
+			s.mu.Unlock()
+		case frameSnapBatch:
+			count, k := binary.Uvarint(payload)
+			if k <= 0 {
+				s.fail(errors.New("repl: corrupt snapshot batch"))
+				return
+			}
+			p := payload[k:]
+			for i := uint64(0); i < count; i++ {
+				var db, key, content []byte
+				var ok bool
+				if db, p, ok = readLenBytes(p); !ok {
+					s.fail(errors.New("repl: corrupt snapshot record"))
+					return
+				}
+				if key, p, ok = readLenBytes(p); !ok {
+					s.fail(errors.New("repl: corrupt snapshot record"))
+					return
+				}
+				if content, p, ok = readLenBytes(p); !ok {
+					s.fail(errors.New("repl: corrupt snapshot record"))
+					return
+				}
+				if err := s.node.ApplySnapshotRecord(string(db), string(key), content); err != nil {
+					s.fail(fmt.Errorf("repl: snapshot record %s/%s: %w", db, key, err))
+					return
+				}
+				s.mu.Lock()
+				s.snapRecords++
+				if s.snapKeys != nil {
+					dbm := s.snapKeys[string(db)]
+					if dbm == nil {
+						dbm = make(map[string]bool)
+						s.snapKeys[string(db)] = dbm
+					}
+					dbm[string(key)] = true
+				}
+				s.mu.Unlock()
+			}
+		case frameSnapEnd:
+			endSeq, k := binary.Uvarint(payload)
+			if k <= 0 {
+				s.fail(errors.New("repl: corrupt snapshot end"))
+				return
+			}
+			s.mu.Lock()
+			keys := s.snapKeys
+			s.snapKeys = nil
+			s.lenientUntil = endSeq
+			// The snapshot defines the stream position outright — on an
+			// epoch-mismatch resync the old cursor may be numerically
+			// larger but belongs to a dead numbering.
+			s.appliedSeq = s.snapStartSeq
+			s.mu.Unlock()
+			// Reconcile: local records absent from the snapshot were
+			// deleted on the primary while we were disconnected.
+			if keys != nil {
+				s.node.ReconcileAfterSnapshot(keys)
+			}
+		case frameError:
+			s.fail(fmt.Errorf("repl: primary: %s", payload))
+			return
+		default:
+			s.fail(fmt.Errorf("repl: unexpected frame %q", typ))
+			return
+		}
+	}
+}
+
+func (s *Secondary) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// AppliedSeq returns the last applied sequence number.
+func (s *Secondary) AppliedSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appliedSeq
+}
+
+// Err returns the first terminal replication error, if any.
+func (s *Secondary) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// BytesReceived returns the replication traffic received so far.
+func (s *Secondary) BytesReceived() int64 { return s.bytesIn.Total() }
+
+// Resyncs reports how many full snapshot transfers this secondary performed
+// and how many records arrived via snapshots.
+func (s *Secondary) Resyncs() (count, records uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resyncs, s.snapRecords
+}
+
+// WaitForSeq blocks until the secondary has applied seq, the stream fails,
+// or the timeout expires.
+func (s *Secondary) WaitForSeq(seq uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.AppliedSeq() >= seq {
+			return nil
+		}
+		if err := s.Err(); err != nil {
+			return err
+		}
+		select {
+		case <-s.done:
+			if s.AppliedSeq() >= seq {
+				return nil
+			}
+			if err := s.Err(); err != nil {
+				return err
+			}
+			return errors.New("repl: stream closed before reaching sequence")
+		case <-time.After(time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("repl: timeout waiting for seq %d (at %d)", seq, s.AppliedSeq())
+		}
+	}
+}
+
+// Epoch returns the primary's oplog epoch as announced at connection time
+// (0 until the handshake completes). Persist it with the applied sequence
+// number to resume via ConnectResume.
+func (s *Secondary) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// BaseFetches reports how many forward-encoded inserts needed a full-record
+// fetch from the primary because their base was locally unavailable.
+func (s *Secondary) BaseFetches() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseFetches
+}
+
+// Close tears down the connection.
+func (s *Secondary) Close() error {
+	err := s.conn.Close()
+	s.fetchMu.Lock()
+	if s.fetchConn != nil {
+		s.fetchConn.Close()
+	}
+	s.fetchMu.Unlock()
+	<-s.done
+	return err
+}
+
+// ---- framing ----
+
+func writeFrame(w io.Writer, typ byte, payload []byte) (int, error) {
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(payload), nil
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxFrame {
+		return 0, nil, errors.New("repl: oversized frame")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}

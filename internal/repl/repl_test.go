@@ -1,0 +1,549 @@
+package repl
+
+import (
+	"bytes"
+	"dbdedup/internal/oplog"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dbdedup/internal/node"
+)
+
+func testPair(t *testing.T) (*node.Node, *node.Node, *Primary, *Secondary) {
+	t.Helper()
+	popts := node.Options{SyncEncode: true, DisableAutoFlush: true}
+	popts.Engine.GovernorWindow = 1 << 30
+	prim, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { prim.Close() })
+	sec, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sec.Close() })
+
+	p, err := ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	s, err := Connect(sec, p.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return prim, sec, p, s
+}
+
+func prose(rng *rand.Rand, n int) []byte {
+	words := []string{"the", "record", "database", "version", "of", "and",
+		"revision", "content", "chunk", "update", "a", "delta", "system"}
+	var buf bytes.Buffer
+	for buf.Len() < n {
+		buf.WriteString(words[rng.Intn(len(words))])
+		buf.WriteByte(' ')
+	}
+	return buf.Bytes()[:n]
+}
+
+func editText(rng *rand.Rand, data []byte, k int) []byte {
+	out := append([]byte(nil), data...)
+	for i := 0; i < k; i++ {
+		pos := rng.Intn(len(out) - 20)
+		copy(out[pos:], prose(rng, 12))
+	}
+	return append(out, prose(rng, 40)...)
+}
+
+func TestReplicationOverTCP(t *testing.T) {
+	prim, sec, _, s := testPair(t)
+
+	rng := rand.New(rand.NewSource(1))
+	content := prose(rng, 8192)
+	var versions [][]byte
+	for i := 0; i < 30; i++ {
+		if err := prim.Insert("wiki", fmt.Sprintf("v%d", i), content); err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, content)
+		content = editText(rng, content, 2)
+	}
+	prim.Update("wiki", "v5", []byte("updated over the wire"))
+	prim.Delete("wiki", "v7")
+
+	last := prim.Oplog().LastSeq()
+	if err := s.WaitForSeq(last, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, want := range versions {
+		key := fmt.Sprintf("v%d", i)
+		got, err := sec.Read("wiki", key)
+		switch i {
+		case 5:
+			if err != nil || string(got) != "updated over the wire" {
+				t.Errorf("%s = %q, %v", key, got, err)
+			}
+		case 7:
+			if err != node.ErrNotFound {
+				t.Errorf("deleted %s err = %v", key, err)
+			}
+		default:
+			if err != nil || !bytes.Equal(got, want) {
+				t.Errorf("%s mismatch: %v", key, err)
+			}
+		}
+	}
+}
+
+func TestReplicationTrafficReduced(t *testing.T) {
+	prim, _, _, s := testPair(t)
+
+	rng := rand.New(rand.NewSource(2))
+	content := prose(rng, 8192)
+	var raw int64
+	for i := 0; i < 40; i++ {
+		if err := prim.Insert("wiki", fmt.Sprintf("v%d", i), content); err != nil {
+			t.Fatal(err)
+		}
+		raw += int64(len(content))
+		content = editText(rng, content, 2)
+	}
+	if err := s.WaitForSeq(prim.Oplog().LastSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := s.BytesReceived()
+	if got*4 > raw {
+		t.Errorf("replication shipped %d bytes for %d raw bytes; want >= 4x reduction", got, raw)
+	}
+}
+
+func TestLateJoiningSecondary(t *testing.T) {
+	popts := node.Options{SyncEncode: true, DisableAutoFlush: true}
+	popts.Engine.GovernorWindow = 1 << 30
+	prim, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prim.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	content := prose(rng, 4096)
+	var versions [][]byte
+	for i := 0; i < 10; i++ {
+		prim.Insert("wiki", fmt.Sprintf("v%d", i), content)
+		versions = append(versions, content)
+		content = editText(rng, content, 2)
+	}
+
+	p, err := ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	sec, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sec.Close()
+	s, err := Connect(sec, p.Addr(), 0) // full history still retained
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WaitForSeq(prim.Oplog().LastSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range versions {
+		got, err := sec.Read("wiki", fmt.Sprintf("v%d", i))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("v%d: %v", i, err)
+		}
+	}
+	if p.BytesSent() == 0 {
+		t.Error("primary byte meter not counting")
+	}
+}
+
+func TestSnapshotResyncAfterTruncation(t *testing.T) {
+	// A tiny oplog forces a from-zero secondary past the retained window;
+	// the primary must fall back to a full snapshot and the secondary
+	// must still converge exactly.
+	popts := node.Options{SyncEncode: true, DisableAutoFlush: true, OplogCapacity: 8}
+	popts.Engine.GovernorWindow = 1 << 30
+	prim, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prim.Close()
+
+	rng := rand.New(rand.NewSource(4))
+	content := prose(rng, 2048)
+	want := map[string][]byte{}
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		if err := prim.Insert("db", key, content); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = content
+		content = editText(rng, content, 2)
+	}
+	prim.Update("db", "k010", []byte("updated before resync"))
+	want["k010"] = []byte("updated before resync")
+	prim.Delete("db", "k020")
+	delete(want, "k020")
+
+	p, err := ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	sec, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sec.Close()
+	s, err := Connect(sec, p.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WaitForSeq(prim.Oplog().LastSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resyncs, records := s.Resyncs()
+	if resyncs != 1 {
+		t.Fatalf("resyncs = %d, want 1", resyncs)
+	}
+	if records == 0 {
+		t.Fatal("no snapshot records received")
+	}
+
+	for key, wc := range want {
+		got, err := sec.Read("db", key)
+		if err != nil || !bytes.Equal(got, wc) {
+			t.Fatalf("%s after resync: %v", key, err)
+		}
+	}
+	if _, err := sec.Read("db", "k020"); err != node.ErrNotFound {
+		t.Fatal("deleted record resurrected by snapshot")
+	}
+
+	// Live streaming must continue after the snapshot.
+	if err := prim.Insert("db", "post", []byte("post-snapshot insert")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitForSeq(prim.Oplog().LastSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sec.Read("db", "post")
+	if err != nil || string(got) != "post-snapshot insert" {
+		t.Fatal("streaming did not resume after snapshot")
+	}
+}
+
+func TestSnapshotResyncWithConcurrentWrites(t *testing.T) {
+	// Writes racing the snapshot scan land in the lenient window and must
+	// not corrupt the secondary.
+	popts := node.Options{SyncEncode: true, DisableAutoFlush: true, OplogCapacity: 8}
+	popts.Engine.GovernorWindow = 1 << 30
+	prim, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prim.Close()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		prim.Insert("db", fmt.Sprintf("k%03d", i), prose(rng, 1024))
+	}
+	p, err := ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	sec, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sec.Close()
+	s, err := Connect(sec, p.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Keep writing while the snapshot streams.
+	for i := 40; i < 80; i++ {
+		prim.Insert("db", fmt.Sprintf("k%03d", i), prose(rng, 1024))
+	}
+	if err := s.WaitForSeq(prim.Oplog().LastSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		wantC, err := prim.Read("db", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sec.Read("db", key)
+		if err != nil || !bytes.Equal(got, wantC) {
+			t.Fatalf("%s diverged: %v", key, err)
+		}
+	}
+}
+
+func TestContinuousReplicationWhileWriting(t *testing.T) {
+	prim, sec, _, s := testPair(t)
+	rng := rand.New(rand.NewSource(5))
+	content := prose(rng, 4096)
+	for i := 0; i < 100; i++ {
+		if err := prim.Insert("wiki", fmt.Sprintf("v%d", i), content); err != nil {
+			t.Fatal(err)
+		}
+		content = editText(rng, content, 1)
+		if i%10 == 0 {
+			time.Sleep(time.Millisecond) // let the stream interleave
+		}
+	}
+	if err := s.WaitForSeq(prim.Oplog().LastSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sec.Read("wiki", "v99"); err != nil || !bytes.Equal(got, content[:0:0]) && len(got) == 0 {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sec.Stats().Inserts != 100 {
+		t.Fatalf("secondary applied %d inserts, want 100", sec.Stats().Inserts)
+	}
+}
+
+func TestBaseMissFetchFallback(t *testing.T) {
+	// A secondary that starts mid-stream can receive a forward-encoded
+	// insert whose base it never saw; it must fetch the full record from
+	// the primary (paper §4.1 fn. 4) instead of failing.
+	popts := node.Options{SyncEncode: true, DisableAutoFlush: true}
+	popts.Engine.GovernorWindow = 1 << 30
+	prim, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prim.Close()
+
+	rng := rand.New(rand.NewSource(6))
+	base := prose(rng, 4096)
+	if err := prim.Insert("db", "base", base); err != nil {
+		t.Fatal(err)
+	}
+	derived := editText(rng, base, 2)
+	if err := prim.Insert("db", "derived", derived); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := prim.Oplog().EntriesSince(0, 0)
+	if len(ents) != 2 || ents[1].Form != oplog.FormDelta {
+		t.Skip("second insert was not forward-encoded; fallback not exercised")
+	}
+
+	p, err := ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	sec, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sec.Close()
+	// Start after the base's entry: the delta insert arrives baseless.
+	s, err := Connect(sec, p.Addr(), ents[0].Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WaitForSeq(prim.Oplog().LastSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.BaseFetches() != 1 {
+		t.Fatalf("base fetches = %d, want 1", s.BaseFetches())
+	}
+	got, err := sec.Read("db", "derived")
+	if err != nil || !bytes.Equal(got, derived) {
+		t.Fatalf("derived record after fallback: %v", err)
+	}
+}
+
+func TestPrimaryRestartDetectedByEpoch(t *testing.T) {
+	// A secondary resuming with a cursor from a previous primary
+	// incarnation must get a full resync instead of stalling on
+	// meaningless sequence numbers — including reconciling away records
+	// the restarted primary no longer has.
+	dir := t.TempDir()
+	mkPrim := func() *node.Node {
+		opts := node.Options{Dir: dir, SyncEncode: true, DisableAutoFlush: true}
+		opts.Engine.GovernorWindow = 1 << 30
+		p, err := node.Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	prim := mkPrim()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20; i++ {
+		prim.Insert("db", fmt.Sprintf("k%02d", i), prose(rng, 1024))
+	}
+
+	srv, err := ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sopts := node.Options{SyncEncode: true, DisableAutoFlush: true}
+	sopts.Engine.GovernorWindow = 1 << 30
+	sec, err := node.Open(sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sec.Close()
+	sub, err := Connect(sec, srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.WaitForSeq(prim.Oplog().LastSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cursor := sub.AppliedSeq()
+	oldEpoch := sub.Epoch()
+	if oldEpoch == 0 {
+		t.Fatal("epoch not announced")
+	}
+	sub.Close()
+	srv.Close()
+
+	// Restart the primary: same data directory, fresh oplog (new epoch).
+	prim.Delete("db", "k05")
+	prim.Close()
+	prim = mkPrim()
+	defer prim.Close()
+	prim.Insert("db", "after-restart", []byte("fresh record on restarted primary"))
+
+	srv2, err := ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	sub2, err := ConnectResume(sec, srv2.Addr(), cursor, oldEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	// The stale cursor makes WaitForSeq ambiguous until the resync resets
+	// it; poll for convergence of the post-restart record instead.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := sec.Read("db", "after-restart")
+		if err == nil && string(got) == "fresh record on restarted primary" {
+			break
+		}
+		if serr := sub2.Err(); serr != nil {
+			t.Fatal(serr)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("secondary never converged after primary restart")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := sub2.WaitForSeq(prim.Oplog().LastSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rs, _ := sub2.Resyncs(); rs != 1 {
+		t.Fatalf("resyncs = %d, want 1 (epoch mismatch)", rs)
+	}
+	if _, err := sec.Read("db", "k05"); err != node.ErrNotFound {
+		t.Fatal("record deleted before restart not reconciled away on secondary")
+	}
+	for i := 0; i < 20; i++ {
+		if i == 5 {
+			continue
+		}
+		key := fmt.Sprintf("k%02d", i)
+		wantC, err := prim.Read("db", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC, err := sec.Read("db", key)
+		if err != nil || !bytes.Equal(gotC, wantC) {
+			t.Fatalf("%s diverged after restart resync: %v", key, err)
+		}
+	}
+}
+
+func TestMultipleSecondaries(t *testing.T) {
+	popts := node.Options{SyncEncode: true, DisableAutoFlush: true}
+	popts.Engine.GovernorWindow = 1 << 30
+	prim, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prim.Close()
+	p, err := ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const nSecs = 3
+	var secs [nSecs]*node.Node
+	var subs [nSecs]*Secondary
+	for i := 0; i < nSecs; i++ {
+		secs[i], err = node.Open(popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer secs[i].Close()
+		subs[i], err = Connect(secs[i], p.Addr(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer subs[i].Close()
+	}
+
+	rng := rand.New(rand.NewSource(10))
+	content := prose(rng, 4096)
+	var keys []string
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("v%d", i)
+		if err := prim.Insert("wiki", key, content); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+		content = editText(rng, content, 2)
+	}
+
+	last := prim.Oplog().LastSeq()
+	for i, sub := range subs {
+		if err := sub.WaitForSeq(last, 10*time.Second); err != nil {
+			t.Fatalf("secondary %d: %v", i, err)
+		}
+	}
+	for _, key := range keys {
+		want, err := prim.Read("wiki", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range secs {
+			got, err := secs[i].Read("wiki", key)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("secondary %d diverged on %s: %v", i, key, err)
+			}
+		}
+	}
+}

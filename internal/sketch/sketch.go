@@ -1,0 +1,150 @@
+// Package sketch implements similarity-feature extraction for dbDedup.
+//
+// A record's sketch is a small, fixed-size sample of its chunk hashes: the
+// record is divided into content-defined chunks (Rabin fingerprinting), each
+// chunk is hashed with MurmurHash, and the top-K hashes by magnitude are kept
+// (consistent sampling, paper §3.1.1). Two records that share even one
+// feature are considered similar. Because at most K features are indexed per
+// record, index memory is bounded regardless of chunk size — the property
+// that lets dbDedup use tiny (64 B) chunks where exact dedup cannot.
+package sketch
+
+import (
+	"sort"
+
+	"dbdedup/internal/murmur"
+	"dbdedup/internal/rabin"
+)
+
+// DefaultK is the default sketch size. The paper finds K=8 a reasonable
+// trade-off between compression ratio and memory usage (§3.1.1 fn. 1).
+const DefaultK = 8
+
+// Feature is a sampled chunk hash used as a similarity feature.
+type Feature uint64
+
+// Sketch is a record's similarity sketch: up to K features sorted in
+// descending magnitude (the consistent-sampling order).
+type Sketch []Feature
+
+// Config controls feature extraction.
+type Config struct {
+	// K is the maximum number of features per sketch; DefaultK if zero.
+	K int
+	// ChunkAvgSize is the target average chunk size in bytes (power of
+	// two). Defaults to 1024. The paper evaluates 1 KiB and 64 B.
+	ChunkAvgSize int
+	// ChunkMinSize / ChunkMaxSize bound chunk sizes; zero means the
+	// chunker defaults (avg/4 and avg*4).
+	ChunkMinSize int
+	ChunkMaxSize int
+	// Seed perturbs the chunk-hash function; all extractors that should
+	// agree on sketches must use the same seed.
+	Seed uint64
+	// SampleRandomly selects features by position-independent random
+	// order instead of consistent magnitude order. It exists only for the
+	// ablation benchmark; consistent sampling characterises similarity
+	// strictly better (paper §3.1.1).
+	SampleRandomly bool
+}
+
+// Extractor turns records into sketches. It is safe for concurrent use.
+type Extractor struct {
+	k       int
+	chunker *rabin.Chunker
+	seed    uint64
+	random  bool
+}
+
+// NewExtractor validates cfg and returns an Extractor.
+func NewExtractor(cfg Config) *Extractor {
+	if cfg.K == 0 {
+		cfg.K = DefaultK
+	}
+	if cfg.K < 1 {
+		panic("sketch: K must be >= 1")
+	}
+	if cfg.ChunkAvgSize == 0 {
+		cfg.ChunkAvgSize = 1024
+	}
+	return &Extractor{
+		k: cfg.K,
+		chunker: rabin.NewChunker(rabin.ChunkerConfig{
+			AvgSize: cfg.ChunkAvgSize,
+			MinSize: cfg.ChunkMinSize,
+			MaxSize: cfg.ChunkMaxSize,
+		}),
+		seed:   cfg.Seed,
+		random: cfg.SampleRandomly,
+	}
+}
+
+// K returns the sketch size.
+func (e *Extractor) K() int { return e.k }
+
+// Extract computes the sketch of record. The result has between 0 and K
+// features: short records produce few chunks and hence few features.
+// Duplicate chunk hashes within one record are collapsed.
+func (e *Extractor) Extract(record []byte) Sketch {
+	if len(record) == 0 {
+		return nil
+	}
+	hashes := make([]uint64, 0, 16)
+	e.chunker.SplitFunc(record, func(chunk []byte) {
+		hashes = append(hashes, murmur.Sum64(chunk, e.seed))
+	})
+
+	if e.random {
+		// Ablation mode: sample by a secondary hash of the feature,
+		// which is equivalent to a random-but-deterministic ordering
+		// uncorrelated with feature magnitude.
+		sort.Slice(hashes, func(i, j int) bool {
+			return murmur.Sum64(u64bytes(hashes[i]), ^e.seed) >
+				murmur.Sum64(u64bytes(hashes[j]), ^e.seed)
+		})
+	} else {
+		// Consistent sampling: order by magnitude, descending, so any
+		// two records sharing chunk content tend to sample the same
+		// features.
+		sort.Slice(hashes, func(i, j int) bool { return hashes[i] > hashes[j] })
+	}
+
+	sk := make(Sketch, 0, e.k)
+	var prev uint64
+	for i, h := range hashes {
+		if i > 0 && h == prev {
+			continue
+		}
+		sk = append(sk, Feature(h))
+		prev = h
+		if len(sk) == e.k {
+			break
+		}
+	}
+	return sk
+}
+
+// CommonFeatures returns how many features a and b share. Both must be in
+// the extractor's sampling order (as returned by Extract); the count is the
+// initial similarity score used in source selection (paper §3.1.3).
+func CommonFeatures(a, b Sketch) int {
+	seen := make(map[Feature]struct{}, len(a))
+	for _, f := range a {
+		seen[f] = struct{}{}
+	}
+	n := 0
+	for _, f := range b {
+		if _, ok := seen[f]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+func u64bytes(v uint64) []byte {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b[:]
+}

@@ -1,0 +1,190 @@
+package sketch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testExtractor() *Extractor {
+	return NewExtractor(Config{K: 8, ChunkAvgSize: 64})
+}
+
+func randText(rng *rand.Rand, n int) []byte {
+	words := []string{"record", "database", "dedup", "chunk", "version",
+		"update", "storage", "replica", "oplog", "compress", "the", "a",
+		"of", "and", "to", "delta", "encode", "feature", "index"}
+	var buf bytes.Buffer
+	for buf.Len() < n {
+		buf.WriteString(words[rng.Intn(len(words))])
+		buf.WriteByte(' ')
+	}
+	return buf.Bytes()[:n]
+}
+
+func TestExtractEmpty(t *testing.T) {
+	e := testExtractor()
+	if sk := e.Extract(nil); sk != nil {
+		t.Fatalf("Extract(nil) = %v, want nil", sk)
+	}
+	if sk := e.Extract([]byte{}); sk != nil {
+		t.Fatalf("Extract(empty) = %v, want nil", sk)
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	e := testExtractor()
+	f := func(data []byte) bool {
+		a := e.Extract(data)
+		b := e.Extract(data)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSketchBoundedByK(t *testing.T) {
+	for _, k := range []int{1, 4, 8, 16} {
+		e := NewExtractor(Config{K: k, ChunkAvgSize: 64})
+		rng := rand.New(rand.NewSource(1))
+		data := randText(rng, 16*1024)
+		sk := e.Extract(data)
+		if len(sk) > k {
+			t.Errorf("K=%d: sketch has %d features", k, len(sk))
+		}
+		if len(sk) < k {
+			t.Errorf("K=%d: large record should fill the sketch, got %d", k, len(sk))
+		}
+	}
+}
+
+func TestSketchSortedDescendingAndUnique(t *testing.T) {
+	e := testExtractor()
+	rng := rand.New(rand.NewSource(2))
+	sk := e.Extract(randText(rng, 8192))
+	for i := 1; i < len(sk); i++ {
+		if sk[i] >= sk[i-1] {
+			t.Fatalf("sketch not strictly descending at %d: %v", i, sk)
+		}
+	}
+}
+
+func TestSimilarRecordsShareFeatures(t *testing.T) {
+	// The core similarity property: a record and a lightly edited copy
+	// must share most sketch features, while unrelated records share
+	// (almost) none.
+	e := testExtractor()
+	rng := rand.New(rand.NewSource(3))
+	base := randText(rng, 8192)
+
+	edited := append([]byte(nil), base...)
+	// Small dispersed edits, like a wiki revision.
+	for i := 0; i < 5; i++ {
+		pos := rng.Intn(len(edited) - 10)
+		copy(edited[pos:], "EDITED")
+	}
+
+	skBase := e.Extract(base)
+	skEdit := e.Extract(edited)
+	if c := CommonFeatures(skBase, skEdit); c < len(skBase)/2 {
+		t.Errorf("edited copy shares only %d/%d features", c, len(skBase))
+	}
+
+	unrelated := make([]byte, 8192)
+	rng.Read(unrelated)
+	skOther := e.Extract(unrelated)
+	if c := CommonFeatures(skBase, skOther); c > 1 {
+		t.Errorf("unrelated record shares %d features, want <= 1", c)
+	}
+}
+
+func TestCommonFeatures(t *testing.T) {
+	a := Sketch{9, 7, 5, 3}
+	b := Sketch{8, 7, 3, 1}
+	if got := CommonFeatures(a, b); got != 2 {
+		t.Errorf("CommonFeatures = %d, want 2", got)
+	}
+	if got := CommonFeatures(nil, b); got != 0 {
+		t.Errorf("CommonFeatures(nil, b) = %d, want 0", got)
+	}
+	if got := CommonFeatures(a, a); got != len(a) {
+		t.Errorf("CommonFeatures(a, a) = %d, want %d", got, len(a))
+	}
+}
+
+func TestSeedChangesSketches(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randText(rng, 4096)
+	a := NewExtractor(Config{K: 8, ChunkAvgSize: 64, Seed: 1}).Extract(data)
+	b := NewExtractor(Config{K: 8, ChunkAvgSize: 64, Seed: 2}).Extract(data)
+	if CommonFeatures(a, b) == len(a) {
+		t.Error("different seeds produced identical sketches")
+	}
+}
+
+func TestRandomSamplingModeDiffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randText(rng, 16*1024)
+	cons := NewExtractor(Config{K: 8, ChunkAvgSize: 64}).Extract(data)
+	rnd := NewExtractor(Config{K: 8, ChunkAvgSize: 64, SampleRandomly: true}).Extract(data)
+	if len(rnd) != len(cons) {
+		t.Fatalf("random mode sketch size %d != %d", len(rnd), len(cons))
+	}
+	same := CommonFeatures(cons, rnd)
+	if same == len(cons) {
+		t.Error("random sampling selected exactly the consistent-sample features; ablation would be vacuous")
+	}
+}
+
+// Consistent sampling must beat random sampling at similarity detection:
+// across edited pairs, consistent sketches overlap more. This validates the
+// design choice the paper adopts from DOT/sDedup.
+func TestConsistentBeatsRandomSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	consE := NewExtractor(Config{K: 4, ChunkAvgSize: 64})
+	randE := NewExtractor(Config{K: 4, ChunkAvgSize: 64, SampleRandomly: true})
+
+	consTotal, randTotal := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		base := randText(rng, 8192)
+		edited := append([]byte(nil), base...)
+		pos := rng.Intn(len(edited) - 200)
+		copy(edited[pos:], bytes.Repeat([]byte("Z"), 150))
+
+		consTotal += CommonFeatures(consE.Extract(base), consE.Extract(edited))
+		randTotal += CommonFeatures(randE.Extract(base), randE.Extract(edited))
+	}
+	if consTotal < randTotal {
+		t.Errorf("consistent sampling matched %d features, random matched %d; expected consistent >= random",
+			consTotal, randTotal)
+	}
+}
+
+func TestShortRecordSketch(t *testing.T) {
+	e := testExtractor()
+	sk := e.Extract([]byte("tiny"))
+	if len(sk) != 1 {
+		t.Fatalf("4-byte record should yield exactly 1 feature, got %d", len(sk))
+	}
+}
+
+func BenchmarkExtract4KB(b *testing.B) {
+	e := testExtractor()
+	rng := rand.New(rand.NewSource(1))
+	data := randText(rng, 4096)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Extract(data)
+	}
+}

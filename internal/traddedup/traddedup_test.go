@@ -1,0 +1,135 @@
+package traddedup
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func text(rng *rand.Rand, n int) []byte {
+	words := []string{"record", "chunk", "the", "of", "database", "dedup",
+		"backup", "version", "a", "content", "and", "update"}
+	var buf bytes.Buffer
+	for buf.Len() < n {
+		buf.WriteString(words[rng.Intn(len(words))])
+		buf.WriteByte(' ')
+	}
+	return buf.Bytes()[:n]
+}
+
+func TestIngestReassemble(t *testing.T) {
+	d := New(Config{ChunkAvgSize: 64})
+	rng := rand.New(rand.NewSource(1))
+	var recipes []Recipe
+	var originals [][]byte
+	for i := 0; i < 20; i++ {
+		rec := text(rng, 100+rng.Intn(4000))
+		originals = append(originals, rec)
+		recipes = append(recipes, d.Ingest(rec))
+	}
+	for i, r := range recipes {
+		got, err := d.Reassemble(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, originals[i]) {
+			t.Fatalf("record %d: reassembly mismatch", i)
+		}
+	}
+}
+
+func TestExactDuplicateFullyDeduped(t *testing.T) {
+	d := New(Config{ChunkAvgSize: 64})
+	rng := rand.New(rand.NewSource(2))
+	rec := text(rng, 8192)
+	d.Ingest(rec)
+	before := d.Stats().StoredBytes
+	d.Ingest(rec) // identical copy: only recipe refs should be added
+	after := d.Stats().StoredBytes
+	added := after - before
+	chunks := d.Stats().TotalChunks / 2
+	if added != chunks*RefBytes {
+		t.Errorf("identical record added %d bytes, want %d (refs only)", added, chunks*RefBytes)
+	}
+}
+
+func TestSmallDispersedEditsDedupPoorlyAtLargeChunks(t *testing.T) {
+	// The paper's core observation: with 4 KiB chunks, small dispersed
+	// edits ruin chunk-level dedup; with 64 B chunks it works far better.
+	rng := rand.New(rand.NewSource(3))
+	base := text(rng, 32*1024)
+	edited := append([]byte(nil), base...)
+	for i := 0; i < 8; i++ { // dispersed point edits
+		edited[rng.Intn(len(edited))] ^= 0x55
+	}
+
+	big := New(Config{ChunkAvgSize: 4096})
+	big.Ingest(base)
+	big.Ingest(edited)
+
+	small := New(Config{ChunkAvgSize: 64})
+	small.Ingest(base)
+	small.Ingest(edited)
+
+	if small.CompressionRatio() <= big.CompressionRatio() {
+		t.Errorf("64B chunks ratio %.2f <= 4KB chunks ratio %.2f",
+			small.CompressionRatio(), big.CompressionRatio())
+	}
+	if big.CompressionRatio() > 1.5 {
+		t.Errorf("4KB chunks achieved %.2fx on dispersed edits; expected near 1x", big.CompressionRatio())
+	}
+}
+
+func TestIndexMemoryGrowsWithSmallerChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([][]byte, 30)
+	for i := range data {
+		data[i] = text(rng, 8192)
+	}
+	big := New(Config{ChunkAvgSize: 4096})
+	small := New(Config{ChunkAvgSize: 64})
+	for _, rec := range data {
+		big.Ingest(rec)
+		small.Ingest(rec)
+	}
+	if small.Stats().IndexMemoryBytes <= big.Stats().IndexMemoryBytes*4 {
+		t.Errorf("64B index memory %d not clearly above 4KB index memory %d",
+			small.Stats().IndexMemoryBytes, big.Stats().IndexMemoryBytes)
+	}
+	if got := small.Stats().IndexMemoryBytes; got != int64(len(small.chunks))*IndexEntryBytes {
+		t.Errorf("index memory %d != unique chunks * entry size", got)
+	}
+}
+
+func TestReassembleBadRecipe(t *testing.T) {
+	d := New(Config{ChunkAvgSize: 64})
+	if _, err := d.Reassemble(Recipe{99}); err == nil {
+		t.Error("bad recipe accepted")
+	}
+}
+
+func TestEmptyRecord(t *testing.T) {
+	d := New(Config{ChunkAvgSize: 64})
+	r := d.Ingest(nil)
+	if len(r) != 0 {
+		t.Fatalf("empty record produced recipe %v", r)
+	}
+	got, err := d.Reassemble(r)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty reassembly: %v %v", got, err)
+	}
+}
+
+func BenchmarkIngest4KB(b *testing.B) { benchIngest(b, 4096) }
+func BenchmarkIngest64B(b *testing.B) { benchIngest(b, 64) }
+
+func benchIngest(b *testing.B, chunkSize int) {
+	rng := rand.New(rand.NewSource(1))
+	rec := text(rng, 16*1024)
+	d := New(Config{ChunkAvgSize: chunkSize})
+	b.SetBytes(int64(len(rec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Ingest(rec)
+	}
+}
