@@ -111,6 +111,14 @@ type Options struct {
 	// the background pipeline. Deterministic, slightly higher insert
 	// latency.
 	SyncEncode bool
+	// EncodeWorkers sets the background encoder pool size. Jobs are
+	// sharded by database name, so one database's mutations always encode
+	// in order while independent databases encode in parallel. Default
+	// GOMAXPROCS; ignored with SyncEncode.
+	EncodeWorkers int
+	// EncodeQueue bounds each encoder shard's backlog (default 1024);
+	// mutations beyond it block until the encoder catches up.
+	EncodeQueue int
 	// ManualFlush disables the background idle flusher; call
 	// FlushWritebacks yourself.
 	ManualFlush bool
@@ -141,6 +149,8 @@ func (o Options) nodeOptions() node.Options {
 		},
 		WritebackCacheBytes: o.WritebackCacheBytes,
 		SyncEncode:          o.SyncEncode,
+		EncodeWorkers:       o.EncodeWorkers,
+		EncodeQueue:         o.EncodeQueue,
 		DisableAutoFlush:    o.ManualFlush,
 		FlushInterval:       o.FlushInterval,
 		Compaction:          node.CompactionOptions{Enabled: o.AutoCompact},
@@ -204,6 +214,12 @@ func (s *Store) Close() error { return s.n.Close() }
 // InsertLatency and ReadLatency expose client latency histograms.
 func (s *Store) InsertLatency() *metrics.Histogram { return s.n.InsertLatency() }
 func (s *Store) ReadLatency() *metrics.Histogram   { return s.n.ReadLatency() }
+
+// EncodeMetrics returns a snapshot of the encode-pipeline instrumentation:
+// per-stage latency histograms, throughput, and encoder-queue state.
+func (s *Store) EncodeMetrics() metrics.EncodeSnapshot {
+	return s.n.EncodeMetrics().Snapshot()
+}
 
 // Stats is a store-level measurement snapshot.
 type Stats struct {

@@ -10,17 +10,43 @@
 // I/O itself. The DBMS node (package node) feeds it inserts, applies its
 // decisions, and hands it a Fetcher for the rare source reads that miss the
 // source record cache.
+//
+// # Concurrency
+//
+// Engine state is partitioned by database, matching the feature index's
+// per-database partitioning (DESIGN.md §2): a read-mostly map guarded by
+// dbsMu resolves database names to dbState, and each dbState carries its own
+// mutex guarding that database's index, governor window, size filter, and
+// chain bookkeeping. Global counters are atomics. The heavy CPU stages —
+// sketch extraction and forward/backward delta compression — and the source
+// fetch run outside any engine lock; only index lookup, chain bookkeeping,
+// and window accounting hold the owning database's lock. Independent
+// databases therefore encode fully in parallel.
+//
+// Lock hierarchy (outer → inner): dbsMu → dbState.mu → cache-internal locks.
+// The Fetcher is only ever invoked with no engine lock held, so fetcher
+// implementations may take arbitrary locks of their own.
+//
+// Encodes for the *same* database may also be issued concurrently — the
+// engine stays memory-safe and every result remains decodable — but the
+// chain layout then depends on interleaving. Callers that need deterministic
+// per-database chain state (replication does) must serialise encodes per
+// database, which is exactly what package node's database-sharded encoder
+// pool provides.
 package core
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dbdedup/internal/chain"
 	"dbdedup/internal/dedupcache"
 	"dbdedup/internal/delta"
 	"dbdedup/internal/featidx"
+	"dbdedup/internal/metrics"
 	"dbdedup/internal/sketch"
 )
 
@@ -171,24 +197,46 @@ type Stats struct {
 	ForwardBytes     int64 // total forward-delta bytes for deduped inserts
 }
 
-// Engine is the dbDedup engine. Safe for concurrent use; the encode path is
-// serialised internally (it is a background, off-critical-path activity in
-// the DBMS integration).
+// counters is the lock-free mirror of Stats: every field is an atomic so the
+// hot encode path never serialises on a statistics mutex.
+type counters struct {
+	inserts          atomic.Uint64
+	deduped          atomic.Uint64
+	sizeFiltered     atomic.Uint64
+	governorSkipped  atomic.Uint64
+	noCandidate      atomic.Uint64
+	notWorthEncoding atomic.Uint64
+	sourceCacheHits  atomic.Uint64
+	sourceCacheMiss  atomic.Uint64
+	rawBytes         atomic.Int64
+	forwardBytes     atomic.Int64
+}
+
+// Engine is the dbDedup engine. Safe for concurrent use; encodes for
+// independent databases run in parallel, serialising only on the owning
+// database's state (see the package comment for the locking discipline).
 type Engine struct {
 	cfg       Config
 	extractor *sketch.Extractor
 	layout    chain.Layout
 	cache     *dedupcache.SourceCache
 	fetcher   Fetcher
+	enc       *metrics.EncodeMetrics
 
-	mu    sync.Mutex
+	// dbsMu guards the dbs map only; each dbState guards itself.
+	dbsMu sync.RWMutex
 	dbs   map[string]*dbState
-	stats Stats
+
+	stats counters
 }
 
 // dbState is the per-database partition: index, governor and filter state,
-// chain bookkeeping.
+// chain bookkeeping. mu guards every field; it is the only lock an encode
+// holds while touching this database's state, and it is never held across
+// sketch extraction, delta compression, or fetcher calls.
 type dbState struct {
+	mu sync.Mutex
+
 	index *featidx.Index
 	refs  []uint64 // featidx ref -> record ID
 
@@ -229,6 +277,7 @@ func NewEngine(cfg Config, fetcher Fetcher) *Engine {
 		layout:  chain.New(cfg.Scheme, cfg.HopDistance),
 		cache:   cache,
 		fetcher: fetcher,
+		enc:     metrics.NewEncodeMetrics(),
 		dbs:     make(map[string]*dbState),
 	}
 }
@@ -239,51 +288,85 @@ func (e *Engine) Layout() chain.Layout { return e.layout }
 // SourceCache returns the engine's source record cache (nil when disabled).
 func (e *Engine) SourceCache() *dedupcache.SourceCache { return e.cache }
 
+// EncodeMetrics returns the engine's per-stage latency histograms and
+// throughput meters.
+func (e *Engine) EncodeMetrics() *metrics.EncodeMetrics { return e.enc }
+
 func (e *Engine) db(name string) *dbState {
+	e.dbsMu.RLock()
 	st, ok := e.dbs[name]
-	if !ok {
-		st = &dbState{
-			index:    featidx.New(featidx.Config{CapacityEntries: e.cfg.IndexEntries}),
-			sizeRing: make([]int, 0, e.cfg.FilterUpdateEvery),
-			chains:   make(map[uint64]*chainState),
-		}
-		e.dbs[name] = st
+	e.dbsMu.RUnlock()
+	if ok {
+		return st
 	}
+	e.dbsMu.Lock()
+	defer e.dbsMu.Unlock()
+	if st, ok := e.dbs[name]; ok {
+		return st
+	}
+	st = &dbState{
+		index:    featidx.New(featidx.Config{CapacityEntries: e.cfg.IndexEntries}),
+		sizeRing: make([]int, 0, e.cfg.FilterUpdateEvery),
+		chains:   make(map[uint64]*chainState),
+	}
+	e.dbs[name] = st
 	return st
+}
+
+// hopJob is a hop-base re-encoding decided under the database lock but
+// executed outside it: content acquisition (cache, then fetcher) and delta
+// compression are the expensive parts and need no engine state.
+type hopJob struct {
+	baseID uint64
 }
 
 // Encode runs the dedup workflow for a newly inserted record and returns
 // the storage/replication decision. id must be unique and payload is
 // retained by the engine's cache (callers must not mutate it afterwards).
 func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
 	st := e.db(dbName)
-	e.stats.Inserts++
-	e.stats.RawBytes += int64(len(payload))
+	e.stats.inserts.Add(1)
+	e.stats.rawBytes.Add(int64(len(payload)))
+
+	// Cheap policy gate under the database lock: governor verdict and
+	// adaptive size filter.
+	st.mu.Lock()
 	st.inserts++
 	st.rawBytes += int64(len(payload))
-
 	if st.disabled {
-		e.stats.GovernorSkipped++
 		st.codeBytes += int64(len(payload))
+		st.mu.Unlock()
+		e.stats.governorSkipped.Add(1)
 		return Result{GovernorDisabled: true}, nil
 	}
-
-	// Adaptive size filter: skip records below the running percentile.
-	filtered := e.sizeFilter(st, len(payload))
-	if filtered {
-		e.stats.SizeFiltered++
+	if e.sizeFilterLocked(st, len(payload)) {
 		st.codeBytes += int64(len(payload))
-		e.governorTick(st)
+		e.governorTickLocked(st)
+		st.mu.Unlock()
+		e.stats.sizeFiltered.Add(1)
 		return Result{FilteredBySize: true}, nil
 	}
+	st.mu.Unlock()
 
-	// Step 1: feature extraction.
+	e.enc.Encoded.Add(1)
+	e.enc.EncodedBytes.Add(int64(len(payload)))
+
+	// Step 1: feature extraction — CPU-heavy, lock-free.
+	t := time.Now()
 	sk := e.extractor.Extract(payload)
+	e.enc.ObserveStage(metrics.StageSketch, time.Since(t))
 
 	// Step 2: index lookup — also registers the new record's features.
+	t = time.Now()
+	st.mu.Lock()
+	if st.disabled || st.index == nil {
+		// The governor fired concurrently (same-database race); treat
+		// like any post-verdict insert.
+		st.codeBytes += int64(len(payload))
+		st.mu.Unlock()
+		e.stats.governorSkipped.Add(1)
+		return Result{GovernorDisabled: true}, nil
+	}
 	ref := uint32(len(st.refs))
 	st.refs = append(st.refs, id)
 	counts := make(map[uint64]int)
@@ -296,24 +379,32 @@ func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error
 	}
 
 	if len(counts) == 0 {
-		e.stats.NoCandidate++
 		st.codeBytes += int64(len(payload))
-		e.adoptAsNewChain(st, id, payload)
-		e.governorTick(st)
+		e.adoptAsNewChainLocked(st, id, payload)
+		e.governorTickLocked(st)
+		st.mu.Unlock()
+		e.stats.noCandidate.Add(1)
+		e.enc.ObserveStage(metrics.StageIndex, time.Since(t))
 		return Result{}, nil
 	}
 
-	// Step 3: cache-aware source selection.
+	// Step 3: cache-aware source selection (cache.Contains takes only the
+	// cache's internal lock — a permitted inner lock).
 	srcID := e.selectSource(counts)
+	st.mu.Unlock()
+	e.enc.ObserveStage(metrics.StageIndex, time.Since(t))
 
-	// Fetch the source content: cache first, then the database.
+	// Fetch the source content: cache first, then the database. No engine
+	// lock is held, so the fetcher may do real I/O without stalling other
+	// databases.
+	t = time.Now()
 	var srcContent []byte
 	cached := false
 	if e.cache != nil {
 		if c, ok := e.cache.Get(srcID); ok {
 			srcContent = c
 			cached = true
-			e.stats.SourceCacheHits++
+			e.stats.sourceCacheHits.Add(1)
 		}
 	}
 	if srcContent == nil {
@@ -322,20 +413,26 @@ func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error
 		if err != nil {
 			return Result{}, fmt.Errorf("core: fetching source %d: %w", srcID, err)
 		}
-		e.stats.SourceCacheMiss++
+		e.stats.sourceCacheMiss.Add(1)
 	}
+	e.enc.ObserveStage(metrics.StageSource, time.Since(t))
 
-	// Step 4: two-way delta compression.
+	// Step 4: two-way delta compression — the dominant CPU cost, lock-free.
+	t = time.Now()
 	fwd := delta.Compress(srcContent, payload, delta.Options{AnchorInterval: e.cfg.AnchorInterval})
 	if fwd.EncodedSize() >= len(payload) {
+		e.enc.ObserveStage(metrics.StageDelta, time.Since(t))
 		// The "similar" record was a false friend; store raw.
-		e.stats.NotWorthEncoding++
+		st.mu.Lock()
 		st.codeBytes += int64(len(payload))
-		e.adoptAsNewChain(st, id, payload)
-		e.governorTick(st)
+		e.adoptAsNewChainLocked(st, id, payload)
+		e.governorTickLocked(st)
+		st.mu.Unlock()
+		e.stats.notWorthEncoding.Add(1)
 		return Result{}, nil
 	}
 	bwd := delta.Reencode(srcContent, payload, fwd)
+	e.enc.ObserveStage(metrics.StageDelta, time.Since(t))
 
 	res := Result{
 		Deduped:      true,
@@ -350,13 +447,24 @@ func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error
 		}},
 	}
 
-	// Chain bookkeeping + hop write-backs.
-	e.appendToChain(st, srcID, id, payload, &res)
+	// Chain bookkeeping under the lock; hop-base re-encoding and the
+	// chain-head cache update outside it (the cache synchronises itself).
+	t = time.Now()
+	st.mu.Lock()
+	hops, advanced := e.appendToChainLocked(st, srcID, id, payload, &res)
+	st.mu.Unlock()
+	e.emitHopWritebacks(hops, id, payload, &res)
+	if advanced && e.cache != nil {
+		e.cache.Replace(srcID, id, payload)
+	}
+	e.enc.ObserveStage(metrics.StageChain, time.Since(t))
 
-	e.stats.Deduped++
-	e.stats.ForwardBytes += int64(fwd.EncodedSize())
+	e.stats.deduped.Add(1)
+	e.stats.forwardBytes.Add(int64(fwd.EncodedSize()))
+	st.mu.Lock()
 	st.codeBytes += int64(fwd.EncodedSize())
-	e.governorTick(st)
+	e.governorTickLocked(st)
+	st.mu.Unlock()
 	return res, nil
 }
 
@@ -366,15 +474,16 @@ func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error
 // own chain state, which evolves identically because it applies the same
 // inserts in the same order (paper §4.1, "Re-encoder").
 func (e *Engine) EncodeAsReplica(dbName string, id uint64, payload []byte, srcID uint64, srcContent []byte, fwd delta.Delta) Result {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
 	st := e.db(dbName)
-	e.stats.Inserts++
-	e.stats.RawBytes += int64(len(payload))
+	e.stats.inserts.Add(1)
+	e.stats.rawBytes.Add(int64(len(payload)))
+	st.mu.Lock()
 	st.inserts++
+	st.mu.Unlock()
 
+	t := time.Now()
 	bwd := delta.Reencode(srcContent, payload, fwd)
+	e.enc.ObserveStage(metrics.StageDelta, time.Since(t))
 	res := Result{
 		Deduped:  true,
 		SourceID: srcID,
@@ -386,20 +495,28 @@ func (e *Engine) EncodeAsReplica(dbName string, id uint64, payload []byte, srcID
 			EstimatedSaving: int64(len(srcContent) - bwd.EncodedSize()),
 		}},
 	}
-	e.appendToChain(st, srcID, id, payload, &res)
-	e.stats.Deduped++
+	t = time.Now()
+	st.mu.Lock()
+	hops, advanced := e.appendToChainLocked(st, srcID, id, payload, &res)
+	st.mu.Unlock()
+	e.emitHopWritebacks(hops, id, payload, &res)
+	if advanced && e.cache != nil {
+		e.cache.Replace(srcID, id, payload)
+	}
+	e.enc.ObserveStage(metrics.StageChain, time.Since(t))
+	e.stats.deduped.Add(1)
 	return res
 }
 
 // ObserveRaw lets a replica node keep chain/cache state coherent for records
 // that arrived unencoded.
 func (e *Engine) ObserveRaw(dbName string, id uint64, payload []byte) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	st := e.db(dbName)
-	e.stats.Inserts++
+	e.stats.inserts.Add(1)
+	st.mu.Lock()
 	st.inserts++
-	e.adoptAsNewChain(st, id, payload)
+	e.adoptAsNewChainLocked(st, id, payload)
+	st.mu.Unlock()
 }
 
 // selectSource picks the candidate with the highest score: shared-feature
@@ -428,8 +545,12 @@ func (e *Engine) selectSource(counts map[uint64]int) uint64 {
 	return cands[0].id
 }
 
-// adoptAsNewChain registers id as the head of a fresh chain and caches it.
-func (e *Engine) adoptAsNewChain(st *dbState, id uint64, payload []byte) {
+// adoptAsNewChainLocked registers id as the head of a fresh chain and caches
+// it. Caller holds st.mu.
+func (e *Engine) adoptAsNewChainLocked(st *dbState, id uint64, payload []byte) {
+	if st.chains == nil {
+		return // governor freed this partition concurrently
+	}
 	st.chains[id] = &chainState{headID: id, headPos: 0, firstID: id,
 		lastBase: make(map[int]uint64)}
 	if e.cache != nil {
@@ -447,9 +568,14 @@ func (e *Engine) adoptAsNewChain(st *dbState, id uint64, payload []byte) {
 	}
 }
 
-// appendToChain advances chain state after id was encoded against srcID and
-// emits hop write-backs into res.
-func (e *Engine) appendToChain(st *dbState, srcID, id uint64, payload []byte, res *Result) {
+// appendToChainLocked advances chain state after id was encoded against
+// srcID and cancels the primary write-back for version-jump reference
+// versions. It returns the hop-base re-encodings to compute once the lock is
+// released, and whether the chain head advanced (the caller then performs
+// the chain-head cache Replace, also outside the lock, preserving the cache
+// interaction order of the serial implementation: hop-base reads first, head
+// replacement last). Caller holds st.mu.
+func (e *Engine) appendToChainLocked(st *dbState, srcID, id uint64, payload []byte, res *Result) ([]hopJob, bool) {
 	cs, isHead := st.chains[srcID]
 	if !isHead {
 		// Overlapped encoding (Fig. 5): the source was not a chain
@@ -458,8 +584,8 @@ func (e *Engine) appendToChain(st *dbState, srcID, id uint64, payload []byte, re
 		// unknown; the new record starts a fresh chain. The old chain
 		// head, if any, simply stays raw — the compression loss the
 		// paper measures at <5% (Fig. 11).
-		e.adoptAsNewChain(st, id, payload)
-		return
+		e.adoptAsNewChainLocked(st, id, payload)
+		return nil, false
 	}
 
 	delete(st.chains, srcID)
@@ -474,6 +600,7 @@ func (e *Engine) appendToChain(st *dbState, srcID, id uint64, payload []byte, re
 		res.Writebacks = res.Writebacks[:0]
 	}
 
+	var hops []hopJob
 	if e.layout.Scheme() == chain.Hop {
 		// Finalise the previous hop base at every level H^l dividing p.
 		h := e.layout.HopDistance()
@@ -483,65 +610,78 @@ func (e *Engine) appendToChain(st *dbState, srcID, id uint64, payload []byte, re
 				baseID = cs.firstID // position 0 seeds every level
 			}
 			cs.lastBase[l] = id
-			e.emitHopWriteback(baseID, id, payload, res)
+			if e.stageHopWriteback(baseID, id, res, hops) {
+				hops = append(hops, hopJob{baseID: baseID})
+			}
 			if step > p/h {
 				break
 			}
 			step *= h
 		}
 	}
-
-	if e.cache != nil {
-		e.cache.Replace(srcID, id, payload)
-	}
+	return hops, true
 }
 
-// emitHopWriteback computes the backward delta re-encoding base baseID
-// against the new record and appends it to res. Failures to obtain the base
-// content (e.g. it was evicted everywhere) just skip the write-back — a
-// pure compression loss, never a correctness problem.
-func (e *Engine) emitHopWriteback(baseID, newID uint64, newContent []byte, res *Result) {
+// stageHopWriteback decides whether baseID needs a hop re-encoding while
+// chain state is still consistent. The expensive part (content lookup +
+// delta compression) is deferred to emitHopWritebacks, outside the database
+// lock.
+func (e *Engine) stageHopWriteback(baseID, newID uint64, res *Result, staged []hopJob) bool {
 	if baseID == newID {
-		return
+		return false
 	}
 	for _, wb := range res.Writebacks {
 		if wb.ID == baseID {
-			return // already re-encoded by the primary write-back
+			return false // already re-encoded by the primary write-back
 		}
 	}
-	var baseContent []byte
-	if e.cache != nil {
-		if c, ok := e.cache.Get(baseID); ok {
-			baseContent = c
+	for _, j := range staged {
+		if j.baseID == baseID {
+			return false
 		}
 	}
-	if baseContent == nil && e.fetcher != nil {
-		c, err := e.fetcher.FetchDecoded(baseID)
-		if err != nil {
-			return
-		}
-		baseContent = c
-	}
-	if baseContent == nil {
-		return
-	}
-	d := delta.Compress(newContent, baseContent, delta.Options{AnchorInterval: e.cfg.AnchorInterval})
-	if d.EncodedSize() >= len(baseContent) {
-		return
-	}
-	res.Writebacks = append(res.Writebacks, Writeback{
-		ID:              baseID,
-		Base:            newID,
-		Delta:           d,
-		EstimatedSaving: int64(len(baseContent) - d.EncodedSize()),
-	})
-	// The new record is now the latest hop base of its level; keep it
-	// cached (it already is, as chain head).
+	return true
 }
 
-// sizeFilter reports whether a record of size n should bypass dedup, and
-// feeds the adaptive threshold estimator.
-func (e *Engine) sizeFilter(st *dbState, n int) bool {
+// emitHopWritebacks computes the staged hop-base re-encodings against the
+// new record and appends them to res. Failures to obtain a base content
+// (e.g. it was evicted everywhere) just skip that write-back — a pure
+// compression loss, never a correctness problem. Runs without any engine
+// lock held; the source cache and the fetcher synchronise themselves.
+func (e *Engine) emitHopWritebacks(hops []hopJob, newID uint64, newContent []byte, res *Result) {
+	for _, job := range hops {
+		var baseContent []byte
+		if e.cache != nil {
+			if c, ok := e.cache.Get(job.baseID); ok {
+				baseContent = c
+			}
+		}
+		if baseContent == nil && e.fetcher != nil {
+			c, err := e.fetcher.FetchDecoded(job.baseID)
+			if err != nil {
+				continue
+			}
+			baseContent = c
+		}
+		if baseContent == nil {
+			continue
+		}
+		d := delta.Compress(newContent, baseContent, delta.Options{AnchorInterval: e.cfg.AnchorInterval})
+		if d.EncodedSize() >= len(baseContent) {
+			continue
+		}
+		res.Writebacks = append(res.Writebacks, Writeback{
+			ID:              job.baseID,
+			Base:            newID,
+			Delta:           d,
+			EstimatedSaving: int64(len(baseContent) - d.EncodedSize()),
+		})
+	}
+}
+
+// sizeFilterLocked reports whether a record of size n should bypass dedup,
+// and feeds the adaptive threshold estimator. Caller holds st.mu.
+func (e *Engine) sizeFilterLocked(st *dbState, n int) bool {
 	if e.cfg.DisableSizeFilter {
 		return n < e.cfg.MinDedupRecordBytes
 	}
@@ -558,8 +698,9 @@ func (e *Engine) sizeFilter(st *dbState, n int) bool {
 	return st.threshold > 0 && n < st.threshold
 }
 
-// governorTick updates the per-database governor after an insert.
-func (e *Engine) governorTick(st *dbState) {
+// governorTickLocked updates the per-database governor after an insert.
+// Caller holds st.mu.
+func (e *Engine) governorTickLocked(st *dbState) {
 	if e.cfg.DisableGovernor || st.disabled {
 		return
 	}
@@ -621,12 +762,24 @@ func (d DBStats) WindowRatio() float64 {
 	return float64(d.WindowRawBytes) / float64(d.WindowEncodedBytes)
 }
 
+// snapshotDBs returns the current (name, state) pairs without holding dbsMu
+// longer than the map walk.
+func (e *Engine) snapshotDBs() map[string]*dbState {
+	e.dbsMu.RLock()
+	defer e.dbsMu.RUnlock()
+	out := make(map[string]*dbState, len(e.dbs))
+	for name, st := range e.dbs {
+		out[name] = st
+	}
+	return out
+}
+
 // DBStats returns per-database engine state, sorted by name.
 func (e *Engine) DBStats() []DBStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]DBStats, 0, len(e.dbs))
-	for name, st := range e.dbs {
+	dbs := e.snapshotDBs()
+	out := make([]DBStats, 0, len(dbs))
+	for name, st := range dbs {
+		st.mu.Lock()
 		ds := DBStats{
 			Name:               name,
 			Disabled:           st.disabled,
@@ -639,6 +792,7 @@ func (e *Engine) DBStats() []DBStats {
 		if st.index != nil {
 			ds.IndexMemoryBytes = st.index.MemoryBytes()
 		}
+		st.mu.Unlock()
 		out = append(out, ds)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -647,32 +801,51 @@ func (e *Engine) DBStats() []DBStats {
 
 // DBDisabled reports whether the governor has disabled dedup for a database.
 func (e *Engine) DBDisabled(dbName string) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.dbsMu.RLock()
 	st, ok := e.dbs[dbName]
-	return ok && st.disabled
+	e.dbsMu.RUnlock()
+	if !ok {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.disabled
 }
 
 // SizeThreshold returns the current adaptive size cut-off for a database.
 func (e *Engine) SizeThreshold(dbName string) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if st, ok := e.dbs[dbName]; ok {
-		return st.threshold
+	e.dbsMu.RLock()
+	st, ok := e.dbs[dbName]
+	e.dbsMu.RUnlock()
+	if !ok {
+		return 0
 	}
-	return 0
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.threshold
 }
 
 // Stats returns a snapshot of engine counters. IndexMemoryBytes sums the
 // live index partitions.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := e.stats
-	for _, st := range e.dbs {
+	s := Stats{
+		Inserts:          e.stats.inserts.Load(),
+		Deduped:          e.stats.deduped.Load(),
+		SizeFiltered:     e.stats.sizeFiltered.Load(),
+		GovernorSkipped:  e.stats.governorSkipped.Load(),
+		NoCandidate:      e.stats.noCandidate.Load(),
+		NotWorthEncoding: e.stats.notWorthEncoding.Load(),
+		SourceCacheHits:  e.stats.sourceCacheHits.Load(),
+		SourceCacheMiss:  e.stats.sourceCacheMiss.Load(),
+		RawBytes:         e.stats.rawBytes.Load(),
+		ForwardBytes:     e.stats.forwardBytes.Load(),
+	}
+	for _, st := range e.snapshotDBs() {
+		st.mu.Lock()
 		if st.index != nil {
 			s.IndexMemoryBytes += st.index.MemoryBytes()
 		}
+		st.mu.Unlock()
 	}
 	return s
 }

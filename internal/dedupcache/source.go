@@ -21,7 +21,12 @@ const DefaultSourceCacheBytes = 32 << 20
 // and the encode path replaces a chain's cached head with the new head after
 // each encoding (paper §3.3.1).
 //
-// SourceCache is safe for concurrent use.
+// SourceCache is safe for concurrent use: every method takes the cache's own
+// internal mutex. That mutex is a leaf in dbDedup's lock hierarchy (dbsMu →
+// dbState.mu → cache-internal locks, see package core): encode paths may call
+// into the cache while holding a database lock, so no SourceCache method ever
+// calls back out while holding c.mu. Contents returned by Get are shared,
+// not copied — callers must treat them as immutable.
 type SourceCache struct {
 	mu       sync.Mutex
 	capacity int64

@@ -30,7 +30,10 @@ type Writeback struct {
 // larger form — the cache may discard entries under pressure without any
 // correctness consequence, which is what makes it "lossy".
 //
-// WritebackCache is safe for concurrent use.
+// WritebackCache is safe for concurrent use: every method takes the cache's
+// own internal mutex, a leaf lock like SourceCache's — the node calls Add,
+// Invalidate, and DrainBest without holding n.mu, and no method calls back
+// out while holding the mutex.
 type WritebackCache struct {
 	mu       sync.Mutex
 	capacity int64
@@ -130,7 +133,14 @@ func (c *WritebackCache) DrainBest(n int) []Writeback {
 	for _, e := range c.entries {
 		all = append(all, e)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].wb.Saving > all[j].wb.Saving })
+	// Tie-break equal savings by ID so the drain order (and therefore the
+	// physical append stream) does not depend on map iteration order.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].wb.Saving != all[j].wb.Saving {
+			return all[i].wb.Saving > all[j].wb.Saving
+		}
+		return all[i].wb.ID < all[j].wb.ID
+	})
 	if n > len(all) {
 		n = len(all)
 	}

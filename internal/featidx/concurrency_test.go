@@ -1,0 +1,88 @@
+package featidx
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dbdedup/internal/sketch"
+)
+
+// TestPartitionsIndependentUnderConcurrency exercises the documented
+// ownership model: an Index is not self-synchronising, but distinct
+// partitions share no state, so one goroutine per partition may run without
+// any common lock — exactly how the engine drives per-database partitions in
+// parallel. Run under -race this would catch any hidden shared state (a
+// package-level table, a shared RNG) sneaking into the implementation.
+func TestPartitionsIndependentUnderConcurrency(t *testing.T) {
+	const (
+		partitions = 4
+		inserts    = 4000
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < partitions; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ix := New(Config{CapacityEntries: 1 << 12, Seed: uint64(p)})
+			rng := rand.New(rand.NewSource(int64(p)))
+			for i := 0; i < inserts; i++ {
+				f := sketch.Feature(rng.Uint64())
+				ix.LookupInsert(f, Ref(i))
+				if i%16 == 0 {
+					ix.Lookup(f)
+					ix.Len()
+					ix.MemoryBytes()
+				}
+			}
+			if ix.Len() == 0 {
+				t.Errorf("partition %d: empty after %d inserts", p, inserts)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// TestExternallyLockedSharedIndex validates the other documented pattern: a
+// single partition shared across goroutines behind one external mutex (what
+// core.dbState.mu provides). The point under -race is that the external lock
+// is sufficient — no method needs anything more.
+func TestExternallyLockedSharedIndex(t *testing.T) {
+	const (
+		workers = 4
+		inserts = 2000
+	)
+	ix := New(Config{CapacityEntries: 1 << 12})
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < inserts; i++ {
+				f := sketch.Feature(rng.Uint64() % 512) // overlapping features
+				mu.Lock()
+				refs := ix.LookupInsert(f, Ref(w*inserts+i))
+				mu.Unlock()
+				for _, r := range refs {
+					if int(r) >= workers*inserts {
+						t.Errorf("lookup returned out-of-range ref %d", r)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if ix.Len() == 0 {
+		t.Fatal("index empty after concurrent externally-locked inserts")
+	}
+	if got, want := ix.MemoryBytes(), int64(ix.Len())*EntryBytes; got != want {
+		t.Errorf("MemoryBytes = %d, want %d", got, want)
+	}
+}

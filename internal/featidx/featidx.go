@@ -60,9 +60,18 @@ type entry struct {
 	tick     uint32 // LRU clock value at last touch
 }
 
-// Index is a single-partition feature index. It is not safe for concurrent
-// use; dbDedup serialises index access on its background encode path, and
-// callers needing concurrency wrap it in their own lock.
+// Index is a single-partition feature index. It is NOT safe for concurrent
+// use and takes no locks of its own; every method requires external
+// synchronisation.
+//
+// Lock ownership in dbDedup: each database's partition is owned by the
+// engine's per-database state (core.dbState) and every access happens with
+// that database's mutex held — see the lock hierarchy in package core's
+// comment. Partitions of *different* databases are distinct Index instances
+// sharing no state, so they may be used from different goroutines without
+// any common lock; that independence is what lets independent databases
+// encode in parallel. Callers embedding the index elsewhere must provide an
+// equivalent single-writer discipline.
 type Index struct {
 	buckets    [][]entry
 	bucketMask uint32

@@ -3,6 +3,8 @@
 //
 //	GET /stats    node counters and byte meters   (JSON)
 //	GET /dbs      per-database dedup/governor state (JSON)
+//	GET /metrics  encode-pipeline instrumentation (JSON): per-stage
+//	              latency histograms, throughput, queue depth/overflows
 //	GET /verify   run the online integrity scrub  (JSON; 503 on errors)
 //	GET /healthz  liveness probe                  (200 "ok")
 //	GET /         plain-text summary for humans
@@ -36,6 +38,7 @@ func ListenAndServe(n *node.Node, addr string) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/dbs", s.handleDBs)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/verify", s.handleVerify)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -69,6 +72,20 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.node.DBStats())
 }
 
+// encodeMetricsView is the /metrics response shape: the encode-pipeline
+// snapshot plus the encoder-pool geometry.
+type encodeMetricsView struct {
+	EncodeWorkers int
+	Encode        metrics.EncodeSnapshot
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, encodeMetricsView{
+		EncodeWorkers: s.node.Stats().EncodeWorkers,
+		Encode:        s.node.EncodeMetrics().Snapshot(),
+	})
+}
+
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	rep := s.node.VerifyAll()
 	if !rep.Ok() {
@@ -95,6 +112,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "dedup:    %d hits, index %s\n", st.Engine.Deduped,
 		metrics.FormatBytes(st.Engine.IndexMemoryBytes))
 	fmt.Fprintf(w, "wb:       %d applied, %d skipped\n", st.WritebacksApplied, st.WritebacksSkipped)
+	fmt.Fprintf(w, "encoder:  %d workers, queue depth %d, %d backpressure stalls\n",
+		st.EncodeWorkers, st.EncodeQueueDepth, st.EncodeOverflows)
 	fmt.Fprintf(w, "\ndatabases:\n")
 	for _, d := range s.node.DBStats() {
 		verdict := "active"
@@ -104,5 +123,5 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "  %-12s %-18s stored %-10s window %.2fx, chains %d\n",
 			d.Name, verdict, metrics.FormatBytes(d.StoredBytes), d.WindowRatio(), d.Chains)
 	}
-	fmt.Fprintf(w, "\nendpoints: /stats /dbs /verify /healthz\n")
+	fmt.Fprintf(w, "\nendpoints: /stats /dbs /metrics /verify /healthz\n")
 }

@@ -173,6 +173,140 @@ func (m *Meter) Add(n int64) { m.n.Add(n) }
 // Total returns the current value.
 func (m *Meter) Total() int64 { return m.n.Load() }
 
+// Gauge is an instantaneous level (queue depths, backlog sizes), safe for
+// concurrent use without locking.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.n.Store(n) }
+
+// Add moves the gauge by n and returns the new value.
+func (g *Gauge) Add(n int64) int64 { return g.n.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// EncodeStage identifies one stage of the dedup encode pipeline
+// (paper §3.1's four-step workflow, with source fetch split out of
+// selection because it is the only stage that may touch the database).
+type EncodeStage int
+
+const (
+	// StageSketch is feature extraction: Rabin chunking + Murmur hashing +
+	// consistent sampling. Lock-free.
+	StageSketch EncodeStage = iota
+	// StageIndex is the cuckoo feature-index lookup/insert. Runs under the
+	// owning database's lock.
+	StageIndex
+	// StageSource is source-content acquisition: cache hit or database
+	// fetch. Lock-free (the caches have their own internal locks).
+	StageSource
+	// StageDelta is two-way delta compression (forward compress + backward
+	// re-encode). Lock-free.
+	StageDelta
+	// StageChain is chain bookkeeping plus hop write-back emission. The
+	// bookkeeping runs under the database lock; hop delta computation is
+	// lock-free.
+	StageChain
+	// NumEncodeStages is the number of pipeline stages.
+	NumEncodeStages
+)
+
+// String names the stage for display and JSON.
+func (s EncodeStage) String() string {
+	switch s {
+	case StageSketch:
+		return "sketch"
+	case StageIndex:
+		return "index"
+	case StageSource:
+		return "source"
+	case StageDelta:
+		return "delta"
+	case StageChain:
+		return "chain"
+	default:
+		return fmt.Sprintf("stage%d", int(s))
+	}
+}
+
+// EncodeMetrics bundles the encode-path instrumentation: per-stage latency
+// histograms, throughput meters, and encode-queue gauges. All fields are
+// individually safe for concurrent use.
+type EncodeMetrics struct {
+	stages [NumEncodeStages]*Histogram
+
+	// Encoded counts records that ran the full dedup workflow (not
+	// filtered, not governor-skipped); EncodedBytes sums their payloads.
+	Encoded      Meter
+	EncodedBytes Meter
+
+	// QueueDepth is the number of encode jobs queued or in flight across
+	// all encoder shards. QueueOverflows counts enqueues that found their
+	// shard full and had to apply caller backpressure.
+	QueueDepth     Gauge
+	QueueOverflows Meter
+}
+
+// NewEncodeMetrics returns a zeroed metrics bundle.
+func NewEncodeMetrics() *EncodeMetrics {
+	m := &EncodeMetrics{}
+	for i := range m.stages {
+		m.stages[i] = NewHistogram()
+	}
+	return m
+}
+
+// Stage returns the latency histogram for one pipeline stage.
+func (m *EncodeMetrics) Stage(s EncodeStage) *Histogram { return m.stages[s] }
+
+// ObserveStage records one stage latency sample.
+func (m *EncodeMetrics) ObserveStage(s EncodeStage, d time.Duration) {
+	m.stages[s].Observe(d)
+}
+
+// EncodeStageSnapshot is the JSON-friendly summary of one stage histogram.
+type EncodeStageSnapshot struct {
+	Stage  string
+	Count  uint64
+	MeanUS int64 // microseconds
+	P50US  int64
+	P99US  int64
+}
+
+// EncodeSnapshot is a point-in-time view of an EncodeMetrics bundle, shaped
+// for the admin endpoint.
+type EncodeSnapshot struct {
+	Stages         []EncodeStageSnapshot
+	EncodedRecords int64
+	EncodedBytes   int64
+	QueueDepth     int64
+	QueueOverflows int64
+}
+
+// Snapshot summarises the bundle.
+func (m *EncodeMetrics) Snapshot() EncodeSnapshot {
+	snap := EncodeSnapshot{
+		EncodedRecords: m.Encoded.Total(),
+		EncodedBytes:   m.EncodedBytes.Total(),
+		QueueDepth:     m.QueueDepth.Value(),
+		QueueOverflows: m.QueueOverflows.Total(),
+	}
+	for s := EncodeStage(0); s < NumEncodeStages; s++ {
+		h := m.stages[s]
+		snap.Stages = append(snap.Stages, EncodeStageSnapshot{
+			Stage:  s.String(),
+			Count:  h.Count(),
+			MeanUS: h.Mean().Microseconds(),
+			P50US:  h.Quantile(0.50).Microseconds(),
+			P99US:  h.Quantile(0.99).Microseconds(),
+		})
+	}
+	return snap
+}
+
 // Series records a value per fixed time slot, for throughput-over-time
 // plots. Slot 0 starts at the Series' creation.
 type Series struct {

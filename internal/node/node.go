@@ -2,9 +2,15 @@
 // dedup engine, and caches wired together per paper §4.1 (Fig. 8).
 //
 // Inserts are stored raw and acknowledged immediately; the dedup encoder
-// runs behind a FIFO queue, off the critical path, and produces (a) the
-// forward-encoded oplog entry that replication ships and (b) backward
-// write-backs that the lossy write-back cache applies when the node is idle.
+// runs behind a pool of background workers, off the critical path, and
+// produces (a) the forward-encoded oplog entry that replication ships and
+// (b) backward write-backs that the lossy write-back cache applies when the
+// node is idle. Encode jobs are sharded by database name onto per-shard FIFO
+// queues, each drained by one worker: mutations to the same database are
+// processed in the order they took effect (the invariant oplog correctness
+// rests on) while independent databases encode in parallel. Each shard's
+// queue is bounded; a client mutation that finds its shard full blocks until
+// the encoder catches up (backpressure) rather than queueing unboundedly.
 // Reads decode through backward-delta chains, consulting the source record
 // cache. Reference counts protect every record that serves as a decode base:
 // updates to referenced records append ("stack") instead of overwriting, and
@@ -15,7 +21,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbdedup/internal/core"
@@ -53,8 +62,16 @@ type Options struct {
 	// behind the background queue. Deterministic; used by tests and the
 	// compression-ratio experiments.
 	SyncEncode bool
-	// EncodeQueue bounds the background encode pipeline (default 1024).
+	// EncodeQueue bounds each encoder shard's queue (default 1024). A
+	// client mutation that finds its database's shard full blocks until
+	// the encoder drains a slot — caller backpressure instead of unbounded
+	// memory growth; such stalls are counted in Stats.EncodeOverflows.
 	EncodeQueue int
+	// EncodeWorkers is the number of background encoder workers, each
+	// owning one queue shard; jobs are hashed by database name so
+	// per-database encode order always matches mutation order. Defaults
+	// to GOMAXPROCS.
+	EncodeWorkers int
 	// DisableAutoFlush stops the background idle flusher; callers drive
 	// FlushWritebacks manually (experiments do).
 	DisableAutoFlush bool
@@ -89,6 +106,14 @@ type Stats struct {
 	HiddenRepaired uint64
 	// Compactions counts segment compaction passes.
 	Compactions uint64
+	// EncodeWorkers is the size of the background encoder pool (0 in
+	// synchronous mode).
+	EncodeWorkers int
+	// EncodeQueueDepth is the number of encode jobs queued or in flight.
+	EncodeQueueDepth int64
+	// EncodeOverflows counts client mutations that found their encoder
+	// shard full and had to wait for it to drain.
+	EncodeOverflows int64
 }
 
 // Node is a single DBMS node (primary or secondary).
@@ -110,22 +135,38 @@ type Node struct {
 	recentOps int64 // ops since last idle check (idleness proxy)
 	opSeq     uint64
 	lastMut   map[uint64]uint64 // record id -> opSeq of last update/delete
-	inlineJob encodeJob         // staging slot for synchronous mode
 
 	// applyMu serialises form-changing rewrites (write-back application
 	// and hidden-chain repair) so their refcount updates stay coherent.
 	applyMu sync.Mutex
 
-	// The encode queue is unbounded and appended to under n.mu, so job
-	// order always matches the order client mutations took effect — the
-	// property oplog correctness rests on.
-	jobQueue  []encodeJob
-	jobCond   *sync.Cond
+	// Encoder pool: one shard per worker, jobs hashed by database name.
+	// Shard queues are appended to under n.mu (with the shard's own lock
+	// taken inside it), so per-shard job order always matches the order
+	// client mutations took effect — the property oplog correctness rests
+	// on. encClosed mirrors `closed` for the workers, which synchronise on
+	// their shard lock rather than n.mu.
+	shards    []*encodeShard
 	asyncMode bool
+	encClosed atomic.Bool
+	encm      *metrics.EncodeMetrics // queue gauges; engine's bundle when dedup is on
 
 	wg     sync.WaitGroup
 	stopCh chan struct{}
 	closed bool
+}
+
+// encodeShard is one background encoder's FIFO queue. The lock hierarchy is
+// n.mu → shard.mu: producers append while holding both; the worker pops
+// holding only shard.mu and never acquires n.mu while holding it.
+type encodeShard struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []encodeJob
+	// sem holds one token per queued (non-sentinel) job; producers
+	// reserve a token *before* their mutation takes effect, blocking when
+	// the shard is at capacity. Workers release tokens after processing.
+	sem chan struct{}
 }
 
 type encodeJob struct {
@@ -147,6 +188,9 @@ type encodeJob struct {
 func Open(opts Options) (*Node, error) {
 	if opts.EncodeQueue <= 0 {
 		opts.EncodeQueue = 1024
+	}
+	if opts.EncodeWorkers <= 0 {
+		opts.EncodeWorkers = runtime.GOMAXPROCS(0)
 	}
 	if opts.FlushInterval <= 0 {
 		opts.FlushInterval = 10 * time.Millisecond
@@ -180,6 +224,9 @@ func Open(opts Options) (*Node, error) {
 	}
 	if !opts.DisableDedup {
 		n.eng = core.NewEngine(opts.Engine, fetcher{n})
+		n.encm = n.eng.EncodeMetrics()
+	} else {
+		n.encm = metrics.NewEncodeMetrics()
 	}
 	if opts.WritebackCacheBytes >= 0 {
 		n.wb = dedupcache.NewWritebackCache(opts.WritebackCacheBytes)
@@ -188,11 +235,16 @@ func Open(opts Options) (*Node, error) {
 		store.Close()
 		return nil, err
 	}
-	n.jobCond = sync.NewCond(&n.mu)
 	if !opts.SyncEncode {
 		n.asyncMode = true
-		n.wg.Add(1)
-		go n.encodeLoop()
+		n.shards = make([]*encodeShard, opts.EncodeWorkers)
+		for i := range n.shards {
+			sh := &encodeShard{sem: make(chan struct{}, opts.EncodeQueue)}
+			sh.cond = sync.NewCond(&sh.mu)
+			n.shards[i] = sh
+			n.wg.Add(1)
+			go n.encodeWorker(sh)
+		}
 	}
 	if !opts.DisableAutoFlush && n.wb != nil {
 		n.wg.Add(1)
@@ -232,7 +284,7 @@ func (n *Node) recover() error {
 	return rangeErr
 }
 
-// Close drains the encode queue, flushes pending write-backs, and closes
+// Close drains the encode queues, flushes pending write-backs, and closes
 // the store.
 func (n *Node) Close() error {
 	n.mu.Lock()
@@ -243,7 +295,12 @@ func (n *Node) Close() error {
 	n.closed = true
 	n.mu.Unlock()
 
-	n.jobCond.Broadcast()
+	n.encClosed.Store(true)
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
 	close(n.stopCh)
 	n.wg.Wait()
 	if n.wb != nil {
@@ -260,24 +317,77 @@ func (n *Node) Barrier() {
 		n.mu.Unlock()
 		return
 	}
-	done := make(chan struct{})
-	n.jobQueue = append(n.jobQueue, encodeJob{barrier: done})
-	n.jobCond.Signal()
+	// One sentinel per shard, enqueued under n.mu so each lands after all
+	// previously accepted mutations. Sentinels bypass the capacity tokens:
+	// they represent no work and must never deadlock against a full shard.
+	dones := make([]chan struct{}, len(n.shards))
+	for i, sh := range n.shards {
+		dones[i] = make(chan struct{})
+		sh.mu.Lock()
+		sh.q = append(sh.q, encodeJob{barrier: dones[i]})
+		sh.cond.Signal()
+		sh.mu.Unlock()
+	}
 	n.mu.Unlock()
-	<-done
+	for _, done := range dones {
+		<-done
+	}
 }
 
-// enqueueLocked stamps the job with its mutation order and queues it;
-// caller holds n.mu. In synchronous mode the job is returned for the caller
-// to run after releasing the lock.
-func (n *Node) enqueueLocked(job encodeJob) (encodeJob, bool) {
+// shardFor maps a database name to its encoder shard. All mutations of one
+// database land on the same shard, giving per-database FIFO encode order.
+func (n *Node) shardFor(db string) *encodeShard {
+	if len(n.shards) == 1 {
+		return n.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(db))
+	return n.shards[h.Sum32()%uint32(len(n.shards))]
+}
+
+// reserveEncodeSlot blocks until db's shard has queue capacity, returning
+// the shard. Called *before* n.mu is taken and before the mutation takes
+// effect, so backpressure never holds a lock and never reorders jobs: order
+// is fixed later, when the job is appended under n.mu. Returns nil in
+// synchronous mode.
+func (n *Node) reserveEncodeSlot(db string) *encodeShard {
+	if !n.asyncMode {
+		return nil
+	}
+	sh := n.shardFor(db)
+	select {
+	case sh.sem <- struct{}{}:
+	default:
+		// Shard at capacity: count the stall, then wait for the encoder.
+		n.encm.QueueOverflows.Add(1)
+		sh.sem <- struct{}{}
+	}
+	return sh
+}
+
+// releaseEncodeSlot returns an unused reservation (mutation failed before
+// enqueueing).
+func (n *Node) releaseEncodeSlot(sh *encodeShard) {
+	if sh != nil {
+		<-sh.sem
+	}
+}
+
+// enqueueLocked stamps the job with its mutation order and queues it on sh
+// (the caller's reservation from reserveEncodeSlot); caller holds n.mu. In
+// synchronous mode the job is returned for the caller to run after
+// releasing the lock.
+func (n *Node) enqueueLocked(sh *encodeShard, job encodeJob) (encodeJob, bool) {
 	n.opSeq++
 	job.opSeq = n.opSeq
 	if !n.asyncMode {
 		return job, true
 	}
-	n.jobQueue = append(n.jobQueue, job)
-	n.jobCond.Signal()
+	n.encm.QueueDepth.Add(1)
+	sh.mu.Lock()
+	sh.q = append(sh.q, job)
+	sh.cond.Signal()
+	sh.mu.Unlock()
 	return job, false
 }
 
@@ -287,9 +397,11 @@ func (n *Node) enqueueLocked(job encodeJob) (encodeJob, bool) {
 // block buffering) when Insert returns; dedup encoding happens behind it.
 func (n *Node) Insert(db, key string, payload []byte) error {
 	start := time.Now()
+	sh := n.reserveEncodeSlot(db)
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
+		n.releaseEncodeSlot(sh)
 		return errors.New("node: closed")
 	}
 	dbm := n.keys[db]
@@ -299,6 +411,7 @@ func (n *Node) Insert(db, key string, payload []byte) error {
 	}
 	if _, exists := dbm[key]; exists {
 		n.mu.Unlock()
+		n.releaseEncodeSlot(sh)
 		return fmt.Errorf("node: duplicate key %q/%q", db, key)
 	}
 	id := n.nextID
@@ -318,9 +431,10 @@ func (n *Node) Insert(db, key string, payload []byte) error {
 	if err := n.store.Append(docstore.Record{ID: id, DB: db, Key: key, Payload: cp}); err != nil {
 		delete(dbm, key)
 		n.mu.Unlock()
+		n.releaseEncodeSlot(sh)
 		return err
 	}
-	job, inline := n.enqueueLocked(encodeJob{kind: oplog.OpInsert, db: db, key: key, id: id, payload: cp, version: ver})
+	job, inline := n.enqueueLocked(sh, encodeJob{kind: oplog.OpInsert, db: db, key: key, id: id, payload: cp, version: ver})
 	n.mu.Unlock()
 
 	if inline {
@@ -355,10 +469,15 @@ func (n *Node) updateLocal(db, key string, payload []byte) error {
 func (n *Node) updateLocalEmit(db, key string, payload []byte, emit bool) (encodeJob, bool, error) {
 	var job encodeJob
 	inline := false
+	var sh *encodeShard
+	if emit {
+		sh = n.reserveEncodeSlot(db)
+	}
 	n.mu.Lock()
 	id, ok := n.lookup(db, key)
 	if !ok {
 		n.mu.Unlock()
+		n.releaseEncodeSlot(sh)
 		return job, false, ErrNotFound
 	}
 	n.version[id]++
@@ -366,7 +485,7 @@ func (n *Node) updateLocalEmit(db, key string, payload []byte, emit bool) (encod
 	n.recentOps++
 	refs := n.refcnt[id]
 	if emit {
-		job, inline = n.enqueueLocked(encodeJob{kind: oplog.OpUpdate, db: db, key: key,
+		job, inline = n.enqueueLocked(sh, encodeJob{kind: oplog.OpUpdate, db: db, key: key,
 			id: id, payload: append([]byte(nil), payload...)})
 	} else {
 		n.opSeq++
@@ -452,10 +571,15 @@ func (n *Node) deleteLocal(db, key string) error {
 func (n *Node) deleteLocalEmit(db, key string, emit bool) (encodeJob, bool, error) {
 	var job encodeJob
 	inline := false
+	var sh *encodeShard
+	if emit {
+		sh = n.reserveEncodeSlot(db)
+	}
 	n.mu.Lock()
 	id, ok := n.lookup(db, key)
 	if !ok {
 		n.mu.Unlock()
+		n.releaseEncodeSlot(sh)
 		return job, false, ErrNotFound
 	}
 	delete(n.keys[db], key)
@@ -464,7 +588,7 @@ func (n *Node) deleteLocalEmit(db, key string, emit bool) (encodeJob, bool, erro
 	n.recentOps++
 	refs := n.refcnt[id]
 	if emit {
-		job, inline = n.enqueueLocked(encodeJob{kind: oplog.OpDelete, db: db, key: key, id: id})
+		job, inline = n.enqueueLocked(sh, encodeJob{kind: oplog.OpDelete, db: db, key: key, id: id})
 	} else {
 		n.opSeq++
 	}
@@ -886,25 +1010,29 @@ func (n *Node) compactStackedLocked(id uint64) {
 	}
 }
 
-func (n *Node) encodeLoop() {
+// encodeWorker drains one shard in FIFO order. On close it finishes the
+// remaining queue before exiting, so Close never drops accepted work.
+func (n *Node) encodeWorker(sh *encodeShard) {
 	defer n.wg.Done()
 	for {
-		n.mu.Lock()
-		for len(n.jobQueue) == 0 && !n.closed {
-			n.jobCond.Wait()
+		sh.mu.Lock()
+		for len(sh.q) == 0 && !n.encClosed.Load() {
+			sh.cond.Wait()
 		}
-		if len(n.jobQueue) == 0 && n.closed {
-			n.mu.Unlock()
+		if len(sh.q) == 0 {
+			sh.mu.Unlock()
 			return
 		}
-		job := n.jobQueue[0]
-		n.jobQueue = n.jobQueue[1:]
-		n.mu.Unlock()
+		job := sh.q[0]
+		sh.q = sh.q[1:]
+		sh.mu.Unlock()
 		if job.barrier != nil {
 			close(job.barrier)
 			continue
 		}
 		n.process(job)
+		n.encm.QueueDepth.Add(-1)
+		<-sh.sem
 	}
 }
 
@@ -927,10 +1055,7 @@ func (n *Node) flushLoop() {
 			if busy {
 				continue
 			}
-			n.mu.Lock()
-			backlog := len(n.jobQueue)
-			n.mu.Unlock()
-			if backlog > 0 {
+			if n.encm.QueueDepth.Value() > 0 {
 				continue
 			}
 			n.FlushWritebacks(n.opts.IdleFlushBatch)
@@ -1203,6 +1328,11 @@ func (n *Node) Store() *docstore.Store { return n.store }
 func (n *Node) InsertLatency() *metrics.Histogram { return n.latIns }
 func (n *Node) ReadLatency() *metrics.Histogram   { return n.latRead }
 
+// EncodeMetrics exposes the encode-path instrumentation: per-stage latency
+// histograms (populated when dedup is enabled), throughput meters, and the
+// encoder-pool queue gauges.
+func (n *Node) EncodeMetrics() *metrics.EncodeMetrics { return n.encm }
+
 // Stats returns a node snapshot.
 func (n *Node) Stats() Stats {
 	n.mu.RLock()
@@ -1212,6 +1342,9 @@ func (n *Node) Stats() Stats {
 	if n.eng != nil {
 		s.Engine = n.eng.Stats()
 	}
+	s.EncodeWorkers = len(n.shards)
+	s.EncodeQueueDepth = n.encm.QueueDepth.Value()
+	s.EncodeOverflows = n.encm.QueueOverflows.Total()
 	return s
 }
 
