@@ -372,3 +372,66 @@ func publicScheme(s chain.Scheme) Scheme {
 		return SchemeHop
 	}
 }
+
+// BenchmarkReplicaApply measures the secondary's sharded apply path (the
+// PR-1 encoder-pool counterpart on the replica side): forward-encoded
+// entries from a multi-database primary are replayed through a
+// node.Applier with the default worker count (GOMAXPROCS), so -cpu 1,4,8
+// sweeps the pool width. Bytes/op reports raw (pre-dedup) content
+// throughput.
+func BenchmarkReplicaApply(b *testing.B) {
+	// Build the replicated entry stream once: interleaved version chains
+	// across 8 databases, mostly shipping forward-encoded.
+	popts := node.Options{
+		SyncEncode: true, DisableAutoFlush: true,
+		Engine: core.Config{GovernorWindow: 1 << 30, DisableSizeFilter: true},
+	}
+	prim, err := node.Open(popts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer prim.Close()
+	const dbs, versions = 8, 24
+	var rawBytes int64
+	rng := rand.New(rand.NewSource(2))
+	content := make([][]byte, dbs)
+	for d := range content {
+		content[d] = benchProse(rng, 4096)
+	}
+	for v := 0; v < versions; v++ {
+		for d := 0; d < dbs; d++ {
+			if err := prim.Insert(fmt.Sprintf("db%02d", d), fmt.Sprintf("v%04d", v), content[d]); err != nil {
+				b.Fatal(err)
+			}
+			rawBytes += int64(len(content[d]))
+			content[d] = benchEdit(rng, content[d], 2)
+		}
+	}
+	ents, err := prim.Oplog().EntriesSince(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.SetBytes(rawBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sec, err := node.Open(popts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		ap := node.NewApplier(sec, 0, node.ApplierOptions{})
+		for _, e := range ents {
+			ap.EnqueueEntry(e, false)
+		}
+		ap.Barrier()
+		ap.Close()
+		if err := ap.Err(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		sec.Close()
+		b.StartTimer()
+	}
+}

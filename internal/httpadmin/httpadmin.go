@@ -3,8 +3,9 @@
 //
 //	GET /stats    node counters and byte meters   (JSON)
 //	GET /dbs      per-database dedup/governor state (JSON)
-//	GET /metrics  encode-pipeline instrumentation (JSON): per-stage
-//	              latency histograms, throughput, queue depth/overflows
+//	GET /metrics  encode- and apply-pipeline instrumentation (JSON):
+//	              per-stage latency histograms, throughput, queue
+//	              depth/overflows, replication base fetches
 //	GET /verify   run the online integrity scrub  (JSON; 503 on errors)
 //	GET /healthz  liveness probe                  (200 "ok")
 //	GET /         plain-text summary for humans
@@ -72,17 +73,20 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.node.DBStats())
 }
 
-// encodeMetricsView is the /metrics response shape: the encode-pipeline
-// snapshot plus the encoder-pool geometry.
-type encodeMetricsView struct {
+// metricsView is the /metrics response shape: the encode-pipeline snapshot
+// plus the encoder-pool geometry, and the secondary-side apply-pipeline
+// snapshot (all zeros on a node that is not replicating).
+type metricsView struct {
 	EncodeWorkers int
 	Encode        metrics.EncodeSnapshot
+	Apply         metrics.ApplySnapshot
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, encodeMetricsView{
+	writeJSON(w, metricsView{
 		EncodeWorkers: s.node.Stats().EncodeWorkers,
 		Encode:        s.node.EncodeMetrics().Snapshot(),
+		Apply:         s.node.ApplyMetrics().Snapshot(),
 	})
 }
 

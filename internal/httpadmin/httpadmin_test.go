@@ -10,6 +10,7 @@ import (
 
 	"dbdedup/internal/core"
 	"dbdedup/internal/node"
+	"dbdedup/internal/oplog"
 )
 
 func testAdmin(t *testing.T) (*node.Node, *Server) {
@@ -89,5 +90,37 @@ func TestEndpoints(t *testing.T) {
 	code, _ = get(t, base+"/nonexistent")
 	if code != 404 {
 		t.Fatalf("unknown path: %d, want 404", code)
+	}
+}
+
+func TestMetricsEndpointIncludesApplyPipeline(t *testing.T) {
+	n, s := testAdmin(t)
+	// Drive the encode pipeline…
+	if err := n.Insert("wiki", "k", []byte("some record content to encode")); err != nil {
+		t.Fatal(err)
+	}
+	// …and the apply pipeline, the way a replication secondary would.
+	ap := node.NewApplier(n, 0, node.ApplierOptions{Workers: 2})
+	ap.EnqueueEntry(oplog.Entry{Seq: 1, Op: oplog.OpInsert, DB: "replica-db",
+		Key: "r", Form: oplog.FormRaw, Payload: []byte("replicated content")}, false)
+	ap.Barrier()
+	ap.Close()
+	if err := ap.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	var v metricsView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if v.Apply.Workers != 2 || v.Apply.Applied != 1 {
+		t.Errorf("Apply snapshot = %+v, want 2 workers / 1 applied", v.Apply)
+	}
+	if v.Apply.LatencyCount != 1 {
+		t.Errorf("Apply.LatencyCount = %d, want 1", v.Apply.LatencyCount)
 	}
 }

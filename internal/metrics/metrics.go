@@ -307,6 +307,65 @@ func (m *EncodeMetrics) Snapshot() EncodeSnapshot {
 	return snap
 }
 
+// ApplyMetrics bundles the replication apply-path instrumentation: the
+// secondary's sharded apply pipeline reports its queue pressure, per-entry
+// apply latency, and how often a forward-encoded insert needed the full
+// record fetched from the primary. All fields are individually safe for
+// concurrent use.
+type ApplyMetrics struct {
+	latency *Histogram
+
+	// Workers is the size of the apply worker pool.
+	Workers Gauge
+	// QueueDepth is the number of apply jobs queued or in flight across
+	// all apply shards. QueueOverflows counts dispatches that found their
+	// shard full and had to wait for it to drain.
+	QueueDepth     Gauge
+	QueueOverflows Meter
+	// Applied counts oplog entries and snapshot records applied.
+	Applied Meter
+	// BaseFetches counts forward-encoded inserts that fell back to
+	// fetching the full record from the primary (paper §4.1 fn. 4).
+	BaseFetches Meter
+}
+
+// NewApplyMetrics returns a zeroed metrics bundle.
+func NewApplyMetrics() *ApplyMetrics {
+	return &ApplyMetrics{latency: NewHistogram()}
+}
+
+// Latency returns the per-entry apply latency histogram.
+func (m *ApplyMetrics) Latency() *Histogram { return m.latency }
+
+// ApplySnapshot is a point-in-time view of an ApplyMetrics bundle, shaped
+// for the admin endpoint.
+type ApplySnapshot struct {
+	Workers        int64
+	Applied        int64
+	QueueDepth     int64
+	QueueOverflows int64
+	BaseFetches    int64
+	LatencyCount   uint64
+	LatencyMeanUS  int64
+	LatencyP50US   int64
+	LatencyP99US   int64
+}
+
+// Snapshot summarises the bundle.
+func (m *ApplyMetrics) Snapshot() ApplySnapshot {
+	return ApplySnapshot{
+		Workers:        m.Workers.Value(),
+		Applied:        m.Applied.Total(),
+		QueueDepth:     m.QueueDepth.Value(),
+		QueueOverflows: m.QueueOverflows.Total(),
+		BaseFetches:    m.BaseFetches.Total(),
+		LatencyCount:   m.latency.Count(),
+		LatencyMeanUS:  m.latency.Mean().Microseconds(),
+		LatencyP50US:   m.latency.Quantile(0.50).Microseconds(),
+		LatencyP99US:   m.latency.Quantile(0.99).Microseconds(),
+	}
+}
+
 // Series records a value per fixed time slot, for throughput-over-time
 // plots. Slot 0 starts at the Series' creation.
 type Series struct {

@@ -161,3 +161,36 @@ func TestPercentilesEdgeCases(t *testing.T) {
 		t.Errorf("single-sample percentiles = %v", got)
 	}
 }
+
+func TestApplyMetricsSnapshot(t *testing.T) {
+	m := NewApplyMetrics()
+	m.Workers.Set(4)
+	m.QueueDepth.Add(3)
+	m.QueueDepth.Add(-1)
+	m.QueueOverflows.Add(2)
+	m.Applied.Add(10)
+	m.BaseFetches.Add(1)
+	m.Latency().Observe(100 * time.Microsecond)
+	m.Latency().Observe(300 * time.Microsecond)
+
+	snap := m.Snapshot()
+	if snap.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", snap.Workers)
+	}
+	if snap.QueueDepth != 2 {
+		t.Errorf("QueueDepth = %d, want 2", snap.QueueDepth)
+	}
+	if snap.QueueOverflows != 2 || snap.Applied != 10 || snap.BaseFetches != 1 {
+		t.Errorf("counters = %d/%d/%d, want 2/10/1",
+			snap.QueueOverflows, snap.Applied, snap.BaseFetches)
+	}
+	if snap.LatencyCount != 2 {
+		t.Errorf("LatencyCount = %d, want 2", snap.LatencyCount)
+	}
+	if snap.LatencyMeanUS < 150 || snap.LatencyMeanUS > 250 {
+		t.Errorf("LatencyMeanUS = %d, want ~200", snap.LatencyMeanUS)
+	}
+	if snap.LatencyP99US < snap.LatencyP50US {
+		t.Errorf("p99 %d < p50 %d", snap.LatencyP99US, snap.LatencyP50US)
+	}
+}

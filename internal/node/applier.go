@@ -1,0 +1,328 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbdedup/internal/metrics"
+	"dbdedup/internal/oplog"
+)
+
+// Applier is the secondary-side counterpart of the node's encoder pool: a
+// database-sharded worker pool that applies replicated oplog entries in
+// parallel. It preserves the same ordering invariant the encode path rests
+// on — mutations to one database apply in sequence order (one database →
+// one shard → one worker → strict FIFO) while independent databases apply
+// concurrently — so a secondary can keep up with a parallel primary
+// (ROADMAP: parallel replica re-encoding; cf. the pipeline-parallel apply
+// designs of FOLD and Li et al.).
+//
+// The replication layer is the single dispatcher: it feeds entries in
+// sequence order via EnqueueEntry/EnqueueSnapshotRecord and uses Barrier
+// around snapshot frames (which touch arbitrary databases and must not
+// interleave with in-flight entries). The applied sequence number becomes a
+// low-water mark: LowWater reports the largest seq S such that every
+// dispatched entry with seq ≤ S has been applied, however the per-shard
+// completions interleave.
+//
+// Enqueue methods and Barrier/Reset/Close must be called from one
+// goroutine; all other methods are safe for concurrent use.
+type Applier struct {
+	n     *Node
+	fetch func(db, key string) ([]byte, error)
+	m     *metrics.ApplyMetrics
+
+	shards []*applyShard
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	errv    error
+	base    uint64       // all dispatched seqs <= base are applied
+	pending []*applySlot // dispatched tracked seqs > base, dispatch order
+}
+
+// ApplierOptions configures an apply pool.
+type ApplierOptions struct {
+	// Workers is the number of apply workers, each owning one FIFO shard;
+	// entries are hashed to shards by database name. Defaults to
+	// GOMAXPROCS.
+	Workers int
+	// Queue bounds each shard's queue (default 1024). The dispatcher
+	// blocks when a shard is full — backpressure onto the replication
+	// stream instead of unbounded memory growth.
+	Queue int
+	// Fetch resolves a forward-encoded insert whose delta base is locally
+	// missing by retrieving the record's full content (normally from the
+	// primary over the replication fetch connection). It is called from
+	// multiple workers concurrently and must be safe for that. nil
+	// disables the fallback: base misses become terminal apply errors.
+	Fetch func(db, key string) ([]byte, error)
+}
+
+// applyShard is one apply worker's FIFO queue, mirroring encodeShard: the
+// dispatcher appends under shard.mu after reserving a capacity token;
+// the worker pops holding only shard.mu.
+type applyShard struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []applyJob
+	sem  chan struct{}
+}
+
+type applyJob struct {
+	entry    oplog.Entry
+	lenient  bool
+	snapshot bool       // ApplySnapshotRecord(DB, Key, Payload); untracked
+	slot     *applySlot // low-water tracking (nil for snapshot records)
+	barrier  chan struct{}
+}
+
+// applySlot tracks one dispatched entry in the low-water window.
+type applySlot struct {
+	seq  uint64
+	done bool
+}
+
+// NewApplier starts an apply pool over n. afterSeq seeds the low-water mark
+// (the last sequence number already applied before this pool took over).
+func NewApplier(n *Node, afterSeq uint64, opts ApplierOptions) *Applier {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 1024
+	}
+	a := &Applier{
+		n:      n,
+		fetch:  opts.Fetch,
+		m:      n.ApplyMetrics(),
+		base:   afterSeq,
+		shards: make([]*applyShard, opts.Workers),
+	}
+	a.m.Workers.Set(int64(opts.Workers))
+	for i := range a.shards {
+		sh := &applyShard{sem: make(chan struct{}, opts.Queue)}
+		sh.cond = sync.NewCond(&sh.mu)
+		a.shards[i] = sh
+		a.wg.Add(1)
+		go a.worker(sh)
+	}
+	return a
+}
+
+// shardFor maps a database name to its apply shard (same FNV-1a scheme as
+// the encoder pool, so the FIFO-per-database reasoning is shared).
+func (a *Applier) shardFor(db string) *applyShard {
+	if len(a.shards) == 1 {
+		return a.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(db))
+	return a.shards[h.Sum32()%uint32(len(a.shards))]
+}
+
+// EnqueueEntry dispatches one replicated oplog entry to its database's
+// shard, blocking while the shard is at capacity. Entries must be enqueued
+// in sequence order.
+func (a *Applier) EnqueueEntry(e oplog.Entry, lenient bool) {
+	slot := &applySlot{seq: e.Seq}
+	a.mu.Lock()
+	a.pending = append(a.pending, slot)
+	a.mu.Unlock()
+	a.dispatch(e.DB, applyJob{entry: e, lenient: lenient, slot: slot})
+}
+
+// EnqueueSnapshotRecord dispatches one snapshot record (insert-or-replace,
+// no sequence number) to its database's shard.
+func (a *Applier) EnqueueSnapshotRecord(db, key string, payload []byte) {
+	e := oplog.Entry{DB: db, Key: key, Payload: payload}
+	a.dispatch(db, applyJob{entry: e, snapshot: true})
+}
+
+func (a *Applier) dispatch(db string, job applyJob) {
+	if a.closed.Load() {
+		a.complete(job)
+		return
+	}
+	sh := a.shardFor(db)
+	select {
+	case sh.sem <- struct{}{}:
+	default:
+		// Shard at capacity: count the stall, then wait for the workers.
+		a.m.QueueOverflows.Add(1)
+		sh.sem <- struct{}{}
+	}
+	a.m.QueueDepth.Add(1)
+	sh.mu.Lock()
+	sh.q = append(sh.q, job)
+	sh.cond.Signal()
+	sh.mu.Unlock()
+}
+
+// Barrier blocks until every job enqueued before the call has been applied.
+// The replication layer brackets snapshot frames with it: a snapshot
+// replaces state across arbitrary databases and must not interleave with
+// in-flight entries on any shard.
+func (a *Applier) Barrier() {
+	if a.closed.Load() {
+		return
+	}
+	// One sentinel per shard. Sentinels bypass the capacity tokens: they
+	// represent no work and must never deadlock against a full shard.
+	dones := make([]chan struct{}, len(a.shards))
+	for i, sh := range a.shards {
+		dones[i] = make(chan struct{})
+		sh.mu.Lock()
+		sh.q = append(sh.q, applyJob{barrier: dones[i]})
+		sh.cond.Signal()
+		sh.mu.Unlock()
+	}
+	for _, done := range dones {
+		<-done
+	}
+}
+
+// Reset rebases the low-water mark after a snapshot: the snapshot defines
+// the stream position outright (an epoch-mismatch resync can rebase it
+// downward). Callers must Barrier first so no tracked entries are in
+// flight.
+func (a *Applier) Reset(seq uint64) {
+	a.mu.Lock()
+	a.base = seq
+	a.pending = a.pending[:0]
+	a.mu.Unlock()
+}
+
+// LowWater returns the applied-sequence low-water mark: every dispatched
+// entry with seq at or below it has been applied.
+func (a *Applier) LowWater() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.base
+}
+
+// BaseFetches reports how many forward-encoded inserts fell back to a
+// full-record fetch.
+func (a *Applier) BaseFetches() uint64 {
+	return uint64(a.m.BaseFetches.Total())
+}
+
+// Err returns the first terminal apply error. Once set, remaining queued
+// jobs are drained without being applied (order past a failed entry is
+// meaningless) and the replication stream is expected to stop.
+func (a *Applier) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.errv
+}
+
+func (a *Applier) fail(err error) {
+	a.mu.Lock()
+	if a.errv == nil {
+		a.errv = err
+	}
+	a.mu.Unlock()
+}
+
+// Close drains the shard queues and stops the workers. The dispatcher must
+// have stopped enqueueing first.
+func (a *Applier) Close() {
+	if a.closed.Swap(true) {
+		return
+	}
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	a.wg.Wait()
+}
+
+// worker drains one shard in FIFO order. On close it finishes the remaining
+// queue before exiting, so Close never drops accepted work.
+func (a *Applier) worker(sh *applyShard) {
+	defer a.wg.Done()
+	for {
+		sh.mu.Lock()
+		for len(sh.q) == 0 && !a.closed.Load() {
+			sh.cond.Wait()
+		}
+		if len(sh.q) == 0 {
+			sh.mu.Unlock()
+			return
+		}
+		job := sh.q[0]
+		sh.q = sh.q[1:]
+		sh.mu.Unlock()
+		if job.barrier != nil {
+			close(job.barrier)
+			continue
+		}
+		a.run(job)
+		a.m.QueueDepth.Add(-1)
+		<-sh.sem
+	}
+}
+
+// run applies one job and advances the low-water window.
+func (a *Applier) run(job applyJob) {
+	defer a.complete(job)
+	if a.Err() != nil {
+		return // poisoned: drain without applying
+	}
+	start := time.Now()
+	var err error
+	switch {
+	case job.snapshot:
+		err = a.n.ApplySnapshotRecord(job.entry.DB, job.entry.Key, job.entry.Payload)
+	case job.lenient:
+		err = a.n.ApplyReplicatedLenient(job.entry)
+	default:
+		err = a.n.ApplyReplicated(job.entry)
+	}
+	if errors.Is(err, ErrBaseMissing) && a.fetch != nil {
+		// Fall back to fetching the full record from the primary
+		// (paper §4.1 fn. 4). applyReplicatedInsert rolled the key
+		// reservation and insert counter back, so installing the fetched
+		// content counts the insert exactly once.
+		content, ferr := a.fetch(job.entry.DB, job.entry.Key)
+		if ferr == nil {
+			err = a.n.ApplySnapshotRecord(job.entry.DB, job.entry.Key, content)
+			if err == nil {
+				a.m.BaseFetches.Add(1)
+			}
+		} else {
+			err = fmt.Errorf("%w (fetch fallback: %v)", err, ferr)
+		}
+	}
+	a.m.Latency().Observe(time.Since(start))
+	a.m.Applied.Add(1)
+	if err != nil {
+		if job.snapshot {
+			a.fail(fmt.Errorf("snapshot record %s/%s: %w", job.entry.DB, job.entry.Key, err))
+		} else {
+			a.fail(fmt.Errorf("applying seq %d: %w", job.entry.Seq, err))
+		}
+	}
+}
+
+// complete marks the job's slot done and advances the low-water mark over
+// the completed prefix of the dispatch window.
+func (a *Applier) complete(job applyJob) {
+	if job.slot == nil {
+		return
+	}
+	a.mu.Lock()
+	job.slot.done = true
+	for len(a.pending) > 0 && a.pending[0].done {
+		a.base = a.pending[0].seq
+		a.pending = a.pending[1:]
+	}
+	a.mu.Unlock()
+}

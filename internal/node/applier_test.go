@@ -1,0 +1,236 @@
+package node
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbdedup/internal/delta"
+	"dbdedup/internal/oplog"
+)
+
+// TestReplicatedInsertBaseMissingAccounting is the regression test for the
+// insert-counter leak: applyReplicatedInsert increments Stats.Inserts before
+// it can know the delta base exists, and the ErrBaseMissing bail-out used to
+// undo the key reservation but not the counter — so the fetch fallback's
+// ApplySnapshotRecord → insertSnapshot double-counted the insert.
+func TestReplicatedInsertBaseMissingAccounting(t *testing.T) {
+	n := testNode(t, Options{})
+
+	e := oplog.Entry{
+		Seq: 1, Op: oplog.OpInsert, DB: "db", Key: "derived",
+		Form: oplog.FormDelta, BaseKey: "never-replicated",
+		Payload: delta.Compress([]byte("base content"), []byte("derived content"), delta.Options{}).Marshal(),
+	}
+	err := n.ApplyReplicated(e)
+	if !errors.Is(err, ErrBaseMissing) {
+		t.Fatalf("ApplyReplicated = %v, want ErrBaseMissing", err)
+	}
+	if got := n.Stats().Inserts; got != 0 {
+		t.Fatalf("Inserts after base-missing bail-out = %d, want 0 (counter leaked)", got)
+	}
+	if n.Has("db", "derived") {
+		t.Fatal("key reservation not undone on base-missing bail-out")
+	}
+
+	// The replication layer's fallback: fetch the full content from the
+	// primary and install it as a snapshot record. Exactly one insert.
+	if err := n.ApplySnapshotRecord("db", "derived", []byte("derived content")); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Stats().Inserts; got != 1 {
+		t.Fatalf("Inserts after fetch fallback = %d, want exactly 1", got)
+	}
+	got, err := n.Read("db", "derived")
+	if err != nil || string(got) != "derived content" {
+		t.Fatalf("Read after fallback = %q, %v", got, err)
+	}
+}
+
+// TestReplicatedInsertAppendFailureUndoesReservation is the regression test
+// for the dangling-reservation bug: a store.Append failure used to leave the
+// key→ID mapping in place (in both the raw and forward-encoded branches), so
+// a later Read of the key failed on a record that was never written, and a
+// re-delivery of the insert was rejected as a duplicate.
+func TestReplicatedInsertAppendFailureUndoesReservation(t *testing.T) {
+	// docstore.Append deterministically rejects keys containing NUL —
+	// the injection point for an append failure.
+	badKey := "bad\x00key"
+
+	t.Run("raw", func(t *testing.T) {
+		n := testNode(t, Options{})
+		e := oplog.Entry{Seq: 1, Op: oplog.OpInsert, DB: "db", Key: badKey,
+			Form: oplog.FormRaw, Payload: []byte("content")}
+		if err := n.ApplyReplicated(e); err == nil {
+			t.Fatal("append of NUL key unexpectedly succeeded")
+		}
+		if n.Has("db", badKey) {
+			t.Fatal("key mapping dangles after append failure (raw branch)")
+		}
+		if got := n.Stats().Inserts; got != 0 {
+			t.Fatalf("Inserts after failed append = %d, want 0", got)
+		}
+	})
+
+	t.Run("forward-encoded", func(t *testing.T) {
+		n := testNode(t, Options{})
+		base := []byte("the base record content, long enough to delta against")
+		if err := n.ApplySnapshotRecord("db", "base", base); err != nil {
+			t.Fatal(err)
+		}
+		target := append(append([]byte(nil), base...), []byte(" plus an edit")...)
+		e := oplog.Entry{Seq: 2, Op: oplog.OpInsert, DB: "db", Key: badKey,
+			Form: oplog.FormDelta, BaseKey: "base",
+			Payload: delta.Compress(base, target, delta.Options{}).Marshal()}
+		if err := n.ApplyReplicated(e); err == nil {
+			t.Fatal("append of NUL key unexpectedly succeeded")
+		}
+		if n.Has("db", badKey) {
+			t.Fatal("key mapping dangles after append failure (delta branch)")
+		}
+		if got := n.Stats().Inserts; got != 1 {
+			t.Fatalf("Inserts after failed append = %d, want 1 (the base only)", got)
+		}
+	})
+}
+
+// TestApplierMultiDBConvergence replays a parallel primary's oplog through
+// the sharded apply pool and requires byte-identical convergence: the
+// per-database FIFO invariant means every forward-encoded insert must
+// decode against exactly the base state the primary encoded it against,
+// however the shards interleave. Runs under -race in CI.
+func TestApplierMultiDBConvergence(t *testing.T) {
+	prim := testNode(t, Options{})
+	rng := rand.New(rand.NewSource(42))
+
+	// Interleaved multi-database traffic: version chains (the dedup-friendly
+	// shape, so most inserts ship forward-encoded), plus updates and
+	// deletes mixed in.
+	const dbs, versions = 6, 30
+	content := make([][]byte, dbs)
+	for d := range content {
+		content[d] = prose(rng, 2048+d*256)
+	}
+	for v := 0; v < versions; v++ {
+		for d := 0; d < dbs; d++ {
+			db := fmt.Sprintf("db%02d", d)
+			if err := prim.Insert(db, fmt.Sprintf("v%03d", v), content[d]); err != nil {
+				t.Fatal(err)
+			}
+			content[d] = editText(rng, content[d], 2)
+		}
+		if v%7 == 3 {
+			d := v % dbs
+			prim.Update(fmt.Sprintf("db%02d", d), fmt.Sprintf("v%03d", v-1), prose(rng, 512))
+		}
+		if v%11 == 5 {
+			d := (v + 3) % dbs
+			prim.Delete(fmt.Sprintf("db%02d", d), fmt.Sprintf("v%03d", v-2))
+		}
+	}
+
+	ents, err := prim.Oplog().EntriesSince(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sec := testNode(t, Options{})
+	ap := NewApplier(sec, 0, ApplierOptions{Workers: 8, Queue: 16})
+	defer ap.Close()
+	for _, e := range ents {
+		ap.EnqueueEntry(e, false)
+	}
+	ap.Barrier()
+	if err := ap.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ap.LowWater(), ents[len(ents)-1].Seq; got != want {
+		t.Fatalf("low-water mark = %d, want %d", got, want)
+	}
+
+	// Every record byte-identical to the primary (and absences agree).
+	for d := 0; d < dbs; d++ {
+		db := fmt.Sprintf("db%02d", d)
+		for v := 0; v < versions; v++ {
+			key := fmt.Sprintf("v%03d", v)
+			want, perr := prim.Read(db, key)
+			got, serr := sec.Read(db, key)
+			if (perr == ErrNotFound) != (serr == ErrNotFound) {
+				t.Fatalf("%s/%s presence diverged: primary %v, secondary %v", db, key, perr, serr)
+			}
+			if perr != nil {
+				continue
+			}
+			if serr != nil || !bytes.Equal(got, want) {
+				t.Fatalf("%s/%s diverged: %v", db, key, serr)
+			}
+		}
+	}
+	if qd := sec.ApplyMetrics().QueueDepth.Value(); qd != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", qd)
+	}
+	if applied := sec.ApplyMetrics().Applied.Total(); applied != int64(len(ents)) {
+		t.Fatalf("applied = %d, want %d", applied, len(ents))
+	}
+}
+
+// TestApplierLowWaterAndReset exercises the seq window directly: the mark
+// only advances over the completed prefix, and Reset rebases it (downward)
+// after a snapshot barrier.
+func TestApplierLowWaterAndReset(t *testing.T) {
+	sec := testNode(t, Options{})
+	ap := NewApplier(sec, 5, ApplierOptions{Workers: 4, Queue: 8})
+	defer ap.Close()
+	if got := ap.LowWater(); got != 5 {
+		t.Fatalf("initial low water = %d, want 5", got)
+	}
+	for i := uint64(6); i <= 20; i++ {
+		ap.EnqueueEntry(oplog.Entry{Seq: i, Op: oplog.OpInsert, DB: fmt.Sprintf("db%d", i%3),
+			Key: fmt.Sprintf("k%d", i), Form: oplog.FormRaw,
+			Payload: []byte("v")}, false)
+	}
+	ap.Barrier()
+	if err := ap.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ap.LowWater(); got != 20 {
+		t.Fatalf("low water after drain = %d, want 20", got)
+	}
+	ap.Reset(3)
+	if got := ap.LowWater(); got != 3 {
+		t.Fatalf("low water after reset = %d, want 3", got)
+	}
+}
+
+// TestApplierFetchFallback verifies the worker-side base-miss fallback: the
+// fetch callback supplies the full content, the insert is counted exactly
+// once, and the fetch counter advances exactly once.
+func TestApplierFetchFallback(t *testing.T) {
+	sec := testNode(t, Options{})
+	fetched := 0
+	ap := NewApplier(sec, 0, ApplierOptions{Workers: 2, Fetch: func(db, key string) ([]byte, error) {
+		fetched++
+		return []byte("fetched full content"), nil
+	}})
+	defer ap.Close()
+
+	ap.EnqueueEntry(oplog.Entry{Seq: 1, Op: oplog.OpInsert, DB: "db", Key: "orphan",
+		Form: oplog.FormDelta, BaseKey: "missing",
+		Payload: delta.Compress([]byte("a"), []byte("b"), delta.Options{}).Marshal()}, false)
+	ap.Barrier()
+	if err := ap.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if fetched != 1 || ap.BaseFetches() != 1 {
+		t.Fatalf("fetches = %d/%d, want 1/1", fetched, ap.BaseFetches())
+	}
+	got, err := sec.Read("db", "orphan")
+	if err != nil || string(got) != "fetched full content" {
+		t.Fatalf("Read after fallback = %q, %v", got, err)
+	}
+	if got := sec.Stats().Inserts; got != 1 {
+		t.Fatalf("Inserts after fallback = %d, want exactly 1", got)
+	}
+}

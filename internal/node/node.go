@@ -150,6 +150,7 @@ type Node struct {
 	asyncMode bool
 	encClosed atomic.Bool
 	encm      *metrics.EncodeMetrics // queue gauges; engine's bundle when dedup is on
+	applym    *metrics.ApplyMetrics  // replication apply-path instrumentation
 
 	wg     sync.WaitGroup
 	stopCh chan struct{}
@@ -228,6 +229,7 @@ func Open(opts Options) (*Node, error) {
 	} else {
 		n.encm = metrics.NewEncodeMetrics()
 	}
+	n.applym = metrics.NewApplyMetrics()
 	if opts.WritebackCacheBytes >= 0 {
 		n.wb = dedupcache.NewWritebackCache(opts.WritebackCacheBytes)
 	}
@@ -1332,6 +1334,10 @@ func (n *Node) ReadLatency() *metrics.Histogram   { return n.latRead }
 // histograms (populated when dedup is enabled), throughput meters, and the
 // encoder-pool queue gauges.
 func (n *Node) EncodeMetrics() *metrics.EncodeMetrics { return n.encm }
+
+// ApplyMetrics exposes the replication apply-path instrumentation (populated
+// when this node runs as a secondary behind an Applier).
+func (n *Node) ApplyMetrics() *metrics.ApplyMetrics { return n.applym }
 
 // Stats returns a node snapshot.
 func (n *Node) Stats() Stats {

@@ -15,7 +15,10 @@ import (
 var ErrBaseMissing = errors.New("node: delta base not present")
 
 // ApplyReplicated applies one oplog entry shipped from a primary. Entries
-// must be applied in sequence order. Forward-encoded inserts are decoded
+// of one database must be applied in sequence order (a forward-encoded
+// insert's BaseKey always names a record of the same database); entries of
+// independent databases may be applied concurrently — the Applier's sharding
+// invariant. Forward-encoded inserts are decoded
 // against the locally stored base record and then re-encoded backward (the
 // dbDedup re-encoder of Fig. 8), so the secondary converges to the same
 // storage layout as the primary without ever receiving full record contents.
@@ -49,9 +52,26 @@ func (n *Node) applyReplicatedInsert(e oplog.Entry) error {
 	n.stats.Inserts++
 	n.mu.Unlock()
 
+	// undoReservation rolls back everything the critical section above
+	// published — the key→ID mapping *and* the insert counter — on any
+	// failure before the record is durably appended. Leaving either
+	// behind corrupts the node: a dangling mapping makes later reads of
+	// the key fail on a record that was never written, and a leaked
+	// counter double-counts inserts once the ErrBaseMissing fallback
+	// re-installs the record via ApplySnapshotRecord.
+	undoReservation := func() {
+		n.mu.Lock()
+		if cur, ok := n.keys[e.DB][e.Key]; ok && cur == id {
+			delete(n.keys[e.DB], e.Key)
+		}
+		n.stats.Inserts--
+		n.mu.Unlock()
+	}
+
 	if e.Form == oplog.FormRaw {
 		payload := append([]byte(nil), e.Payload...)
 		if err := n.store.Append(docstore.Record{ID: id, DB: e.DB, Key: e.Key, Payload: payload}); err != nil {
+			undoReservation()
 			return err
 		}
 		n.mu.Lock()
@@ -70,26 +90,28 @@ func (n *Node) applyReplicatedInsert(e oplog.Entry) error {
 	n.mu.RUnlock()
 	if !ok {
 		// Rare: the base is almost always already replicated. Undo the
-		// key reservation and let the caller fall back to fetching the
-		// full record from the primary.
-		n.mu.Lock()
-		delete(n.keys[e.DB], e.Key)
-		n.mu.Unlock()
+		// reservation and let the caller fall back to fetching the full
+		// record from the primary.
+		undoReservation()
 		return fmt.Errorf("%w: %q/%q (insert of %q)", ErrBaseMissing, e.DB, e.BaseKey, e.Key)
 	}
 	srcContent, err := n.decodeBase(srcID)
 	if err != nil {
+		undoReservation()
 		return fmt.Errorf("node: decoding base %q/%q: %w", e.DB, e.BaseKey, err)
 	}
 	fwd, err := delta.Unmarshal(e.Payload)
 	if err != nil {
+		undoReservation()
 		return fmt.Errorf("node: forward delta for %q/%q: %w", e.DB, e.Key, err)
 	}
 	payload, err := delta.Apply(srcContent, fwd)
 	if err != nil {
+		undoReservation()
 		return fmt.Errorf("node: applying forward delta for %q/%q: %w", e.DB, e.Key, err)
 	}
 	if err := n.store.Append(docstore.Record{ID: id, DB: e.DB, Key: e.Key, Payload: payload}); err != nil {
+		undoReservation()
 		return err
 	}
 	n.mu.Lock()

@@ -330,23 +330,30 @@ func readLenBytes(p []byte) ([]byte, []byte, bool) {
 	return p[k : k+int(l)], p[k+int(l):], true
 }
 
-// Secondary pulls and applies the primary's oplog into the local node.
+// Secondary pulls the primary's oplog and applies it into the local node
+// through a database-sharded apply pool (node.Applier): the stream reader
+// decodes frames and dispatches entries to per-database FIFO workers, so
+// mutations to one database apply in sequence order while independent
+// databases apply in parallel — the secondary-side mirror of the primary's
+// encoder pool. AppliedSeq is a low-water mark across the shards; snapshot
+// frames act as barriers (drain all shards, then rebase the mark).
 type Secondary struct {
-	node *node.Node
-	conn net.Conn
+	node    *node.Node
+	conn    net.Conn
+	applier *node.Applier
+	fetch   *fetchClient
 
-	mu         sync.Mutex
-	appliedSeq uint64
+	mu sync.Mutex
 	// lenientUntil marks the end of a snapshot catch-up window: entries
 	// with Seq <= lenientUntil were concurrent with the snapshot scan
 	// and are applied with insert-or-skip/ignore-missing semantics.
 	lenientUntil uint64
-	// snapStartSeq holds the in-flight snapshot's resume cursor;
-	// appliedSeq only advances to it once the snapshot is fully applied.
+	// snapStartSeq holds the in-flight snapshot's resume cursor; the
+	// applied low-water mark only rebases to it once the snapshot is
+	// fully applied.
 	snapStartSeq uint64
 	resyncs      uint64
 	snapRecords  uint64
-	baseFetches  uint64
 	epoch        uint64
 	// snapKeys collects the keys received during an in-flight snapshot so
 	// stale local records (deleted on the primary while disconnected) can
@@ -355,16 +362,31 @@ type Secondary struct {
 	err      error
 	done     chan struct{}
 	bytesIn  metrics.Meter
-
-	addr      string
-	fetchMu   sync.Mutex
-	fetchConn net.Conn
 }
+
+// Options tunes a Secondary's apply pipeline. The zero value selects the
+// defaults.
+type Options struct {
+	// ApplyWorkers is the number of parallel apply workers, each owning
+	// one per-database FIFO shard (default GOMAXPROCS).
+	ApplyWorkers int
+	// ApplyQueue bounds each apply shard's queue (default 1024); the
+	// stream reader blocks when a shard is full, backpressuring the TCP
+	// stream instead of queueing unboundedly.
+	ApplyQueue int
+	// FetchTimeout bounds each base-fetch round-trip to the primary
+	// (dial, write, read). Default 3s. A hung primary fails the fetch
+	// instead of stalling an apply worker forever.
+	FetchTimeout time.Duration
+}
+
+// DefaultFetchTimeout bounds base-fetch round-trips unless overridden.
+const DefaultFetchTimeout = 3 * time.Second
 
 // Connect dials the primary and starts applying its oplog from afterSeq
 // (normally 0 for a fresh secondary).
 func Connect(n *node.Node, addr string, afterSeq uint64) (*Secondary, error) {
-	return connect(n, addr, afterSeq, 0)
+	return connect(n, addr, afterSeq, 0, Options{})
 }
 
 // ConnectResume is Connect for a secondary holding a cursor from a previous
@@ -372,10 +394,18 @@ func Connect(n *node.Node, addr string, afterSeq uint64) (*Secondary, error) {
 // the primary has restarted since (epoch mismatch), the stream transparently
 // falls back to a full snapshot resync.
 func ConnectResume(n *node.Node, addr string, afterSeq, expectEpoch uint64) (*Secondary, error) {
-	return connect(n, addr, afterSeq, expectEpoch)
+	return connect(n, addr, afterSeq, expectEpoch, Options{})
 }
 
-func connect(n *node.Node, addr string, afterSeq, expectEpoch uint64) (*Secondary, error) {
+// ConnectWithOptions is ConnectResume with explicit pipeline tuning.
+func ConnectWithOptions(n *node.Node, addr string, afterSeq, expectEpoch uint64, o Options) (*Secondary, error) {
+	return connect(n, addr, afterSeq, expectEpoch, o)
+}
+
+func connect(n *node.Node, addr string, afterSeq, expectEpoch uint64, o Options) (*Secondary, error) {
+	if o.FetchTimeout <= 0 {
+		o.FetchTimeout = DefaultFetchTimeout
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("repl: %w", err)
@@ -386,49 +416,109 @@ func connect(n *node.Node, addr string, afterSeq, expectEpoch uint64) (*Secondar
 		conn.Close()
 		return nil, fmt.Errorf("repl: %w", err)
 	}
-	s := &Secondary{node: n, conn: conn, addr: addr, appliedSeq: afterSeq, done: make(chan struct{})}
+	s := &Secondary{node: n, conn: conn, done: make(chan struct{})}
+	s.fetch = &fetchClient{addr: addr, timeout: o.FetchTimeout, bytesIn: &s.bytesIn}
+	s.applier = node.NewApplier(n, afterSeq, node.ApplierOptions{
+		Workers: o.ApplyWorkers,
+		Queue:   o.ApplyQueue,
+		Fetch:   s.fetch.fetch,
+	})
 	go s.applyLoop()
 	return s, nil
 }
 
-// fetchRecord asks the primary for a record's full content over a lazily
-// opened dedicated connection.
-func (s *Secondary) fetchRecord(db, key string) ([]byte, error) {
-	s.fetchMu.Lock()
-	defer s.fetchMu.Unlock()
-	if s.fetchConn == nil {
-		conn, err := net.Dial("tcp", s.addr)
+// fetchClient asks the primary for full record contents over a lazily
+// opened dedicated connection (the base-miss fallback of paper §4.1 fn. 4).
+// It is safe to call from multiple apply workers: requests are serialised
+// on one connection, every round-trip carries a deadline, and a transport
+// failure triggers one reconnect-and-retry before the error surfaces.
+type fetchClient struct {
+	addr    string
+	timeout time.Duration
+	bytesIn *metrics.Meter
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// errPrimaryReject marks an application-level refusal from the primary
+// (e.g. record not found); retrying on a fresh connection cannot help.
+var errPrimaryReject = errors.New("repl: primary")
+
+func (c *fetchClient) fetch(db, key string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	content, err := c.fetchOnce(db, key)
+	if err == nil || errors.Is(err, errPrimaryReject) {
+		return content, err
+	}
+	// Transport trouble (timeout, broken connection): reconnect once and
+	// retry before giving up.
+	c.reset()
+	return c.fetchOnce(db, key)
+}
+
+// fetchOnce performs one deadline-bounded request/response round-trip,
+// dialling if needed. Caller holds c.mu. On transport errors the connection
+// is torn down so the next attempt redials.
+func (c *fetchClient) fetchOnce(db, key string) ([]byte, error) {
+	deadline := time.Now().Add(c.timeout)
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 		if err != nil {
 			return nil, fmt.Errorf("repl: fetch dial: %w", err)
 		}
+		conn.SetDeadline(deadline)
 		if _, err := writeFrame(conn, frameHello, []byte{helloFetch}); err != nil {
 			conn.Close()
-			return nil, fmt.Errorf("repl: %w", err)
+			return nil, fmt.Errorf("repl: fetch hello: %w", err)
 		}
-		s.fetchConn = conn
+		c.conn = conn
 	}
+	c.conn.SetDeadline(deadline)
+	defer func() {
+		if c.conn != nil {
+			c.conn.SetDeadline(time.Time{})
+		}
+	}()
 	req := appendLenBytes(nil, []byte(db))
 	req = appendLenBytes(req, []byte(key))
-	if _, err := writeFrame(s.fetchConn, frameFetch, req); err != nil {
-		s.fetchConn.Close()
-		s.fetchConn = nil
+	if _, err := writeFrame(c.conn, frameFetch, req); err != nil {
+		c.reset()
 		return nil, err
 	}
-	typ, payload, err := readFrame(s.fetchConn)
+	typ, payload, err := readFrame(c.conn)
 	if err != nil {
-		s.fetchConn.Close()
-		s.fetchConn = nil
+		c.reset()
 		return nil, err
 	}
-	s.bytesIn.Add(int64(len(payload) + 5))
+	c.bytesIn.Add(int64(len(payload) + 5))
 	switch typ {
 	case frameRecord:
 		return payload, nil
 	case frameError:
-		return nil, fmt.Errorf("repl: primary: %s", payload)
+		return nil, fmt.Errorf("%w: %s", errPrimaryReject, payload)
 	default:
+		c.reset()
 		return nil, fmt.Errorf("repl: unexpected fetch frame %q", typ)
 	}
+}
+
+// reset tears down the connection so the next fetch redials. Caller holds
+// c.mu.
+func (c *fetchClient) reset() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// close shuts the fetch connection down (terminal; unblocks any in-flight
+// round-trip).
+func (c *fetchClient) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reset()
 }
 
 func (s *Secondary) applyLoop() {
@@ -437,6 +527,12 @@ func (s *Secondary) applyLoop() {
 		typ, payload, err := readFrame(s.conn)
 		if err != nil {
 			s.fail(err)
+			return
+		}
+		// An apply worker hitting a terminal error poisons the applier;
+		// stop consuming the stream instead of dispatching into it.
+		if err := s.applier.Err(); err != nil {
+			s.fail(fmt.Errorf("repl: %w", err))
 			return
 		}
 		s.bytesIn.Add(int64(len(payload) + 5))
@@ -458,31 +554,11 @@ func (s *Secondary) applyLoop() {
 				s.mu.Lock()
 				lenient := e.Seq <= s.lenientUntil
 				s.mu.Unlock()
-				if lenient {
-					err = s.node.ApplyReplicatedLenient(e)
-				} else {
-					err = s.node.ApplyReplicated(e)
-				}
-				if errors.Is(err, node.ErrBaseMissing) {
-					// Fall back to fetching the full record from the
-					// primary (paper §4.1 fn. 4).
-					content, ferr := s.fetchRecord(e.DB, e.Key)
-					if ferr == nil {
-						err = s.node.ApplySnapshotRecord(e.DB, e.Key, content)
-						s.mu.Lock()
-						s.baseFetches++
-						s.mu.Unlock()
-					} else {
-						err = fmt.Errorf("%w (fetch fallback: %v)", err, ferr)
-					}
-				}
-				if err != nil {
-					s.fail(fmt.Errorf("repl: applying seq %d: %w", e.Seq, err))
-					return
-				}
-				s.mu.Lock()
-				s.appliedSeq = e.Seq
-				s.mu.Unlock()
+				// Dispatch to the entry's database shard; blocks only
+				// when that shard is at capacity (backpressure onto the
+				// TCP stream). ErrBaseMissing falls back to a full-record
+				// fetch inside the worker (paper §4.1 fn. 4).
+				s.applier.EnqueueEntry(e, lenient)
 			}
 		case frameEpoch:
 			ep, k := binary.Uvarint(payload)
@@ -499,12 +575,20 @@ func (s *Secondary) applyLoop() {
 				s.fail(errors.New("repl: corrupt snapshot begin"))
 				return
 			}
+			// Barrier: the snapshot's records replace state across
+			// arbitrary databases and must not interleave with entries
+			// still in flight on any shard.
+			s.applier.Barrier()
+			if err := s.applier.Err(); err != nil {
+				s.fail(fmt.Errorf("repl: %w", err))
+				return
+			}
 			s.mu.Lock()
 			s.resyncs++
 			// Until the end frame arrives, every entry is in-window.
-			// appliedSeq is NOT advanced yet: the snapshot's records
-			// are still in flight, and WaitForSeq must not observe
-			// progress before they are applied.
+			// The applied low-water mark is NOT rebased yet: the
+			// snapshot's records are still in flight, and WaitForSeq
+			// must not observe progress before they are applied.
 			s.lenientUntil = ^uint64(0)
 			s.snapStartSeq = startSeq
 			s.snapKeys = make(map[string]map[string]bool)
@@ -531,10 +615,12 @@ func (s *Secondary) applyLoop() {
 					s.fail(errors.New("repl: corrupt snapshot record"))
 					return
 				}
-				if err := s.node.ApplySnapshotRecord(string(db), string(key), content); err != nil {
-					s.fail(fmt.Errorf("repl: snapshot record %s/%s: %w", db, key, err))
-					return
-				}
+				// Snapshot records ride the same per-database shards
+				// (insert-or-replace, untracked by the low-water mark);
+				// the primary never interleaves batch frames with an
+				// in-flight snapshot, so only snapshot records are in
+				// the shards until the end-frame barrier.
+				s.applier.EnqueueSnapshotRecord(string(db), string(key), content)
 				s.mu.Lock()
 				s.snapRecords++
 				if s.snapKeys != nil {
@@ -553,15 +639,24 @@ func (s *Secondary) applyLoop() {
 				s.fail(errors.New("repl: corrupt snapshot end"))
 				return
 			}
+			// Barrier: every snapshot record must be installed before
+			// the low-water mark rebases and reconciliation deletes
+			// records the snapshot did not carry.
+			s.applier.Barrier()
+			if err := s.applier.Err(); err != nil {
+				s.fail(fmt.Errorf("repl: %w", err))
+				return
+			}
 			s.mu.Lock()
 			keys := s.snapKeys
 			s.snapKeys = nil
 			s.lenientUntil = endSeq
+			snapStart := s.snapStartSeq
+			s.mu.Unlock()
 			// The snapshot defines the stream position outright — on an
 			// epoch-mismatch resync the old cursor may be numerically
 			// larger but belongs to a dead numbering.
-			s.appliedSeq = s.snapStartSeq
-			s.mu.Unlock()
+			s.applier.Reset(snapStart)
 			// Reconcile: local records absent from the snapshot were
 			// deleted on the primary while we were disconnected.
 			if keys != nil {
@@ -585,18 +680,25 @@ func (s *Secondary) fail(err error) {
 	s.mu.Unlock()
 }
 
-// AppliedSeq returns the last applied sequence number.
+// AppliedSeq returns the applied-sequence low-water mark: every entry at or
+// below it has been applied on every shard.
 func (s *Secondary) AppliedSeq() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.appliedSeq
+	return s.applier.LowWater()
 }
 
-// Err returns the first terminal replication error, if any.
+// Err returns the first terminal replication error, if any — a stream
+// failure or an apply-worker failure.
 func (s *Secondary) Err() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.err
+	err := s.err
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if aerr := s.applier.Err(); aerr != nil {
+		return fmt.Errorf("repl: %w", aerr)
+	}
+	return nil
 }
 
 // BytesReceived returns the replication traffic received so far.
@@ -610,8 +712,9 @@ func (s *Secondary) Resyncs() (count, records uint64) {
 	return s.resyncs, s.snapRecords
 }
 
-// WaitForSeq blocks until the secondary has applied seq, the stream fails,
-// or the timeout expires.
+// WaitForSeq blocks until the secondary has applied seq (the low-water mark
+// reaches it, i.e. every shard is caught up), the stream fails, or the
+// timeout expires.
 func (s *Secondary) WaitForSeq(seq uint64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -623,6 +726,10 @@ func (s *Secondary) WaitForSeq(seq uint64, timeout time.Duration) error {
 		}
 		select {
 		case <-s.done:
+			// The stream reader has exited but dispatched entries may
+			// still be in flight on the shards: drain them before the
+			// final verdict.
+			s.applier.Barrier()
 			if s.AppliedSeq() >= seq {
 				return nil
 			}
@@ -650,20 +757,24 @@ func (s *Secondary) Epoch() uint64 {
 // BaseFetches reports how many forward-encoded inserts needed a full-record
 // fetch from the primary because their base was locally unavailable.
 func (s *Secondary) BaseFetches() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.baseFetches
+	return s.applier.BaseFetches()
 }
 
-// Close tears down the connection.
+// ApplyMetrics exposes the apply-pipeline instrumentation (queue depth,
+// per-entry latency, base fetches).
+func (s *Secondary) ApplyMetrics() *metrics.ApplyMetrics {
+	return s.node.ApplyMetrics()
+}
+
+// Close tears down the connection, drains the apply shards, and stops the
+// workers.
 func (s *Secondary) Close() error {
 	err := s.conn.Close()
-	s.fetchMu.Lock()
-	if s.fetchConn != nil {
-		s.fetchConn.Close()
-	}
-	s.fetchMu.Unlock()
 	<-s.done
+	// The stream reader has exited; drain and stop the apply pool, then
+	// the fetch connection it may have been using.
+	s.applier.Close()
+	s.fetch.close()
 	return err
 }
 

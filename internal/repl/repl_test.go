@@ -5,9 +5,11 @@ import (
 	"dbdedup/internal/oplog"
 	"fmt"
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
+	"dbdedup/internal/metrics"
 	"dbdedup/internal/node"
 )
 
@@ -378,6 +380,15 @@ func TestBaseMissFetchFallback(t *testing.T) {
 	if err != nil || !bytes.Equal(got, derived) {
 		t.Fatalf("derived record after fallback: %v", err)
 	}
+	// Exact accounting through the full stack: the base-missing bail-out
+	// must roll its insert back, so the fetched record is the secondary's
+	// only counted insert.
+	if got := sec.Stats().Inserts; got != 1 {
+		t.Fatalf("secondary Inserts after fallback = %d, want exactly 1", got)
+	}
+	if fetches := sec.ApplyMetrics().Snapshot().BaseFetches; fetches != 1 {
+		t.Fatalf("apply metrics base fetches = %d, want 1", fetches)
+	}
 }
 
 func TestPrimaryRestartDetectedByEpoch(t *testing.T) {
@@ -545,5 +556,246 @@ func TestMultipleSecondaries(t *testing.T) {
 				t.Fatalf("secondary %d diverged on %s: %v", i, key, err)
 			}
 		}
+	}
+}
+
+// TestShardedApplyMultiDBStress replicates interleaved multi-database
+// traffic through the sharded apply path: 8 apply workers, a deliberately
+// small shard queue (so dispatch backpressure engages), version chains that
+// mostly ship forward-encoded, and updates/deletes mixed in. Every
+// secondary record must end up byte-identical to the primary — the
+// per-database FIFO invariant leaves no other outcome. Runs under -race.
+func TestShardedApplyMultiDBStress(t *testing.T) {
+	popts := node.Options{SyncEncode: true, DisableAutoFlush: true}
+	popts.Engine.GovernorWindow = 1 << 30
+	prim, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prim.Close()
+	sec, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sec.Close()
+
+	p, err := ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s, err := ConnectWithOptions(sec, p.Addr(), 0, 0, Options{ApplyWorkers: 8, ApplyQueue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(20))
+	const dbs, versions = 8, 40
+	content := make([][]byte, dbs)
+	for d := range content {
+		content[d] = prose(rng, 2048+128*d)
+	}
+	for v := 0; v < versions; v++ {
+		for d := 0; d < dbs; d++ {
+			db := fmt.Sprintf("db%02d", d)
+			if err := prim.Insert(db, fmt.Sprintf("v%03d", v), content[d]); err != nil {
+				t.Fatal(err)
+			}
+			content[d] = editText(rng, content[d], 2)
+		}
+		if v%5 == 2 {
+			prim.Update(fmt.Sprintf("db%02d", v%dbs), fmt.Sprintf("v%03d", v-1), prose(rng, 700))
+		}
+		if v%9 == 4 {
+			prim.Delete(fmt.Sprintf("db%02d", (v+5)%dbs), fmt.Sprintf("v%03d", v-3))
+		}
+	}
+
+	if err := s.WaitForSeq(prim.Oplog().LastSeq(), 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < dbs; d++ {
+		db := fmt.Sprintf("db%02d", d)
+		for v := 0; v < versions; v++ {
+			key := fmt.Sprintf("v%03d", v)
+			want, perr := prim.Read(db, key)
+			got, serr := sec.Read(db, key)
+			if (perr == node.ErrNotFound) != (serr == node.ErrNotFound) {
+				t.Fatalf("%s/%s presence diverged: primary %v, secondary %v", db, key, perr, serr)
+			}
+			if perr != nil {
+				continue
+			}
+			if serr != nil || !bytes.Equal(got, want) {
+				t.Fatalf("%s/%s diverged: %v", db, key, serr)
+			}
+		}
+	}
+	m := sec.ApplyMetrics().Snapshot()
+	if m.Workers != 8 {
+		t.Errorf("apply workers = %d, want 8", m.Workers)
+	}
+	if m.QueueDepth != 0 {
+		t.Errorf("apply queue depth after drain = %d, want 0", m.QueueDepth)
+	}
+	if m.Applied == 0 || m.LatencyCount == 0 {
+		t.Errorf("apply metrics not populated: applied %d, latency samples %d", m.Applied, m.LatencyCount)
+	}
+}
+
+// TestShardedApplySnapshotResyncStress forces a full snapshot resync (tiny
+// retained oplog window) through a multi-worker apply pool: the snapshot
+// frames must act as barriers across the shards, the applied mark must
+// rebase to the snapshot cursor, and concurrent-with-scan writes in the
+// lenient window must still converge exactly.
+func TestShardedApplySnapshotResyncStress(t *testing.T) {
+	popts := node.Options{SyncEncode: true, DisableAutoFlush: true, OplogCapacity: 8}
+	popts.Engine.GovernorWindow = 1 << 30
+	prim, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prim.Close()
+	rng := rand.New(rand.NewSource(21))
+	const dbs = 4
+	for i := 0; i < 60; i++ {
+		prim.Insert(fmt.Sprintf("db%d", i%dbs), fmt.Sprintf("k%03d", i), prose(rng, 1024))
+	}
+	p, err := ListenAndServe(prim, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	sec, err := node.Open(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sec.Close()
+	s, err := ConnectWithOptions(sec, p.Addr(), 0, 0, Options{ApplyWorkers: 8, ApplyQueue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Keep writing while the snapshot streams: these land in the lenient
+	// window.
+	for i := 60; i < 120; i++ {
+		prim.Insert(fmt.Sprintf("db%d", i%dbs), fmt.Sprintf("k%03d", i), prose(rng, 1024))
+	}
+	if err := s.WaitForSeq(prim.Oplog().LastSeq(), 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resyncs, records := s.Resyncs()
+	if resyncs == 0 || records == 0 {
+		t.Fatalf("expected a snapshot resync (resyncs %d, records %d)", resyncs, records)
+	}
+	for i := 0; i < 120; i++ {
+		db, key := fmt.Sprintf("db%d", i%dbs), fmt.Sprintf("k%03d", i)
+		want, err := prim.Read(db, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sec.Read(db, key)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%s/%s diverged after resync: %v", db, key, err)
+		}
+	}
+}
+
+// fetchTestServer is a scriptable stand-in for the primary's fetch
+// endpoint: behaviors[i] governs the i-th accepted connection.
+type fetchBehavior int
+
+const (
+	fetchServe           fetchBehavior = iota // handshake, then answer every request
+	fetchDropImmediately                      // close the connection on accept
+	fetchHang                                 // read requests, never reply
+)
+
+func startFetchServer(t *testing.T, content []byte, behaviors ...fetchBehavior) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			behavior := fetchServe
+			if i < len(behaviors) {
+				behavior = behaviors[i]
+			}
+			go func(conn net.Conn, behavior fetchBehavior) {
+				defer conn.Close()
+				if behavior == fetchDropImmediately {
+					return
+				}
+				if typ, _, err := readFrame(conn); err != nil || typ != frameHello {
+					return
+				}
+				for {
+					typ, _, err := readFrame(conn)
+					if err != nil || typ != frameFetch {
+						return
+					}
+					if behavior == fetchHang {
+						continue // swallow the request, never reply
+					}
+					if _, err := writeFrame(conn, frameRecord, content); err != nil {
+						return
+					}
+				}
+			}(conn, behavior)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestFetchClientTimeoutOnHungPrimary: a primary that accepts the fetch
+// connection but never answers must not stall an apply worker forever — the
+// configured deadline bounds each round-trip (original attempt plus the one
+// reconnect retry), then the error surfaces.
+func TestFetchClientTimeoutOnHungPrimary(t *testing.T) {
+	var meter metrics.Meter
+	addr := startFetchServer(t, nil, fetchHang, fetchHang)
+	c := &fetchClient{addr: addr, timeout: 150 * time.Millisecond, bytesIn: &meter}
+	start := time.Now()
+	_, err := c.fetch("db", "key")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("fetch against a hung primary succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("fetch took %v; deadline not enforced", elapsed)
+	}
+}
+
+// TestFetchClientReconnectRetry: a transport failure on the fetch
+// connection (here: the primary drops it on accept) must trigger exactly
+// one reconnect-and-retry before surfacing an error — so a single broken
+// connection does not fail an otherwise healthy apply.
+func TestFetchClientReconnectRetry(t *testing.T) {
+	var meter metrics.Meter
+	want := []byte("the full record content")
+	addr := startFetchServer(t, want, fetchDropImmediately, fetchServe)
+	c := &fetchClient{addr: addr, timeout: time.Second, bytesIn: &meter}
+	got, err := c.fetch("db", "key")
+	if err != nil {
+		t.Fatalf("fetch did not recover via reconnect: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fetched %q, want %q", got, want)
+	}
+	if meter.Total() == 0 {
+		t.Error("fetch bytes not metered")
 	}
 }
