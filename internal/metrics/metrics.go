@@ -322,8 +322,11 @@ type ApplyMetrics struct {
 	// shard full and had to wait for it to drain.
 	QueueDepth     Gauge
 	QueueOverflows Meter
-	// Applied counts oplog entries and snapshot records applied.
-	Applied Meter
+	// Applied counts oplog entries and snapshot records applied
+	// successfully; ApplyFailures counts entries whose apply (including
+	// any fetch fallback) returned an error.
+	Applied       Meter
+	ApplyFailures Meter
 	// BaseFetches counts forward-encoded inserts that fell back to
 	// fetching the full record from the primary (paper §4.1 fn. 4).
 	BaseFetches Meter
@@ -342,6 +345,7 @@ func (m *ApplyMetrics) Latency() *Histogram { return m.latency }
 type ApplySnapshot struct {
 	Workers        int64
 	Applied        int64
+	ApplyFailures  int64
 	QueueDepth     int64
 	QueueOverflows int64
 	BaseFetches    int64
@@ -356,6 +360,7 @@ func (m *ApplyMetrics) Snapshot() ApplySnapshot {
 	return ApplySnapshot{
 		Workers:        m.Workers.Value(),
 		Applied:        m.Applied.Total(),
+		ApplyFailures:  m.ApplyFailures.Total(),
 		QueueDepth:     m.QueueDepth.Value(),
 		QueueOverflows: m.QueueOverflows.Total(),
 		BaseFetches:    m.BaseFetches.Total(),

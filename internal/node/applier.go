@@ -30,8 +30,10 @@ import (
 // dispatched entry with seq ≤ S has been applied, however the per-shard
 // completions interleave.
 //
-// Enqueue methods and Barrier/Reset/Close must be called from one
-// goroutine; all other methods are safe for concurrent use.
+// Enqueue methods and Reset must be called from the dispatcher goroutine.
+// Barrier is additionally safe to call concurrently with Close and from
+// other goroutines (it then orders arbitrarily against concurrent
+// enqueues); all remaining methods are safe for concurrent use.
 type Applier struct {
 	n     *Node
 	fetch func(db, key string) ([]byte, error)
@@ -147,7 +149,8 @@ func (a *Applier) EnqueueSnapshotRecord(db, key string, payload []byte) {
 
 func (a *Applier) dispatch(db string, job applyJob) {
 	if a.closed.Load() {
-		a.complete(job)
+		// Pool stopped: the job is dropped, not applied, so its slot must
+		// stay pending — the low-water mark must not advance over it.
 		return
 	}
 	sh := a.shardFor(db)
@@ -169,18 +172,27 @@ func (a *Applier) dispatch(db string, job applyJob) {
 // The replication layer brackets snapshot frames with it: a snapshot
 // replaces state across arbitrary databases and must not interleave with
 // in-flight entries on any shard.
+//
+// Barrier is safe to call concurrently with Close (e.g. from WaitForSeq
+// while the secondary shuts down): the closed check happens per shard under
+// the shard lock, so a sentinel is never appended to a queue whose worker
+// has already exited. Once the pool is closed and a shard has drained, the
+// sentinel resolves immediately rather than waiting on a dead worker.
 func (a *Applier) Barrier() {
-	if a.closed.Load() {
-		return
-	}
 	// One sentinel per shard. Sentinels bypass the capacity tokens: they
 	// represent no work and must never deadlock against a full shard.
 	dones := make([]chan struct{}, len(a.shards))
 	for i, sh := range a.shards {
 		dones[i] = make(chan struct{})
 		sh.mu.Lock()
-		sh.q = append(sh.q, applyJob{barrier: dones[i]})
-		sh.cond.Signal()
+		if a.closed.Load() && len(sh.q) == 0 {
+			// The worker may already have seen an empty queue and
+			// exited; a sentinel appended now would never be serviced.
+			close(dones[i])
+		} else {
+			sh.q = append(sh.q, applyJob{barrier: dones[i]})
+			sh.cond.Signal()
+		}
 		sh.mu.Unlock()
 	}
 	for _, done := range dones {
@@ -270,9 +282,13 @@ func (a *Applier) worker(sh *applyShard) {
 	}
 }
 
-// run applies one job and advances the low-water window.
+// run applies one job and, on success, advances the low-water window. A
+// failed entry — and every entry drained after the pool is poisoned —
+// leaves its slot pending, so the low-water mark freezes at the first
+// unapplied sequence: AppliedSeq never reports entries that were not
+// actually applied, and persisting Epoch+AppliedSeq for ConnectResume
+// cannot skip them.
 func (a *Applier) run(job applyJob) {
-	defer a.complete(job)
 	if a.Err() != nil {
 		return // poisoned: drain without applying
 	}
@@ -302,18 +318,23 @@ func (a *Applier) run(job applyJob) {
 		}
 	}
 	a.m.Latency().Observe(time.Since(start))
-	a.m.Applied.Add(1)
 	if err != nil {
+		a.m.ApplyFailures.Add(1)
 		if job.snapshot {
 			a.fail(fmt.Errorf("snapshot record %s/%s: %w", job.entry.DB, job.entry.Key, err))
 		} else {
 			a.fail(fmt.Errorf("applying seq %d: %w", job.entry.Seq, err))
 		}
+		return
 	}
+	a.m.Applied.Add(1)
+	a.complete(job)
 }
 
-// complete marks the job's slot done and advances the low-water mark over
-// the completed prefix of the dispatch window.
+// complete marks an applied job's slot done and advances the low-water mark
+// over the applied prefix of the dispatch window. It is only called for
+// jobs that applied successfully; an unapplied slot stays pending and pins
+// the mark.
 func (a *Applier) complete(job applyJob) {
 	if job.slot == nil {
 		return

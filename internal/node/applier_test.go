@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"dbdedup/internal/delta"
 	"dbdedup/internal/oplog"
@@ -201,6 +202,89 @@ func TestApplierLowWaterAndReset(t *testing.T) {
 	ap.Reset(3)
 	if got := ap.LowWater(); got != 3 {
 		t.Fatalf("low water after reset = %d, want 3", got)
+	}
+}
+
+// TestApplierFailureFreezesLowWater is the regression test for the
+// poisoned-drain accounting bug: run() used to mark every slot done via a
+// deferred complete() — including the failed entry and everything drained
+// after it — so the low-water mark advanced past entries that were never
+// applied, and AppliedSeq/WaitForSeq reported success after a terminal
+// apply failure. The mark must freeze at the last successfully applied
+// sequence.
+func TestApplierFailureFreezesLowWater(t *testing.T) {
+	sec := testNode(t, Options{})
+	ap := NewApplier(sec, 0, ApplierOptions{Workers: 4, Queue: 8})
+	defer ap.Close()
+
+	// Seqs 1..5 apply cleanly and drain first, so the mark is
+	// deterministically 5 before the failure is dispatched.
+	for i := uint64(1); i <= 5; i++ {
+		ap.EnqueueEntry(oplog.Entry{Seq: i, Op: oplog.OpInsert,
+			DB: fmt.Sprintf("db%d", i%3), Key: fmt.Sprintf("k%d", i),
+			Form: oplog.FormRaw, Payload: []byte("v")}, false)
+	}
+	ap.Barrier()
+	if err := ap.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ap.LowWater(); got != 5 {
+		t.Fatalf("low water before failure = %d, want 5", got)
+	}
+	applied := sec.ApplyMetrics().Applied.Total()
+
+	// Seq 6 fails terminally (the store rejects NUL keys); 7..12 ride in
+	// behind it on various shards.
+	for i := uint64(6); i <= 12; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if i == 6 {
+			key = "bad\x00key"
+		}
+		ap.EnqueueEntry(oplog.Entry{Seq: i, Op: oplog.OpInsert,
+			DB: fmt.Sprintf("db%d", i%3), Key: key,
+			Form: oplog.FormRaw, Payload: []byte("v")}, false)
+	}
+	ap.Barrier()
+	if err := ap.Err(); err == nil {
+		t.Fatal("expected a terminal apply error")
+	}
+	if got := ap.LowWater(); got != 5 {
+		t.Fatalf("low water after failure = %d, want frozen at 5 (seq 6 never applied)", got)
+	}
+	m := sec.ApplyMetrics()
+	if m.ApplyFailures.Total() < 1 {
+		t.Fatal("ApplyFailures not counted")
+	}
+	// Applied counts only successful applies: the 5 from before the
+	// failure, plus whichever of 7..12 beat the poison check — never the
+	// failed entry itself.
+	if got := m.Applied.Total(); got < applied || got > applied+6 {
+		t.Fatalf("Applied = %d, want between %d and %d", got, applied, applied+6)
+	}
+}
+
+// TestApplierBarrierAfterClose pins the close-safety of Barrier: a sentinel
+// appended after the workers drained and exited would never be serviced, so
+// a Barrier racing Close (as WaitForSeq can) used to hang forever.
+func TestApplierBarrierAfterClose(t *testing.T) {
+	sec := testNode(t, Options{})
+	ap := NewApplier(sec, 0, ApplierOptions{Workers: 2})
+	ap.EnqueueEntry(oplog.Entry{Seq: 1, Op: oplog.OpInsert, DB: "db", Key: "k",
+		Form: oplog.FormRaw, Payload: []byte("v")}, false)
+	ap.Close()
+
+	done := make(chan struct{})
+	go func() {
+		ap.Barrier()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Barrier hung on a closed pool")
+	}
+	if got := ap.LowWater(); got != 1 {
+		t.Fatalf("low water after close = %d, want 1 (entry was accepted before Close)", got)
 	}
 }
 
