@@ -6,10 +6,31 @@
 // blocks are sealed at a size threshold, optionally run through the
 // block-level compressor (the stand-in for WiredTiger's Snappy pass), and
 // appended to segment files. An in-memory index maps record IDs to block
-// locators; a small LRU block cache serves hot reads; dead bytes are
+// locators; a sharded LRU block cache serves hot reads; dead bytes are
 // reclaimed by segment compaction. Opening an existing directory replays the
 // segments to rebuild the index, so the store is crash-consistent up to the
 // last sealed block (plus the unsealed tail, which is replayed too).
+//
+// # Concurrency
+//
+// The store is a single-writer, many-reader structure. One writer lock
+// (s.mu) serialises Append/Flush/Compact/Close; the read path — Get, Range,
+// Meta, Stats, DBLogicalBytes — takes no store-wide lock. Sealed bytes are
+// immutable, so reads route through the segio subsystem: a block read pins
+// a refcounted segment handle (segio.Table), consults the sharded block
+// cache (segio.Cache), and unpins. Compaction retires a segment by
+// publishing a new table epoch and deleting the file; pinned readers keep
+// the inode alive until they drain, and a reader that loses the pin race
+// re-resolves its locator through the index, which no longer references the
+// victim. See the segio package comment for the retirement protocol and
+// DESIGN.md §6 for the lock hierarchy.
+//
+// The record maps (pending, index, meta) are sync.Maps updated only under
+// the writer lock, in a publish-new-before-retiring-old order, so lock-free
+// readers always observe either the old or the new version of a record and
+// never a transient absence. Counters are atomics; the per-database byte
+// map has a dedicated mutex (statsMu) so monitoring never contends with
+// writes.
 //
 // The store knows nothing about deduplication policy: it faithfully stores
 // whatever form (raw or delta + base reference) the engine hands it, and
@@ -23,12 +44,15 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbdedup/internal/blockcomp"
+	"dbdedup/internal/docstore/segio"
 )
 
 // Form describes how a record's payload is stored.
@@ -79,9 +103,12 @@ type Options struct {
 	Compress bool
 	// SegmentSize is the target segment size. Defaults to 64 MiB.
 	SegmentSize int
-	// CacheBlocks bounds the decompressed-block LRU cache. Defaults
+	// CacheBlocks bounds the decompressed-block cache. Defaults
 	// to 64 blocks.
 	CacheBlocks int
+	// CacheShards is the block cache's shard count (rounded up to a power
+	// of two). Defaults to 8.
+	CacheShards int
 	// AppendDelay injects a fixed latency into every record append,
 	// simulating a slow storage device (the paper's HDD testbed). Zero
 	// disables it. Used by the write-back-cache experiment, where the
@@ -114,42 +141,58 @@ type Stats struct {
 	Appends uint64
 	// CacheHits/CacheMisses count block-cache outcomes on reads.
 	CacheHits, CacheMisses uint64
+	// PinnedReaders is the number of segment handles currently pinned by
+	// in-flight reads (gauge).
+	PinnedReaders int64
+	// RetiredPending is the number of compacted segments whose files stay
+	// open because a reader still holds a pin (gauge; drains to zero).
+	RetiredPending int64
+	// LiveSegments is the number of segments readable through the table.
+	LiveSegments int
 }
 
 type locator struct {
-	seg      int   // segment index
+	seg      int   // segment slot (index into s.segments / segio table)
 	off      int64 // block offset within segment
 	recStart int   // frame start within the decompressed block
-	live     bool
 }
 
 // Store is a log-structured record store. All methods are safe for
-// concurrent use.
+// concurrent use; reads take no store-wide lock.
 type Store struct {
-	mu   sync.RWMutex
+	mu   sync.RWMutex // writer lock; readers use it only as a last-resort fallback
 	opts Options
 
 	segments []*segment
-	active   *segment // last element of segments
+	active   *segment // last live element of segments
 
-	// block under construction (not yet sealed)
-	pending      []byte
-	pendingRecs  map[uint64]pendingRec
-	pendingOrder []uint64
+	// block under construction (not yet sealed); guarded by mu
+	pending []byte
 
-	index map[uint64]locator
-	meta  map[uint64]recMeta // DB/Key/Form/BaseID for live records
-	// dbBytes tracks live logical payload bytes per database.
+	// record maps: lock-free for readers, mutated only under mu in
+	// publish-before-retire order (see package comment).
+	pendingRecs sync.Map // uint64 -> Record (unsealed)
+	index       sync.Map // uint64 -> locator (sealed)
+	meta        sync.Map // uint64 -> recMeta (all live records)
+
+	table *segio.Table
+	cache *segio.Cache
+
+	// counters: atomics, readable without any lock
+	liveRecords   atomic.Int64
+	logicalBytes  atomic.Int64
+	deadBytes     atomic.Int64
+	blockBytesIn  atomic.Int64
+	blockBytesOut atomic.Int64
+	appends       atomic.Uint64
+
+	// statsMu guards only dbBytes, so DBLogicalBytes never waits on a
+	// writer holding mu.
+	statsMu sync.Mutex
 	dbBytes map[string]int64
 
-	cache *blockCache
-
-	stats  Stats
-	closed bool
-}
-
-type pendingRec struct {
-	rec Record
+	compactMu sync.Mutex // one compaction pass at a time
+	closed    bool       // guarded by mu
 }
 
 type recMeta struct {
@@ -161,12 +204,17 @@ type recMeta struct {
 	hidden     bool
 }
 
+// segment is the writer-side state of one segment. All fields are guarded
+// by s.mu; readers never touch it — they go through rd, whose published
+// size and refcount make the sealed prefix safe without the lock.
 type segment struct {
-	id   int
-	file *os.File // nil in memory mode
-	buf  []byte   // memory mode contents
-	size int64
-	dead int64 // dead bytes (superseded frames)
+	id      int
+	file    *os.File // nil in memory mode; shared with rd until retirement
+	wbuf    []byte   // memory mode write buffer (grow-only backing)
+	size    int64
+	dead    int64 // dead bytes (superseded frames)
+	retired bool
+	rd      *segio.Reader
 }
 
 const (
@@ -187,16 +235,18 @@ func Open(opts Options) (*Store, error) {
 		opts.CacheBlocks = 64
 	}
 	s := &Store{
-		opts:        opts,
-		pendingRecs: make(map[uint64]pendingRec),
-		index:       make(map[uint64]locator),
-		meta:        make(map[uint64]recMeta),
-		dbBytes:     make(map[string]int64),
-		cache:       newBlockCache(opts.CacheBlocks),
+		opts:    opts,
+		dbBytes: make(map[string]int64),
+		table:   segio.NewTable(),
+		cache:   segio.NewCache(opts.CacheBlocks, opts.CacheShards),
 	}
 	if opts.Dir == "" {
-		s.segments = []*segment{{id: 0}}
-		s.active = s.segments[0]
+		seg, err := s.newSegment(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.segments = []*segment{seg}
+		s.active = seg
 		return s, nil
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -222,10 +272,14 @@ func Open(opts Options) (*Store, error) {
 			f.Close()
 			return nil, fmt.Errorf("docstore: %w", err)
 		}
-		s.segments = append(s.segments, &segment{id: id, file: f, size: fi.Size()})
+		slot := len(s.segments)
+		seg := &segment{id: id, file: f, size: fi.Size(),
+			rd: segio.NewFileReader(slot, f, fi.Size())}
+		s.table.Install(seg.rd)
+		s.segments = append(s.segments, seg)
 	}
 	if len(s.segments) == 0 {
-		seg, err := s.newSegment(0)
+		seg, err := s.newSegment(0, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -239,16 +293,21 @@ func Open(opts Options) (*Store, error) {
 	return s, nil
 }
 
-func (s *Store) newSegment(id int) (*segment, error) {
+// newSegment creates a fresh segment and installs its reader at slot.
+func (s *Store) newSegment(id, slot int) (*segment, error) {
 	if s.opts.Dir == "" {
-		return &segment{id: id}, nil
+		seg := &segment{id: id, rd: segio.NewMemReader(slot)}
+		s.table.Install(seg.rd)
+		return seg, nil
 	}
 	name := filepath.Join(s.opts.Dir, fmt.Sprintf("seg-%06d.log", id))
 	f, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("docstore: %w", err)
 	}
-	return &segment{id: id, file: f}, nil
+	seg := &segment{id: id, file: f, rd: segio.NewFileReader(slot, f, 0)}
+	s.table.Install(seg.rd)
+	return seg, nil
 }
 
 // Append stores rec, superseding any previous frame with the same ID. A
@@ -262,76 +321,134 @@ func (s *Store) Append(rec Record) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.appendLocked(rec)
+}
+
+// appendLocked is Append's body; the caller holds mu. Compaction uses it
+// directly so its re-resolve-then-move step is one critical section — a
+// concurrent writer can never supersede a record between the check and the
+// re-append (which would resurrect the stale version).
+func (s *Store) appendLocked(rec Record) error {
 	if s.closed {
 		return errors.New("docstore: store is closed")
 	}
-	s.supersede(rec.ID)
 	frame := appendFrame(nil, rec)
 	s.pending = append(s.pending, frame...)
 	if rec.Tombstone {
-		delete(s.pendingRecs, rec.ID)
-		delete(s.index, rec.ID)
-		delete(s.meta, rec.ID)
+		s.supersede(rec.ID, true)
+		s.meta.Delete(rec.ID)
 	} else {
-		if _, dup := s.pendingRecs[rec.ID]; !dup {
-			s.pendingOrder = append(s.pendingOrder, rec.ID)
-		}
-		s.pendingRecs[rec.ID] = pendingRec{rec: rec}
-		s.meta[rec.ID] = recMeta{db: rec.DB, key: rec.Key, form: rec.Form,
+		// Publish the new version before retiring the old: a lock-free
+		// reader must always find one of them.
+		s.pendingRecs.Store(rec.ID, rec)
+		s.supersede(rec.ID, false)
+		s.meta.Store(rec.ID, recMeta{db: rec.DB, key: rec.Key, form: rec.Form,
 			baseID: rec.BaseID, payloadLen: len(rec.Payload),
-			stacked: rec.Stacked, hidden: rec.Hidden}
-		s.stats.LogicalBytes += int64(len(rec.Payload))
-		s.dbBytes[rec.DB] += int64(len(rec.Payload))
-		s.stats.LiveRecords++
+			stacked: rec.Stacked, hidden: rec.Hidden})
+		s.logicalBytes.Add(int64(len(rec.Payload)))
+		s.addDBBytes(rec.DB, int64(len(rec.Payload)))
+		s.liveRecords.Add(1)
 	}
-	s.stats.Appends++
+	s.appends.Add(1)
 	if len(s.pending) >= s.opts.BlockSize {
 		return s.sealBlock()
 	}
 	return nil
 }
 
-// supersede retires the previous version of id from the accounting and
-// index (but not from disk; compaction reclaims the bytes later).
-func (s *Store) supersede(id uint64) {
-	if m, ok := s.meta[id]; ok {
-		s.stats.LogicalBytes -= int64(m.payloadLen)
-		s.dbBytes[m.db] -= int64(m.payloadLen)
-		s.stats.LiveRecords--
-		s.stats.DeadBytes += int64(m.payloadLen)
-	}
-	if loc, ok := s.index[id]; ok && loc.live {
-		s.segments[loc.seg].dead += int64(s.meta[id].payloadLen)
-		delete(s.index, id)
-	}
-	delete(s.pendingRecs, id)
+func (s *Store) addDBBytes(db string, n int64) {
+	s.statsMu.Lock()
+	s.dbBytes[db] += n
+	s.statsMu.Unlock()
 }
 
-// Get returns the stored form of record id.
+// supersede retires the previous version of id from the accounting and
+// index (but not from disk; compaction reclaims the bytes later). Caller
+// holds mu. dropPending also removes the unsealed copy — false when the
+// caller has just overwritten it with the new version.
+func (s *Store) supersede(id uint64, dropPending bool) {
+	var payloadLen int64
+	if mv, ok := s.meta.Load(id); ok {
+		m := mv.(recMeta)
+		payloadLen = int64(m.payloadLen)
+		s.logicalBytes.Add(-payloadLen)
+		s.addDBBytes(m.db, -payloadLen)
+		s.liveRecords.Add(-1)
+		s.deadBytes.Add(payloadLen)
+	}
+	if lv, ok := s.index.Load(id); ok {
+		s.segments[lv.(locator).seg].dead += payloadLen
+		s.index.Delete(id)
+	}
+	if dropPending {
+		s.pendingRecs.Delete(id)
+	}
+}
+
+// Get returns the stored form of record id. It is lock-free on the sealed
+// read path: record-map lookups hit sync.Maps, block reads pin a segio
+// segment handle and go through the sharded cache. Writers publish map
+// updates new-version-first, so a miss in both maps for a live record is a
+// transient handoff window — closed by a re-check, a few retries, and
+// finally one authoritative pass under the writer lock.
 func (s *Store) Get(id uint64) (Record, bool, error) {
-	s.mu.RLock()
-	if p, ok := s.pendingRecs[id]; ok {
-		rec := p.rec
-		s.mu.RUnlock()
+	for attempt := 0; ; attempt++ {
+		if attempt > 1000 {
+			return Record{}, false, errors.New("docstore: Get retry livelock (index references retired segments)")
+		}
+		if v, ok := s.pendingRecs.Load(id); ok {
+			return v.(Record), true, nil
+		}
+		lv, ok := s.index.Load(id)
+		if !ok {
+			// Sealing installs the index entry before clearing the pending
+			// copy; an overwrite publishes the new pending copy before
+			// retiring the old index entry. Re-checking pending closes
+			// both windows.
+			if v, ok := s.pendingRecs.Load(id); ok {
+				return v.(Record), true, nil
+			}
+			if _, ok := s.meta.Load(id); !ok {
+				return Record{}, false, nil // authoritatively absent
+			}
+			// Live per meta but missed in both maps: we raced a writer
+			// mid-handoff. Retry lock-free, then consult the writer lock
+			// once (writers quiesced ⇒ the maps are authoritative).
+			if attempt < 4 {
+				runtime.Gosched()
+				continue
+			}
+			s.mu.RLock()
+			if v, ok := s.pendingRecs.Load(id); ok {
+				s.mu.RUnlock()
+				return v.(Record), true, nil
+			}
+			lv, ok = s.index.Load(id)
+			s.mu.RUnlock()
+			if !ok {
+				return Record{}, false, nil
+			}
+		}
+		loc := lv.(locator)
+		block, err := s.loadBlock(loc.seg, loc.off)
+		if errors.Is(err, segio.ErrRetired) {
+			// Compaction retired the segment after we resolved the
+			// locator. The record was moved first, so re-resolving finds
+			// its new home.
+			continue
+		}
+		if err != nil {
+			return Record{}, false, err
+		}
+		rec, _, err := parseFrame(block[loc.recStart:])
+		if err != nil {
+			return Record{}, false, err
+		}
+		if rec.ID != id {
+			return Record{}, false, fmt.Errorf("docstore: index corruption: wanted %d found %d", id, rec.ID)
+		}
 		return rec, true, nil
 	}
-	loc, ok := s.index[id]
-	s.mu.RUnlock()
-	if !ok {
-		return Record{}, false, nil
-	}
-	block, err := s.loadBlock(loc.seg, loc.off)
-	if err != nil {
-		return Record{}, false, err
-	}
-	rec, _, err := parseFrame(block[loc.recStart:])
-	if err != nil {
-		return Record{}, false, err
-	}
-	if rec.ID != id {
-		return Record{}, false, fmt.Errorf("docstore: index corruption: wanted %d found %d", id, rec.ID)
-	}
-	return rec, true, nil
 }
 
 // Delete writes a tombstone for id.
@@ -381,32 +498,35 @@ func (s *Store) sealBlock() error {
 		}
 	}
 
-	// Point every pending record at its sealed location.
+	// Point every pending record at its sealed location. Index entries go
+	// in before the pending copies come out, so lock-free readers never
+	// see the record absent mid-seal.
+	slot := segSlot(s.segments, seg)
 	scan := 0
 	for scan < len(raw) {
 		rec, n, err := parseFrame(raw[scan:])
 		if err != nil {
 			return fmt.Errorf("docstore: internal frame error: %w", err)
 		}
-		if cur, ok := s.pendingRecs[rec.ID]; ok && !rec.Tombstone && sameFrame(cur.rec, rec) {
-			s.index[rec.ID] = locator{seg: segPos(s.segments, seg), off: off, recStart: scan, live: true}
+		if cur, ok := s.pendingRecs.Load(rec.ID); ok && !rec.Tombstone && sameFrame(cur.(Record), rec) {
+			s.index.Store(rec.ID, locator{seg: slot, off: off, recStart: scan})
 		} else if !rec.Tombstone {
 			// A superseded duplicate within the same block.
 			seg.dead += int64(len(rec.Payload))
 		}
 		scan += n
 	}
-	for id := range s.pendingRecs {
-		delete(s.pendingRecs, id)
-	}
-	s.pendingOrder = s.pendingOrder[:0]
+	s.pendingRecs.Range(func(k, _ any) bool {
+		s.pendingRecs.Delete(k)
+		return true
+	})
 	s.pending = nil
 
-	s.stats.BlockBytesIn += int64(len(raw))
-	s.stats.BlockBytesOut += int64(len(stored)) + blockHeaderSize
+	s.blockBytesIn.Add(int64(len(raw)))
+	s.blockBytesOut.Add(int64(len(stored)) + blockHeaderSize)
 
 	if seg.size >= int64(s.opts.SegmentSize) {
-		ns, err := s.newSegment(seg.id + 1)
+		ns, err := s.newSegment(seg.id+1, len(s.segments))
 		if err != nil {
 			return err
 		}
@@ -422,7 +542,7 @@ func sameFrame(a, b Record) bool {
 		len(a.Payload) == len(b.Payload)
 }
 
-func segPos(segs []*segment, s *segment) int {
+func segSlot(segs []*segment, s *segment) int {
 	for i, x := range segs {
 		if x == s {
 			return i
@@ -431,52 +551,42 @@ func segPos(segs []*segment, s *segment) int {
 	panic("docstore: segment not registered")
 }
 
+// write appends p to the segment and publishes the new sealed size to the
+// segment's reader. Caller holds s.mu. Memory-mode appends may reallocate
+// wbuf; readers holding the previously published pointer still see an
+// immutable, correct prefix.
 func (seg *segment) write(p []byte) error {
 	if seg.file != nil {
 		if _, err := seg.file.WriteAt(p, seg.size); err != nil {
 			return fmt.Errorf("docstore: %w", err)
 		}
-	} else {
-		seg.buf = append(seg.buf, p...)
-	}
-	seg.size += int64(len(p))
-	return nil
-}
-
-func (seg *segment) readAt(p []byte, off int64) error {
-	if seg.file != nil {
-		if _, err := seg.file.ReadAt(p, off); err != nil {
-			return fmt.Errorf("docstore: %w", err)
-		}
+		seg.size += int64(len(p))
+		seg.rd.SetSize(seg.size)
 		return nil
 	}
-	if off+int64(len(p)) > int64(len(seg.buf)) {
-		return errors.New("docstore: short read")
-	}
-	copy(p, seg.buf[off:])
+	seg.wbuf = append(seg.wbuf, p...)
+	seg.size += int64(len(p))
+	seg.rd.PublishMem(seg.wbuf)
 	return nil
 }
 
-// loadBlock returns the decompressed contents of the block at (seg, off).
-func (s *Store) loadBlock(segIdx int, off int64) ([]byte, error) {
-	key := blockKey(segIdx, off)
-	if b, ok := s.cache.get(key); ok {
-		s.mu.Lock()
-		s.stats.CacheHits++
-		s.mu.Unlock()
+// loadBlock returns the decompressed contents of the block at (slot, off),
+// through the sharded cache. It returns segio.ErrRetired when the segment
+// was retired by compaction — the caller re-resolves its locator.
+func (s *Store) loadBlock(slot int, off int64) ([]byte, error) {
+	key := segio.BlockKey(slot, off)
+	if b, ok := s.cache.Get(key); ok {
 		return b, nil
 	}
-	s.mu.RLock()
-	if segIdx >= len(s.segments) {
-		s.mu.RUnlock()
-		return nil, errors.New("docstore: bad segment index")
+	rd, ok := s.table.Pin(slot)
+	if !ok {
+		return nil, segio.ErrRetired
 	}
-	seg := s.segments[segIdx]
-	s.mu.RUnlock()
+	defer s.table.Unpin(rd)
 
 	var hdr [blockHeaderSize]byte
-	if err := seg.readAt(hdr[:], off); err != nil {
-		return nil, err
+	if err := rd.ReadAt(hdr[:], off); err != nil {
+		return nil, fmt.Errorf("docstore: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != blockMagic {
 		return nil, errors.New("docstore: bad block magic")
@@ -487,8 +597,8 @@ func (s *Store) loadBlock(segIdx int, off int64) ([]byte, error) {
 	flags := hdr[16]
 
 	stored := make([]byte, storedLen)
-	if err := seg.readAt(stored, off+blockHeaderSize); err != nil {
-		return nil, err
+	if err := rd.ReadAt(stored, off+blockHeaderSize); err != nil {
+		return nil, fmt.Errorf("docstore: %w", err)
 	}
 	if crc32.ChecksumIEEE(stored) != sum {
 		return nil, errors.New("docstore: block checksum mismatch")
@@ -504,26 +614,18 @@ func (s *Store) loadBlock(segIdx int, off int64) ([]byte, error) {
 	if len(raw) != int(rawLen) {
 		return nil, errors.New("docstore: block length mismatch")
 	}
-	s.cache.put(key, raw)
-	s.mu.Lock()
-	s.stats.CacheMisses++
-	s.mu.Unlock()
+	s.cache.Put(key, raw)
 	return raw, nil
-}
-
-func blockKey(seg int, off int64) uint64 {
-	return uint64(seg)<<40 | uint64(off)&((1<<40)-1)
 }
 
 // Range calls fn for every live record's stored form, in unspecified order.
 // If fn returns false the iteration stops.
 func (s *Store) Range(fn func(Record) bool) error {
-	s.mu.RLock()
-	ids := make([]uint64, 0, len(s.meta))
-	for id := range s.meta {
-		ids = append(ids, id)
-	}
-	s.mu.RUnlock()
+	var ids []uint64
+	s.meta.Range(func(k, _ any) bool {
+		ids = append(ids, k.(uint64))
+		return true
+	})
 	for _, id := range ids {
 		rec, ok, err := s.Get(id)
 		if err != nil {
@@ -547,60 +649,78 @@ type MetaInfo struct {
 }
 
 // Meta returns the metadata of record id without reading its payload.
+// Lock-free.
 func (s *Store) Meta(id uint64) (MetaInfo, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	m, ok := s.meta[id]
+	mv, ok := s.meta.Load(id)
 	if !ok {
 		return MetaInfo{}, false
 	}
+	m := mv.(recMeta)
 	return MetaInfo{DB: m.db, Key: m.key, Form: m.form, BaseID: m.baseID,
 		PayloadLen: m.payloadLen, Stacked: m.stacked, Hidden: m.hidden}, true
 }
 
-// DBLogicalBytes returns the live stored payload bytes of one database.
+// DBLogicalBytes returns the live stored payload bytes of one database. It
+// takes only the stats lock, never the writer lock.
 func (s *Store) DBLogicalBytes(db string) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	return s.dbBytes[db]
 }
 
-// Stats returns a snapshot of the store's accounting.
+// Stats returns a snapshot of the store's accounting without taking the
+// writer lock: counters are atomics, cache totals come from the shard
+// counters, and the segment gauges from the segio table.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	hits, misses := s.cache.HitsMisses()
+	return Stats{
+		LiveRecords:    int(s.liveRecords.Load()),
+		LogicalBytes:   s.logicalBytes.Load(),
+		BlockBytesIn:   s.blockBytesIn.Load(),
+		BlockBytesOut:  s.blockBytesOut.Load(),
+		DeadBytes:      s.deadBytes.Load(),
+		Appends:        s.appends.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		PinnedReaders:  s.table.Pinned(),
+		RetiredPending: s.table.RetiredPending(),
+		LiveSegments:   s.table.Live(),
+	}
 }
 
-// Close flushes the pending block and releases file handles.
+// CacheShardStats returns the block cache's per-shard hit/miss/occupancy
+// counters for the admin endpoint.
+func (s *Store) CacheShardStats() []segio.ShardStats {
+	return s.cache.Stats()
+}
+
+// Close flushes the pending block and retires every segment reader; file
+// handles close as their reader refcounts drain (immediately when no read
+// is in flight).
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	var firstErr error
 	if len(s.pending) > 0 {
 		firstErr = s.sealBlock()
 	}
-	for _, seg := range s.segments {
-		if seg.file != nil {
-			if err := seg.file.Close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-	}
 	s.closed = true
+	s.mu.Unlock()
+	s.table.Close()
 	return firstErr
 }
 
-// replayAll rebuilds the index from segment contents. Caller is Open.
+// replayAll rebuilds the index from segment contents. Caller is Open; the
+// store is not yet shared, so plain map stores are safe.
 func (s *Store) replayAll() error {
 	for segIdx, seg := range s.segments {
 		var off int64
 		for off < seg.size {
 			var hdr [blockHeaderSize]byte
-			if err := seg.readAt(hdr[:], off); err != nil {
+			if err := seg.rd.ReadAt(hdr[:], off); err != nil {
 				break // truncated tail: stop at last complete block
 			}
 			if binary.LittleEndian.Uint32(hdr[0:]) != blockMagic {
@@ -620,18 +740,18 @@ func (s *Store) replayAll() error {
 				if err != nil {
 					return fmt.Errorf("docstore: replay: %w", err)
 				}
-				s.supersede(rec.ID)
+				s.supersede(rec.ID, true)
 				if rec.Tombstone {
-					delete(s.index, rec.ID)
-					delete(s.meta, rec.ID)
+					s.index.Delete(rec.ID)
+					s.meta.Delete(rec.ID)
 				} else {
-					s.index[rec.ID] = locator{seg: segIdx, off: off, recStart: scan, live: true}
-					s.meta[rec.ID] = recMeta{db: rec.DB, key: rec.Key, form: rec.Form,
+					s.index.Store(rec.ID, locator{seg: segIdx, off: off, recStart: scan})
+					s.meta.Store(rec.ID, recMeta{db: rec.DB, key: rec.Key, form: rec.Form,
 						baseID: rec.BaseID, payloadLen: len(rec.Payload),
-						stacked: rec.Stacked, hidden: rec.Hidden}
-					s.stats.LogicalBytes += int64(len(rec.Payload))
-					s.dbBytes[rec.DB] += int64(len(rec.Payload))
-					s.stats.LiveRecords++
+						stacked: rec.Stacked, hidden: rec.Hidden})
+					s.logicalBytes.Add(int64(len(rec.Payload)))
+					s.addDBBytes(rec.DB, int64(len(rec.Payload)))
+					s.liveRecords.Add(1)
 				}
 				scan += n
 			}
@@ -639,18 +759,19 @@ func (s *Store) replayAll() error {
 		}
 		// Anything past the last complete block is a torn write; the
 		// active segment continues from here.
-		seg.size = minInt64(seg.size, segEnd(seg, s, segIdx))
+		seg.size = minInt64(seg.size, segEnd(seg))
+		seg.rd.SetSize(seg.size)
 	}
 	return nil
 }
 
 // segEnd computes the end offset of the last valid block in seg (replayAll
 // has already walked it; recompute cheaply by walking headers only).
-func segEnd(seg *segment, s *Store, segIdx int) int64 {
+func segEnd(seg *segment) int64 {
 	var off int64
 	for off < seg.size {
 		var hdr [blockHeaderSize]byte
-		if err := seg.readAt(hdr[:], off); err != nil {
+		if err := seg.rd.ReadAt(hdr[:], off); err != nil {
 			break
 		}
 		if binary.LittleEndian.Uint32(hdr[0:]) != blockMagic {
@@ -673,32 +794,49 @@ func minInt64(a, b int64) int64 {
 }
 
 // Compact rewrites the live records of the segment with the most dead bytes
-// into the active segment and deletes the old one. It returns the number of
+// into the active segment and retires the old one. It returns the number of
 // bytes reclaimed on disk. Compaction of the active segment is skipped.
+//
+// Retirement is safe against in-flight reads: the victim leaves the segio
+// table (new readers fail their pin and re-resolve through the index, which
+// no longer references the victim), its file is unlinked immediately — the
+// inode survives until the last pinned reader drains and the release hook
+// closes the descriptor — and its cached blocks are dropped. Segment slots
+// are never reused, so a stale cache entry that races the drop stays
+// harmless (its bytes are still correct) until the LRU evicts it.
 func (s *Store) Compact() (int64, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, errors.New("docstore: store is closed")
+	}
 	var victim *segment
 	victimIdx := -1
 	for i, seg := range s.segments {
-		if seg == s.active {
+		if seg == s.active || seg.retired {
 			continue
 		}
 		if victim == nil || seg.dead > victim.dead {
 			victim, victimIdx = seg, i
 		}
 	}
-	if victim == nil {
-		s.mu.Unlock()
-		return 0, nil
-	}
 	// Collect live records located in the victim.
 	var liveIDs []uint64
-	for id, loc := range s.index {
-		if loc.seg == victimIdx {
-			liveIDs = append(liveIDs, id)
-		}
+	if victim != nil {
+		s.index.Range(func(k, v any) bool {
+			if v.(locator).seg == victimIdx {
+				liveIDs = append(liveIDs, k.(uint64))
+			}
+			return true
+		})
 	}
 	s.mu.Unlock()
+	if victim == nil {
+		return 0, nil
+	}
 
 	for _, id := range liveIDs {
 		rec, ok, err := s.Get(id)
@@ -708,37 +846,46 @@ func (s *Store) Compact() (int64, error) {
 		if !ok {
 			continue
 		}
-		// Re-append only if still located in the victim (a concurrent
-		// write may have moved it).
+		if s.opts.AppendDelay > 0 {
+			time.Sleep(s.opts.AppendDelay)
+		}
+		// Re-check and move in one critical section: a concurrent write
+		// between the check and the append could otherwise be superseded
+		// by this stale copy.
 		s.mu.Lock()
-		loc, still := s.index[id]
-		s.mu.Unlock()
-		if !still || loc.seg != victimIdx {
+		lv, still := s.index.Load(id)
+		if !still || lv.(locator).seg != victimIdx {
+			s.mu.Unlock()
 			continue
 		}
-		if err := s.Append(rec); err != nil {
+		if err := s.appendLocked(rec); err != nil {
+			s.mu.Unlock()
 			return 0, err
 		}
+		s.mu.Unlock()
 	}
 	if err := s.Flush(); err != nil {
 		return 0, err
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	reclaimed := victim.size
+	var name string
 	if victim.file != nil {
-		name := victim.file.Name()
-		victim.file.Close()
-		os.Remove(name)
+		name = victim.file.Name()
 	}
-	victim.buf = nil
+	victim.retired = true
+	victim.file = nil // the reader's release hook owns the close now
+	victim.wbuf = nil
 	victim.size = 0
 	victim.dead = 0
-	victim.file = nil
-	// Leave the slot in s.segments so existing locator indices stay
-	// valid; its index entries were all moved, so it is never read.
-	s.cache.dropSegment(victimIdx)
+	s.mu.Unlock()
+
+	s.table.Retire(victimIdx)
+	if name != "" {
+		os.Remove(name)
+	}
+	s.cache.DropSegment(victimIdx)
 	return reclaimed, nil
 }
 

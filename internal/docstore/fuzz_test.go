@@ -8,6 +8,24 @@ func FuzzParseFrame(f *testing.F) {
 	f.Add(appendFrame(nil, Record{ID: 1, DB: "db", Key: "key", Payload: []byte("payload")}))
 	f.Add(appendFrame(nil, Record{ID: 2, Form: FormDelta, BaseID: 1, DB: "d", Key: "k", Payload: []byte("delta")}))
 	f.Add([]byte{})
+	// Every Form × Tombstone × Stacked × Hidden combination, so corpus
+	// mutation starts from each flag-byte shape the store can emit.
+	for combo := 0; combo < 16; combo++ {
+		rec := Record{
+			ID:        uint64(100 + combo),
+			DB:        "fz",
+			Key:       "flags",
+			Payload:   []byte("body"),
+			Tombstone: combo&1 != 0,
+			Stacked:   combo&2 != 0,
+			Hidden:    combo&4 != 0,
+		}
+		if combo&8 != 0 {
+			rec.Form = FormDelta
+			rec.BaseID = 7
+		}
+		f.Add(appendFrame(nil, rec))
+	}
 	f.Fuzz(func(t *testing.T, buf []byte) {
 		rec, n, err := parseFrame(buf)
 		if err != nil {

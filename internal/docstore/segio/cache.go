@@ -1,0 +1,158 @@
+package segio
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// BlockKey packs a segment slot and block offset into one cache key. Offsets
+// are limited to 2^40 bytes (1 TiB) per segment, far above any segment size
+// the store rolls at.
+func BlockKey(slot int, off int64) uint64 {
+	return uint64(slot)<<40 | uint64(off)&((1<<40)-1)
+}
+
+// keySlot recovers the segment slot from a BlockKey.
+func keySlot(key uint64) int { return int(key >> 40) }
+
+// Cache is a sharded, count-bounded LRU of decompressed blocks. Each shard
+// has its own lock and LRU list, so concurrent readers hitting different
+// shards never serialise; hit/miss counters are per shard for the admin
+// endpoint's contention view.
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[uint64]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type blockItem struct {
+	key  uint64
+	data []byte
+}
+
+// NewCache returns a cache holding capacity blocks total across shardCount
+// shards (rounded up to a power of two; shardCount <= 0 selects 8). Each
+// shard holds at least one block, so tiny capacities still cache.
+func NewCache(capacity, shardCount int) *Cache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if shardCount <= 0 {
+		shardCount = 8
+	}
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[uint64]*list.Element)
+	}
+	return c
+}
+
+// shardOf spreads keys across shards. Block offsets share high bits within
+// a segment, so mix with a Fibonacci constant before masking.
+func (c *Cache) shardOf(key uint64) *cacheShard {
+	h := key * 0x9E3779B97F4A7C15
+	return &c.shards[(h>>32)&c.mask]
+}
+
+// Get returns the cached block for key, recording a hit or miss.
+func (c *Cache) Get(key uint64) ([]byte, bool) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	data := el.Value.(*blockItem).data
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return data, true
+}
+
+// Put inserts (or refreshes) a block, evicting the shard's LRU tail past
+// capacity.
+func (c *Cache) Put(key uint64, data []byte) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*blockItem).data = data
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&blockItem{key: key, data: data})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		it := oldest.Value.(*blockItem)
+		s.ll.Remove(oldest)
+		delete(s.items, it.key)
+	}
+}
+
+// DropSegment evicts every cached block of one segment (after compaction
+// retires it).
+func (c *Cache) DropSegment(slot int) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, el := range s.items {
+			if keySlot(key) == slot {
+				s.ll.Remove(el)
+				delete(s.items, key)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// HitsMisses returns the cache-wide hit and miss totals.
+func (c *Cache) HitsMisses() (hits, misses uint64) {
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
+}
+
+// ShardStats is one shard's counters for the admin endpoint.
+type ShardStats struct {
+	Shard  int
+	Hits   uint64
+	Misses uint64
+	Blocks int
+}
+
+// Stats returns per-shard counters and occupancy.
+func (c *Cache) Stats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		blocks := s.ll.Len()
+		s.mu.Unlock()
+		out[i] = ShardStats{Shard: i, Hits: s.hits.Load(), Misses: s.misses.Load(), Blocks: blocks}
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package segio
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemReaderPublishAndRead(t *testing.T) {
+	r := NewMemReader(0)
+	var buf []byte
+	buf = append(buf, []byte("hello ")...)
+	r.PublishMem(buf)
+	buf = append(buf, []byte("world")...)
+	r.PublishMem(buf)
+
+	got := make([]byte, 11)
+	if err := r.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("ReadAt = %q", got)
+	}
+	// Reads past the published size must fail, not tear.
+	if err := r.ReadAt(make([]byte, 1), 11); err == nil {
+		t.Fatal("read past published size succeeded")
+	}
+}
+
+func TestMemReaderOldSnapshotStaysValid(t *testing.T) {
+	r := NewMemReader(0)
+	buf := append([]byte(nil), []byte("sealed-block")...)
+	r.PublishMem(buf)
+	old := r.mem.Load()
+
+	// Force reallocation: append far beyond capacity.
+	buf = append(buf, bytes.Repeat([]byte("x"), 1<<16)...)
+	r.PublishMem(buf)
+
+	if string((*old)[:12]) != "sealed-block" {
+		t.Fatal("old published snapshot mutated by later appends")
+	}
+	got := make([]byte, 12)
+	if err := r.ReadAt(got, 0); err != nil || string(got) != "sealed-block" {
+		t.Fatalf("ReadAt after grow: %q %v", got, err)
+	}
+}
+
+func TestFileReaderReadAt(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "seg-000000.log")
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	r := NewFileReader(3, f, 0)
+	// Nothing published yet: the bytes exist but are not sealed.
+	if err := r.ReadAt(make([]byte, 1), 0); err == nil {
+		t.Fatal("read of unpublished bytes succeeded")
+	}
+	r.SetSize(10)
+	got := make([]byte, 4)
+	if err := r.ReadAt(got, 3); err != nil || string(got) != "3456" {
+		t.Fatalf("ReadAt = %q %v", got, err)
+	}
+	if r.Slot() != 3 || r.Size() != 10 {
+		t.Fatalf("Slot/Size = %d/%d", r.Slot(), r.Size())
+	}
+	r.unref() // drain: closes the file
+}
+
+func TestRetireWhilePinnedDefersRelease(t *testing.T) {
+	tab := NewTable()
+	var released atomic.Int32
+	r := NewMemReader(0)
+	r.PublishMem([]byte("data"))
+	r.release = func() { released.Add(1) }
+	tab.Install(r)
+
+	pinned, ok := tab.Pin(0)
+	if !ok {
+		t.Fatal("pin of installed reader failed")
+	}
+	tab.Retire(0)
+
+	if released.Load() != 0 {
+		t.Fatal("release ran while a pin was held")
+	}
+	if tab.RetiredPending() != 1 {
+		t.Fatalf("RetiredPending = %d, want 1", tab.RetiredPending())
+	}
+	// The pinned handle still reads the retired segment's bytes.
+	got := make([]byte, 4)
+	if err := pinned.ReadAt(got, 0); err != nil || string(got) != "data" {
+		t.Fatalf("read of retired-but-pinned segment: %q %v", got, err)
+	}
+	// New pins must fail: the slot left the epoch.
+	if _, ok := tab.Pin(0); ok {
+		t.Fatal("pin of retired slot succeeded")
+	}
+
+	tab.Unpin(pinned)
+	if released.Load() != 1 {
+		t.Fatalf("release ran %d times, want 1", released.Load())
+	}
+	if tab.RetiredPending() != 0 {
+		t.Fatalf("RetiredPending after drain = %d, want 0", tab.RetiredPending())
+	}
+	if tab.Pinned() != 0 {
+		t.Fatalf("Pinned after drain = %d, want 0", tab.Pinned())
+	}
+}
+
+func TestRetireUnpinnedReleasesImmediately(t *testing.T) {
+	tab := NewTable()
+	var released atomic.Int32
+	r := NewMemReader(0)
+	r.release = func() { released.Add(1) }
+	tab.Install(r)
+	tab.Retire(0)
+	if released.Load() != 1 {
+		t.Fatalf("release ran %d times, want 1", released.Load())
+	}
+	// Retiring an already-retired slot is a no-op, not a double release.
+	tab.Retire(0)
+	if released.Load() != 1 {
+		t.Fatalf("double retire re-ran release: %d", released.Load())
+	}
+}
+
+func TestPinAfterDrainFails(t *testing.T) {
+	r := NewMemReader(0)
+	r.unref() // drain the table ref directly
+	if r.tryPin() {
+		t.Fatal("tryPin succeeded on drained reader")
+	}
+}
+
+func TestTableInstallGrowsAndClose(t *testing.T) {
+	tab := NewTable()
+	var closed atomic.Int32
+	for slot := 0; slot < 5; slot++ {
+		r := NewMemReader(slot)
+		r.release = func() { closed.Add(1) }
+		tab.Install(r)
+	}
+	if tab.Live() != 5 {
+		t.Fatalf("Live = %d, want 5", tab.Live())
+	}
+	if _, ok := tab.Pin(7); ok {
+		t.Fatal("pin of never-installed slot succeeded")
+	}
+	tab.Close()
+	if tab.Live() != 0 {
+		t.Fatalf("Live after Close = %d, want 0", tab.Live())
+	}
+	if closed.Load() != 5 {
+		t.Fatalf("Close released %d readers, want 5", closed.Load())
+	}
+}
+
+// TestConcurrentPinRetire races many pinners against a retirement and checks
+// the invariants: release runs exactly once, never while any pin is held,
+// and every successful pin reads valid bytes. Run under -race.
+func TestConcurrentPinRetire(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		tab := NewTable()
+		var released atomic.Int32
+		var pinsHeld atomic.Int32
+		r := NewMemReader(0)
+		r.PublishMem(bytes.Repeat([]byte("v"), 64))
+		r.release = func() {
+			if pinsHeld.Load() != 0 {
+				t.Error("release ran while pins held")
+			}
+			released.Add(1)
+		}
+		tab.Install(r)
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					h, ok := tab.Pin(0)
+					if !ok {
+						return // retired: later pins must also fail
+					}
+					pinsHeld.Add(1)
+					got := make([]byte, 64)
+					if err := h.ReadAt(got, 0); err != nil {
+						t.Error(err)
+					}
+					pinsHeld.Add(-1)
+					tab.Unpin(h)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			tab.Retire(0)
+		}()
+		close(start)
+		wg.Wait()
+		if released.Load() != 1 {
+			t.Fatalf("trial %d: release ran %d times, want 1", trial, released.Load())
+		}
+		if tab.Pinned() != 0 || tab.RetiredPending() != 0 {
+			t.Fatalf("trial %d: pinned=%d retiredPending=%d after drain",
+				trial, tab.Pinned(), tab.RetiredPending())
+		}
+	}
+}
+
+func TestCacheLRUAndStats(t *testing.T) {
+	c := NewCache(4, 1) // one shard: deterministic LRU
+	for i := 0; i < 6; i++ {
+		c.Put(BlockKey(0, int64(i)), []byte{byte(i)})
+	}
+	// Capacity 4: keys 0 and 1 evicted.
+	if _, ok := c.Get(BlockKey(0, 0)); ok {
+		t.Fatal("evicted key still cached")
+	}
+	if got, ok := c.Get(BlockKey(0, 5)); !ok || got[0] != 5 {
+		t.Fatalf("Get(5) = %v %v", got, ok)
+	}
+	hits, misses := c.HitsMisses()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	st := c.Stats()
+	if len(st) != 1 || st[0].Blocks != 4 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestCacheDropSegment(t *testing.T) {
+	c := NewCache(64, 4)
+	for seg := 0; seg < 3; seg++ {
+		for off := int64(0); off < 5; off++ {
+			c.Put(BlockKey(seg, off*100), []byte(fmt.Sprintf("%d/%d", seg, off)))
+		}
+	}
+	c.DropSegment(1)
+	for off := int64(0); off < 5; off++ {
+		if _, ok := c.Get(BlockKey(1, off*100)); ok {
+			t.Fatalf("segment 1 block at %d survived DropSegment", off*100)
+		}
+		if _, ok := c.Get(BlockKey(2, off*100)); !ok {
+			t.Fatalf("segment 2 block at %d evicted by DropSegment(1)", off*100)
+		}
+	}
+}
+
+func TestCacheShardSpread(t *testing.T) {
+	c := NewCache(1024, 8)
+	for off := int64(0); off < 256; off++ {
+		c.Put(BlockKey(0, off*4096), []byte("b"))
+	}
+	occupied := 0
+	for _, st := range c.Stats() {
+		if st.Blocks > 0 {
+			occupied++
+		}
+	}
+	if occupied < 4 {
+		t.Fatalf("only %d of 8 shards occupied; shard hash not spreading", occupied)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := BlockKey(g%4, int64(i%64)*512)
+				if b, ok := c.Get(key); ok {
+					if len(b) != 8 {
+						t.Error("corrupt cached block")
+						return
+					}
+				} else {
+					c.Put(key, bytes.Repeat([]byte{byte(g)}, 8))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := c.HitsMisses()
+	if hits+misses != 8*2000 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 8*2000)
+	}
+}

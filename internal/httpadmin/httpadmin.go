@@ -74,12 +74,14 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 }
 
 // metricsView is the /metrics response shape: the encode-pipeline snapshot
-// plus the encoder-pool geometry, and the secondary-side apply-pipeline
-// snapshot (all zeros on a node that is not replicating).
+// plus the encoder-pool geometry, the secondary-side apply-pipeline snapshot
+// (all zeros on a node that is not replicating), and the read-path snapshot
+// (latency, per-shard block cache, segment-reader gauges).
 type metricsView struct {
 	EncodeWorkers int
 	Encode        metrics.EncodeSnapshot
 	Apply         metrics.ApplySnapshot
+	Read          metrics.ReadSnapshot
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -87,6 +89,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		EncodeWorkers: s.node.Stats().EncodeWorkers,
 		Encode:        s.node.EncodeMetrics().Snapshot(),
 		Apply:         s.node.ApplyMetrics().Snapshot(),
+		Read:          s.node.ReadSnapshot(),
 	})
 }
 
@@ -118,6 +121,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "wb:       %d applied, %d skipped\n", st.WritebacksApplied, st.WritebacksSkipped)
 	fmt.Fprintf(w, "encoder:  %d workers, queue depth %d, %d backpressure stalls\n",
 		st.EncodeWorkers, st.EncodeQueueDepth, st.EncodeOverflows)
+	fmt.Fprintf(w, "read:     %d cache hits / %d misses, %d segments (%d pinned handles, %d retiring)\n",
+		st.Store.CacheHits, st.Store.CacheMisses, st.Store.LiveSegments,
+		st.Store.PinnedReaders, st.Store.RetiredPending)
 	fmt.Fprintf(w, "\ndatabases:\n")
 	for _, d := range s.node.DBStats() {
 		verdict := "active"

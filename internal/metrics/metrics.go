@@ -371,6 +371,50 @@ func (m *ApplyMetrics) Snapshot() ApplySnapshot {
 	}
 }
 
+// HistogramSummary is the compact latency view the admin endpoint embeds
+// where a full CDF would be noise.
+type HistogramSummary struct {
+	Count  uint64
+	MeanUS int64 // microseconds
+	P50US  int64
+	P99US  int64
+}
+
+// SummarizeHistogram condenses h into count/mean/p50/p99.
+func SummarizeHistogram(h *Histogram) HistogramSummary {
+	return HistogramSummary{
+		Count:  h.Count(),
+		MeanUS: h.Mean().Microseconds(),
+		P50US:  h.Quantile(0.50).Microseconds(),
+		P99US:  h.Quantile(0.99).Microseconds(),
+	}
+}
+
+// CacheShardSnapshot is one block-cache shard's counters — the per-shard
+// split shows whether the shard hash is spreading read contention.
+type CacheShardSnapshot struct {
+	Shard  int
+	Hits   uint64
+	Misses uint64
+	Blocks int
+}
+
+// ReadSnapshot is a point-in-time view of the read path for the admin
+// endpoint: client read latency, block-cache outcomes (total and per
+// shard), and the segio segment-lifetime gauges.
+type ReadSnapshot struct {
+	Latency     HistogramSummary
+	CacheHits   uint64
+	CacheMisses uint64
+	CacheShards []CacheShardSnapshot
+	// PinnedReaders is the number of segment handles currently pinned by
+	// in-flight reads; RetiredPending counts compacted segments whose
+	// files stay open awaiting their last unpin.
+	PinnedReaders  int64
+	RetiredPending int64
+	LiveSegments   int
+}
+
 // Series records a value per fixed time slot, for throughput-over-time
 // plots. Slot 0 starts at the Series' creation.
 type Series struct {

@@ -44,11 +44,13 @@ func (n *Node) startCompactor(opts CompactionOptions) {
 				if float64(st.DeadBytes)/float64(disk) < opts.TriggerRatio {
 					continue
 				}
-				if _, err := n.store.Compact(); err != nil {
+				reclaimed, err := n.store.Compact()
+				if err != nil {
 					// Compaction failure is not fatal — space simply
 					// stays unreclaimed until the next attempt.
 					continue
 				}
+				n.compactedBytes.Add(reclaimed)
 				n.mu.Lock()
 				n.stats.Compactions++
 				n.mu.Unlock()
@@ -62,6 +64,7 @@ func (n *Node) startCompactor(opts CompactionOptions) {
 func (n *Node) Compact() (int64, error) {
 	reclaimed, err := n.store.Compact()
 	if err == nil && reclaimed > 0 {
+		n.compactedBytes.Add(reclaimed)
 		n.mu.Lock()
 		n.stats.Compactions++
 		n.mu.Unlock()

@@ -197,6 +197,58 @@ func TestBackgroundCompactor(t *testing.T) {
 	}
 }
 
+// TestDeletePersistsAcrossReopen covers the clean-shutdown durability of
+// deletes: a deleted key must stay deleted after Close + reopen, both for a
+// leaf record (refs==0, reclaimed via tombstone) and for a delta base
+// (refs>0, rewritten hidden). The tombstone/hidden frame typically sits in
+// the unsealed pending block at shutdown, so this exercises Close's final
+// seal specifically.
+func TestDeletePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, SyncEncode: true, DisableAutoFlush: true}
+	opts.Engine.GovernorWindow = 1 << 30
+	n, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	base := prose(rng, 4096)
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("d%d", i)
+		if err := n.Insert("db", keys[i], editText(rng, base, 1+i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a chain head (likely a base with live references → hidden
+	// rewrite) and the last insert (likely a leaf → tombstone reclaim).
+	for _, k := range []string{keys[0], keys[len(keys)-1]} {
+		if err := n.Delete("db", k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	for _, k := range []string{keys[0], keys[len(keys)-1]} {
+		if _, err := n2.Read("db", k); err != ErrNotFound {
+			t.Fatalf("deleted key %s resurrected after reopen: err=%v", k, err)
+		}
+	}
+	for _, k := range keys[1 : len(keys)-1] {
+		if _, err := n2.Read("db", k); err != nil {
+			t.Fatalf("surviving key %s unreadable after reopen: %v", k, err)
+		}
+	}
+	verifyRefcounts(t, n2)
+}
+
 // TestVerifyAll scrubs a store full of chains, updates and deletes.
 func TestVerifyAll(t *testing.T) {
 	n := testNode(t, Options{})

@@ -50,8 +50,9 @@ type Options struct {
 	// BlockCompression enables block-level compression in the store (the
 	// "Snappy" configuration).
 	BlockCompression bool
-	// BlockSize, SegmentSize, CacheBlocks pass through to the store.
-	BlockSize, SegmentSize, CacheBlocks int
+	// BlockSize, SegmentSize, CacheBlocks, CacheShards pass through to
+	// the store.
+	BlockSize, SegmentSize, CacheBlocks, CacheShards int
 	// OplogCapacity bounds the retained oplog entries.
 	OplogCapacity int
 	// WritebackCacheBytes bounds the lossy write-back cache (default
@@ -104,8 +105,10 @@ type Stats struct {
 	DecodeSteps uint64
 	// HiddenRepaired counts hidden records spliced out of decode chains.
 	HiddenRepaired uint64
-	// Compactions counts segment compaction passes.
-	Compactions uint64
+	// Compactions counts segment compaction passes; CompactionBytes the
+	// disk bytes they reclaimed.
+	Compactions     uint64
+	CompactionBytes int64
 	// EncodeWorkers is the size of the background encoder pool (0 in
 	// synchronous mode).
 	EncodeWorkers int
@@ -124,17 +127,24 @@ type Node struct {
 	eng   *core.Engine
 	wb    *dedupcache.WritebackCache
 
-	mu        sync.RWMutex
-	keys      map[string]map[string]uint64 // db -> key -> record ID
-	refcnt    map[uint64]int               // decode-base reference counts
-	version   map[uint64]uint32            // bumped on client update/delete
-	nextID    uint64
-	stats     Stats
-	latIns    *metrics.Histogram
-	latRead   *metrics.Histogram
-	recentOps int64 // ops since last idle check (idleness proxy)
-	opSeq     uint64
-	lastMut   map[uint64]uint64 // record id -> opSeq of last update/delete
+	mu      sync.RWMutex
+	keys    map[string]map[string]uint64 // db -> key -> record ID
+	refcnt  map[uint64]int               // decode-base reference counts
+	version map[uint64]uint32            // bumped on client update/delete
+	nextID  uint64
+	stats   Stats
+	latIns  *metrics.Histogram
+	latRead *metrics.Histogram
+	opSeq   uint64
+	lastMut map[uint64]uint64 // record id -> opSeq of last update/delete
+
+	// Read-path counters are atomics so the lock-free store read path is
+	// not re-serialised by bookkeeping; Stats() folds them into the
+	// snapshot.
+	readsTotal     atomic.Uint64
+	decodeSteps    atomic.Uint64
+	compactedBytes atomic.Int64
+	recentOps      atomic.Int64 // ops since last idle check (idleness proxy)
 
 	// applyMu serialises form-changing rewrites (write-back application
 	// and hidden-chain repair) so their refcount updates stay coherent.
@@ -205,6 +215,7 @@ func Open(opts Options) (*Node, error) {
 		Compress:    opts.BlockCompression,
 		SegmentSize: opts.SegmentSize,
 		CacheBlocks: opts.CacheBlocks,
+		CacheShards: opts.CacheShards,
 		AppendDelay: opts.SimulatedAppendDelay,
 	})
 	if err != nil {
@@ -421,7 +432,7 @@ func (n *Node) Insert(db, key string, payload []byte) error {
 	dbm[key] = id
 	n.stats.Inserts++
 	n.stats.RawInsertBytes += int64(len(payload))
-	n.recentOps++
+	n.recentOps.Add(1)
 	ver := n.version[id]
 
 	// Store the record raw (paper: new records are always stored in
@@ -484,7 +495,7 @@ func (n *Node) updateLocalEmit(db, key string, payload []byte, emit bool) (encod
 	}
 	n.version[id]++
 	n.stats.Updates++
-	n.recentOps++
+	n.recentOps.Add(1)
 	refs := n.refcnt[id]
 	if emit {
 		job, inline = n.enqueueLocked(sh, encodeJob{kind: oplog.OpUpdate, db: db, key: key,
@@ -587,7 +598,7 @@ func (n *Node) deleteLocalEmit(db, key string, emit bool) (encodeJob, bool, erro
 	delete(n.keys[db], key)
 	n.version[id]++
 	n.stats.Deletes++
-	n.recentOps++
+	n.recentOps.Add(1)
 	refs := n.refcnt[id]
 	if emit {
 		job, inline = n.enqueueLocked(sh, encodeJob{kind: oplog.OpDelete, db: db, key: key, id: id})
@@ -679,11 +690,11 @@ func (n *Node) reclaimLocked(id uint64) error {
 // Read returns the record's visible content.
 func (n *Node) Read(db, key string) ([]byte, error) {
 	start := time.Now()
-	n.mu.Lock()
+	n.mu.RLock()
 	id, ok := n.lookup(db, key)
-	n.stats.Reads++
-	n.recentOps++
-	n.mu.Unlock()
+	n.mu.RUnlock()
+	n.readsTotal.Add(1)
+	n.recentOps.Add(1)
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -1050,10 +1061,7 @@ func (n *Node) flushLoop() {
 		case <-n.stopCh:
 			return
 		case <-ticker.C:
-			n.mu.Lock()
-			busy := n.recentOps > 4
-			n.recentOps = 0
-			n.mu.Unlock()
+			busy := n.recentOps.Swap(0) > 4
 			if busy {
 				continue
 			}
@@ -1185,9 +1193,7 @@ func (n *Node) decodeRecord(rec docstore.Record, allowRepair bool) ([]byte, erro
 		if !ok {
 			return nil, fmt.Errorf("node: record %d: base %d missing", cur.ID, baseID)
 		}
-		n.mu.Lock()
-		n.stats.DecodeSteps++
-		n.mu.Unlock()
+		n.decodeSteps.Add(1)
 		if next.Stacked {
 			sections, err := splitSections(next.Payload)
 			if err != nil {
@@ -1320,6 +1326,18 @@ func (n *Node) repairPastHidden(depID, hidID uint64, depContent, hidContent []by
 // Oplog exposes the node's operation log to the replication layer.
 func (n *Node) Oplog() *oplog.Log { return n.log }
 
+// LastAssignedSeq returns the newest mutation sequence number handed out to
+// a client op. Assignment happens in the same n.mu critical section that
+// makes the mutation visible, so any record a Snapshot scan observed has its
+// oplog seq covered by this value — unlike Oplog().LastSeq(), which only
+// advances once the encoder worker appends the entry and can therefore trail
+// a visible insert.
+func (n *Node) LastAssignedSeq() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.opSeq
+}
+
 // Engine exposes the dedup engine (nil when dedup is disabled).
 func (n *Node) Engine() *core.Engine { return n.eng }
 
@@ -1348,10 +1366,34 @@ func (n *Node) Stats() Stats {
 	if n.eng != nil {
 		s.Engine = n.eng.Stats()
 	}
+	s.Reads = n.readsTotal.Load()
+	s.DecodeSteps = n.decodeSteps.Load()
+	s.CompactionBytes = n.compactedBytes.Load()
 	s.EncodeWorkers = len(n.shards)
 	s.EncodeQueueDepth = n.encm.QueueDepth.Value()
 	s.EncodeOverflows = n.encm.QueueOverflows.Total()
 	return s
+}
+
+// ReadSnapshot summarises the read path for the admin endpoint: client read
+// latency, block-cache outcomes down to the shard, and the segment-reader
+// lifetime gauges (pinned handles, retirements awaiting drain).
+func (n *Node) ReadSnapshot() metrics.ReadSnapshot {
+	st := n.store.Stats()
+	snap := metrics.ReadSnapshot{
+		Latency:        metrics.SummarizeHistogram(n.latRead),
+		CacheHits:      st.CacheHits,
+		CacheMisses:    st.CacheMisses,
+		PinnedReaders:  st.PinnedReaders,
+		RetiredPending: st.RetiredPending,
+		LiveSegments:   st.LiveSegments,
+	}
+	for _, sh := range n.store.CacheShardStats() {
+		snap.CacheShards = append(snap.CacheShards, metrics.CacheShardSnapshot{
+			Shard: sh.Shard, Hits: sh.Hits, Misses: sh.Misses, Blocks: sh.Blocks,
+		})
+	}
+	return snap
 }
 
 // DBStats returns the engine's per-database partitions (nil when dedup is

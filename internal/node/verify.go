@@ -17,6 +17,10 @@ type VerifyReport struct {
 	DeltaEncoded int
 	// MaxChainDepth is the longest decode chain encountered.
 	MaxChainDepth int
+	// CacheHitsDelta/CacheMissesDelta are the block-cache outcomes the
+	// scrub itself generated — how much of the scan the cache absorbed.
+	CacheHitsDelta   uint64
+	CacheMissesDelta uint64
 	// Errors lists the records that failed to decode (empty = healthy).
 	Errors []string
 }
@@ -38,8 +42,13 @@ func (r VerifyReport) String() string {
 // all delta chains resolve, and reports what it found. It is an online
 // scrub: reads proceed concurrently, and a failure identifies the record so
 // operators can fall back to a replica.
-func (n *Node) VerifyAll() VerifyReport {
-	var report VerifyReport
+func (n *Node) VerifyAll() (report VerifyReport) {
+	st0 := n.store.Stats()
+	defer func() {
+		st1 := n.store.Stats()
+		report.CacheHitsDelta = st1.CacheHits - st0.CacheHits
+		report.CacheMissesDelta = st1.CacheMisses - st0.CacheMisses
+	}()
 
 	type item struct {
 		id      uint64

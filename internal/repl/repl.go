@@ -307,7 +307,11 @@ func (p *Primary) sendSnapshot(conn net.Conn) (uint64, error) {
 		return 0, err
 	}
 
-	endSeq := p.node.Oplog().LastSeq()
+	// The lenient window must cover every entry whose record the scan may
+	// have observed. A visible insert's seq is assigned before visibility
+	// but appended to the oplog asynchronously, so the appended LastSeq()
+	// can trail the scan — the assigned seq cannot.
+	endSeq := p.node.LastAssignedSeq()
 	end := binary.AppendUvarint(nil, endSeq)
 	n, err := writeFrame(conn, frameSnapEnd, end)
 	if err != nil {
