@@ -1,0 +1,86 @@
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+
+	"dbdedup/internal/faultfs"
+)
+
+// The two ad-hoc crash tests that predate the harness, re-homed onto it so
+// there is one fault-injection idiom in the tree. Their originals lived in
+// internal/node/crash_test.go and tore segment files by hand.
+
+// TestCrashTornTail kills the chains workload at its final writes with
+// several seed-pinned tear prefixes: the classic torn-tail-of-the-last-
+// segment crash. Recovery must reopen, decode everything, and surface no
+// state older than the last synced flush. (TestCrashMatrix subsumes this;
+// it stays as a cheap, focused regression with many tear shapes at the
+// same structural position.)
+func TestCrashTornTail(t *testing.T) {
+	cfg := Config{Seed: 3, SyncWrites: true}
+	w := Chains()
+	base := RunPoint(cfg, w, nil, 11, t.TempDir())
+	if len(base.Problems) > 0 {
+		t.Fatalf("baseline: %v", base.Problems)
+	}
+	writes := base.Counts[faultfs.OpWrite]
+	if writes < 4 {
+		t.Fatalf("workload issued only %d writes", writes)
+	}
+	for _, nth := range []uint64{writes, writes - 1, writes - 3} {
+		for seed := int64(0); seed < 4; seed++ {
+			r := faultfs.CrashAtWrite(nth)
+			res := RunPoint(cfg, w, &r, 100+seed, t.TempDir())
+			if !res.Crashed {
+				t.Fatalf("crash at write %d never fired (events %v)", nth, res.Events)
+			}
+			if len(res.Problems) > 0 {
+				t.Errorf("write %d, tear seed %d: %v\n  events: %v", nth, seed, res.Problems, res.Events)
+			}
+		}
+	}
+}
+
+// TestCrashMidWritebacks crashes with a large write-back backlog that was
+// never applied: phase 1 inserts a delta-heavy batch and seals WITHOUT
+// flushing write-backs (Seal), so the backlog is pending when a crash in
+// phase 2 drops it. The lossy write-back contract: every phase-1 record —
+// durably acknowledged at the Seal — must recover exactly; nothing may be
+// lost or corrupted, records simply remain in their larger form.
+func TestCrashMidWritebacks(t *testing.T) {
+	cfg := Config{Seed: 2, SyncWrites: true}
+	w := Workload{Name: "writeback-backlog", Script: func(c *Ctx) {
+		doc := c.Doc(2048)
+		for i := 0; i < 30; i++ {
+			c.Insert("db", fmt.Sprintf("k%04d", i), doc)
+			doc = c.Edit(doc)
+		}
+		c.Seal() // durable barrier; write-back backlog still in memory
+		for i := 30; i < 40; i++ {
+			c.Insert("db", fmt.Sprintf("k%04d", i), doc)
+			doc = c.Edit(doc)
+		}
+		c.Seal()
+	}}
+	base := RunPoint(cfg, w, nil, 5, t.TempDir())
+	if len(base.Problems) > 0 {
+		t.Fatalf("baseline: %v", base.Problems)
+	}
+	writes, syncs := base.Counts[faultfs.OpWrite], base.Counts[faultfs.OpSync]
+	points := []faultfs.Rule{
+		faultfs.CrashAtWrite(writes),
+		faultfs.CrashAtWrite(writes - 1),
+		faultfs.CrashAtSync(syncs),
+	}
+	for i, r := range points {
+		r := r
+		res := RunPoint(cfg, w, &r, 50+int64(i), t.TempDir())
+		if !res.Crashed {
+			t.Fatalf("point %d never fired (events %v)", i, res.Events)
+		}
+		if len(res.Problems) > 0 {
+			t.Errorf("point {%s #%d}: %v\n  events: %v", r.Op, r.Nth, res.Problems, res.Events)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package crashtest
+
+import (
+	"testing"
+
+	"dbdedup/internal/faultfs"
+)
+
+// mutatingOps are the op classes whose schedules are a pure function of the
+// workload (read counts vary with replication timing and cache state, so
+// they are excluded from determinism checks and never carry matrix rules).
+var mutatingOps = []faultfs.Op{faultfs.OpOpen, faultfs.OpWrite, faultfs.OpSync,
+	faultfs.OpTruncate, faultfs.OpRemove}
+
+// TestCrashMatrix is the headline fault matrix: every standard workload is
+// killed (or transiently faulted) at a schedule of fault points derived
+// from a census pass, and each point's recovery must satisfy all the
+// invariants RunPoint checks — reopen without error, VerifyAll clean, no
+// acknowledged-write loss past a synced flush, no dangling keys, and (for
+// the replicated workload) full resync convergence.
+func TestCrashMatrix(t *testing.T) {
+	cfg := Config{Seed: 1, SyncWrites: true}
+	for _, w := range StandardWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			base := RunPoint(cfg, w, nil, cfg.Seed, t.TempDir())
+			if len(base.Problems) > 0 {
+				t.Fatalf("baseline run violates invariants: %v", base.Problems)
+			}
+			base2 := RunPoint(cfg, w, nil, cfg.Seed, t.TempDir())
+			for _, op := range mutatingOps {
+				if base.Counts[op] != base2.Counts[op] {
+					t.Fatalf("workload %s schedule not deterministic: %s count %d vs %d",
+						w.Name, op, base.Counts[op], base2.Counts[op])
+				}
+			}
+
+			perClass := 12
+			if testing.Short() {
+				perClass = 5
+			}
+			rules := Points(base.Counts, perClass)
+			if len(rules) < 20 {
+				t.Fatalf("only %d fault points from census %v; need ≥20", len(rules), base.Counts)
+			}
+
+			crashes, failed := 0, 0
+			for i, r := range rules {
+				r := r
+				res := RunPoint(cfg, w, &r, cfg.Seed+int64(i)*7919, t.TempDir())
+				if res.Crashed {
+					crashes++
+				}
+				if len(res.Problems) > 0 {
+					failed++
+					t.Errorf("point %d {%s #%d %s}: %v\n  injector events: %v",
+						i, r.Op, r.Nth, r.Kind, res.Problems, res.Events)
+					if failed >= 5 {
+						t.Fatalf("stopping after %d failing points", failed)
+					}
+				}
+			}
+			if crashes == 0 {
+				t.Fatal("no crash point fired — matrix is not exercising crashes")
+			}
+			t.Logf("%s: %d fault points (%d crashes fired), census writes=%d syncs=%d opens=%d removes=%d",
+				w.Name, len(rules), crashes, base.Counts[faultfs.OpWrite],
+				base.Counts[faultfs.OpSync], base.Counts[faultfs.OpOpen], base.Counts[faultfs.OpRemove])
+		})
+	}
+}
+
+// TestMatrixDetectsAckedWriteLoss is the harness's own regression test: a
+// deliberately broken invariant must be caught. It simulates an
+// acknowledged-write loss by asserting that the model rejects a recovered
+// state older than the durable barrier.
+func TestMatrixDetectsAckedWriteLoss(t *testing.T) {
+	m := NewModel()
+	m.Acked("db", "k", []byte("v1"))
+	m.DurableBarrier()
+	m.Acked("db", "k", []byte("v2"))
+
+	// v1 or v2 are fine; absent or a never-written value are losses.
+	if probs := m.Check(map[string][]byte{modelKey("db", "k"): []byte("v1")}); len(probs) != 0 {
+		t.Fatalf("v1 should be allowed: %v", probs)
+	}
+	if probs := m.Check(map[string][]byte{modelKey("db", "k"): []byte("v2")}); len(probs) != 0 {
+		t.Fatalf("v2 should be allowed: %v", probs)
+	}
+	if probs := m.Check(map[string][]byte{}); len(probs) == 0 {
+		t.Fatal("losing a durably acknowledged key went undetected")
+	}
+	if probs := m.Check(map[string][]byte{modelKey("db", "k"): []byte("bogus")}); len(probs) == 0 {
+		t.Fatal("a never-acknowledged value went undetected")
+	}
+	if probs := m.Check(map[string][]byte{modelKey("db", "x"): []byte("v")}); len(probs) == 0 {
+		t.Fatal("a never-written key went undetected")
+	}
+}
+
+// TestModelAmbiguityAndTaint pins the model's failure semantics: a failed
+// op admits both the old and the attempted state, and a durable barrier
+// never advances a tainted key past the failure.
+func TestModelAmbiguityAndTaint(t *testing.T) {
+	m := NewModel()
+	m.Acked("db", "k", []byte("v1"))
+	m.Ambiguous("db", "k", []byte("v2"), false) // transient failure, process lives
+	m.Acked("db", "k", []byte("v3"))
+	m.DurableBarrier() // must freeze before v1: the key is tainted
+
+	for _, allowed := range [][]byte{[]byte("v1"), []byte("v2"), []byte("v3")} {
+		if probs := m.Check(map[string][]byte{modelKey("db", "k"): allowed}); len(probs) != 0 {
+			t.Fatalf("%q should be allowed for a tainted key: %v", allowed, probs)
+		}
+	}
+
+	m2 := NewModel()
+	m2.Acked("db", "k", []byte("v1"))
+	m2.Ambiguous("db", "k", []byte("v2"), true) // crash: no further divergence
+	if probs := m2.Check(map[string][]byte{modelKey("db", "k"): []byte("v1")}); len(probs) != 0 {
+		t.Fatalf("pre-crash state must stay allowed: %v", probs)
+	}
+	if probs := m2.Check(map[string][]byte{}); len(probs) != 0 {
+		t.Fatalf("unflushed insert may be lost in a crash: %v", probs)
+	}
+}

@@ -1,0 +1,148 @@
+package crashtest
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// entry is one point in a key's acknowledged history. A nil val means the
+// key read as absent at that point.
+type entry struct {
+	val   []byte
+	acked bool
+}
+
+// hist is the per-key history the recovered value is checked against. The
+// durable index is the oldest state recovery is allowed to surface: it
+// advances to the latest acknowledged entry on every successful synced
+// flush, and never moves on failure.
+type hist struct {
+	vals    []entry
+	durable int
+	// tainted marks a key that had a failed (ambiguous) operation while
+	// the process kept running. The node's in-memory view and the disk can
+	// diverge for such a key (e.g. a re-insert after a failed insert
+	// leaves two live record IDs for it), so the durable barrier freezes:
+	// recovery may legitimately surface any state from the last barrier
+	// before the failure onward.
+	tainted bool
+}
+
+// Model is the durability oracle the crash harness checks a recovered store
+// against: per-key histories of acknowledged values plus a durable
+// low-water mark per key. Recovery must surface, for every key, one of the
+// states acknowledged at or after its durable mark — anything older is an
+// acknowledged-write loss, anything never acknowledged is corruption.
+type Model struct {
+	m map[string]*hist
+}
+
+// NewModel returns an empty model (every key reads as absent).
+func NewModel() *Model { return &Model{m: make(map[string]*hist)} }
+
+func modelKey(db, key string) string { return db + "\x00" + key }
+
+func splitModelKey(k string) (db, key string) {
+	db, key, _ = strings.Cut(k, "\x00")
+	return
+}
+
+func (m *Model) h(db, key string) *hist {
+	k := modelKey(db, key)
+	hs := m.m[k]
+	if hs == nil {
+		hs = &hist{vals: []entry{{val: nil, acked: true}}}
+		m.m[k] = hs
+	}
+	return hs
+}
+
+func cloneVal(v []byte) []byte {
+	if v == nil {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// Acked records a successful client operation: the key now reads as val
+// (nil = deleted).
+func (m *Model) Acked(db, key string, val []byte) {
+	h := m.h(db, key)
+	h.vals = append(h.vals, entry{val: cloneVal(val), acked: true})
+}
+
+// Ambiguous records a failed client operation whose effect may or may not
+// have reached disk: recovery may surface either the prior state or val.
+// crashed distinguishes a process-death failure (no further divergence)
+// from a transient error the process survived (taints the key; see hist).
+func (m *Model) Ambiguous(db, key string, val []byte, crashed bool) {
+	h := m.h(db, key)
+	h.vals = append(h.vals, entry{val: cloneVal(val), acked: false})
+	if !crashed {
+		h.tainted = true
+	}
+}
+
+// DurableBarrier records a successful synced flush: every untainted key's
+// latest acknowledged state is now guaranteed to survive a crash, so
+// recovery may not roll back past it.
+func (m *Model) DurableBarrier() {
+	for _, h := range m.m {
+		if h.tainted {
+			continue
+		}
+		for i := len(h.vals) - 1; i > h.durable; i-- {
+			if h.vals[i].acked {
+				h.durable = i
+				break
+			}
+		}
+	}
+}
+
+// Check compares the recovered visible state (modelKey → decoded content)
+// against every key's allowed history suffix, and flags recovered keys the
+// model never wrote. It returns a description of each violation.
+func (m *Model) Check(recovered map[string][]byte) []string {
+	var problems []string
+	var keys []string
+	for k := range m.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := m.m[k]
+		got, present := recovered[k]
+		ok := false
+		for _, e := range h.vals[h.durable:] {
+			if present && e.val != nil && bytes.Equal(e.val, got) {
+				ok = true
+				break
+			}
+			if !present && e.val == nil {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			db, key := splitModelKey(k)
+			state := "absent"
+			if present {
+				state = fmt.Sprintf("%d bytes (%.24q...)", len(got), got)
+			}
+			problems = append(problems, fmt.Sprintf(
+				"%s/%s: recovered %s, not among the %d allowed states (durable mark %d of %d, tainted=%v)",
+				db, key, state, len(h.vals)-h.durable, h.durable, len(h.vals), h.tainted))
+		}
+	}
+	for k := range recovered {
+		if _, known := m.m[k]; !known {
+			db, key := splitModelKey(k)
+			problems = append(problems, fmt.Sprintf(
+				"%s/%s: exists after recovery but was never written", db, key))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,107 @@
+package crashtest
+
+import "fmt"
+
+// StandardWorkloads returns the harness's stock scripts: chained
+// insert/update/delete churn, compaction under churn, and a replicated
+// session. Together they drive every durability-relevant filesystem op the
+// storage and replication paths issue.
+func StandardWorkloads() []Workload {
+	return []Workload{Chains(), CompactChurn(), Replicated()}
+}
+
+// Chains exercises the dedup substrate's chain machinery: similar documents
+// that delta-encode against each other, client updates (stacked sections),
+// deletes of bases (hidden rewrites) and leaves (tombstone reclaim),
+// delete→reinsert cycles, and write-back flushes, with synced flush
+// barriers between phases.
+func Chains() Workload {
+	return Workload{Name: "chains", Script: func(c *Ctx) {
+		doc := c.Doc(1600)
+		for i := 0; i < 24; i++ {
+			c.Insert("db", fmt.Sprintf("k%03d", i), doc)
+			doc = c.Edit(doc)
+			if i%6 == 3 {
+				c.Flush()
+			}
+		}
+		for i := 0; i < 24; i += 3 {
+			doc = c.Edit(doc)
+			c.Update("db", fmt.Sprintf("k%03d", i), doc)
+		}
+		c.Flush()
+		for i := 0; i < 24; i += 5 {
+			c.Delete("db", fmt.Sprintf("k%03d", i))
+		}
+		for i := 0; i < 4; i++ {
+			key := fmt.Sprintf("cycle%d", i)
+			c.Insert("db2", key, doc)
+			c.Delete("db2", key)
+			doc = c.Edit(doc)
+			c.Insert("db2", key, doc)
+		}
+		c.Flush()
+	}}
+}
+
+// CompactChurn piles dead bytes through updates across several small
+// segments and compacts twice mid-stream, so crash points land inside
+// compaction's re-append, flush, and segment-unlink steps.
+func CompactChurn() Workload {
+	return Workload{Name: "compact-churn", Script: func(c *Ctx) {
+		doc := c.Doc(1200)
+		for i := 0; i < 12; i++ {
+			c.Insert("db", fmt.Sprintf("k%02d", i), doc)
+			doc = c.Edit(doc)
+		}
+		c.Flush()
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 12; i += 2 {
+				doc = c.Edit(doc)
+				c.Update("db", fmt.Sprintf("k%02d", i), doc)
+			}
+			c.Flush()
+		}
+		c.Compact()
+		for i := 0; i < 12; i += 3 {
+			c.Delete("db", fmt.Sprintf("k%02d", i))
+		}
+		c.Flush()
+		c.Compact()
+		c.Insert("db", "post-compact", doc)
+		c.Flush()
+	}}
+}
+
+// Replicated drives a primary with a live secondary attached mid-script:
+// inserts stream, updates and deletes follow, and sync points bound the
+// replication lag. Crash points sever the stream at arbitrary places; the
+// harness then checks that a fresh secondary fully resyncs the recovered
+// primary.
+func Replicated() Workload {
+	return Workload{Name: "replicated", Replicated: true, Script: func(c *Ctx) {
+		doc := c.Doc(1400)
+		for i := 0; i < 10; i++ {
+			c.Insert("db", fmt.Sprintf("r%02d", i), doc)
+			doc = c.Edit(doc)
+		}
+		c.Flush()
+		c.StartReplica()
+		c.SyncReplica()
+		for i := 0; i < 10; i += 2 {
+			doc = c.Edit(doc)
+			c.Update("db", fmt.Sprintf("r%02d", i), doc)
+		}
+		for i := 1; i < 10; i += 4 {
+			c.Delete("db", fmt.Sprintf("r%02d", i))
+		}
+		c.Flush()
+		c.SyncReplica()
+		for i := 10; i < 16; i++ {
+			c.Insert("db", fmt.Sprintf("r%02d", i), doc)
+			doc = c.Edit(doc)
+		}
+		c.Flush()
+		c.SyncReplica()
+	}}
+}

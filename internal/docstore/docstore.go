@@ -53,6 +53,7 @@ import (
 
 	"dbdedup/internal/blockcomp"
 	"dbdedup/internal/docstore/segio"
+	"dbdedup/internal/faultfs"
 )
 
 // Form describes how a record's payload is stored.
@@ -119,6 +120,10 @@ type Options struct {
 	// paper runs with full journaling off; this is the corresponding
 	// opt-in knob.
 	SyncWrites bool
+	// FS is the filesystem the store runs on. Nil selects the direct
+	// os-backed implementation; crash tests install a faultfs.Injector to
+	// script write/sync/read failures and crash points.
+	FS faultfs.FS
 }
 
 // Stats is the store's size accounting.
@@ -209,8 +214,8 @@ type recMeta struct {
 // size and refcount make the sealed prefix safe without the lock.
 type segment struct {
 	id      int
-	file    *os.File // nil in memory mode; shared with rd until retirement
-	wbuf    []byte   // memory mode write buffer (grow-only backing)
+	file    faultfs.File // nil in memory mode; shared with rd until retirement
+	wbuf    []byte       // memory mode write buffer (grow-only backing)
 	size    int64
 	dead    int64 // dead bytes (superseded frames)
 	retired bool
@@ -234,6 +239,9 @@ func Open(opts Options) (*Store, error) {
 	if opts.CacheBlocks <= 0 {
 		opts.CacheBlocks = 64
 	}
+	if opts.FS == nil {
+		opts.FS = faultfs.DefaultFS
+	}
 	s := &Store{
 		opts:    opts,
 		dbBytes: make(map[string]int64),
@@ -249,10 +257,10 @@ func Open(opts Options) (*Store, error) {
 		s.active = seg
 		return s, nil
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("docstore: %w", err)
 	}
-	names, err := filepath.Glob(filepath.Join(opts.Dir, "seg-*.log"))
+	names, err := opts.FS.Glob(filepath.Join(opts.Dir, "seg-*.log"))
 	if err != nil {
 		return nil, fmt.Errorf("docstore: %w", err)
 	}
@@ -263,7 +271,7 @@ func Open(opts Options) (*Store, error) {
 		if _, err := fmt.Sscanf(base, "seg-%06d.log", &id); err != nil {
 			continue
 		}
-		f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+		f, err := opts.FS.OpenFile(name, os.O_RDWR, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("docstore: %w", err)
 		}
@@ -301,7 +309,7 @@ func (s *Store) newSegment(id, slot int) (*segment, error) {
 		return seg, nil
 	}
 	name := filepath.Join(s.opts.Dir, fmt.Sprintf("seg-%06d.log", id))
-	f, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	f, err := s.opts.FS.OpenFile(name, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("docstore: %w", err)
 	}
@@ -487,13 +495,16 @@ func (s *Store) sealBlock() error {
 	seg := s.active
 	off := seg.size
 	if err := seg.write(hdr[:]); err != nil {
+		seg.rollback(off)
 		return err
 	}
 	if err := seg.write(stored); err != nil {
+		seg.rollback(off)
 		return err
 	}
 	if s.opts.SyncWrites && seg.file != nil {
 		if err := seg.file.Sync(); err != nil {
+			seg.rollback(off)
 			return fmt.Errorf("docstore: %w", err)
 		}
 	}
@@ -568,6 +579,25 @@ func (seg *segment) write(p []byte) error {
 	seg.size += int64(len(p))
 	seg.rd.PublishMem(seg.wbuf)
 	return nil
+}
+
+// rollback reverts the segment's logical end to off after a failed or
+// unsynced block write, so the retry overwrites the partial block in place.
+// Without this, a written header whose body failed would sit as an orphan in
+// front of the retried block: replay reads the orphan's valid magic, fails
+// its checksum, and truncates there — silently discarding the retried
+// (possibly synced and acknowledged) block and everything after it. Bytes
+// past off may survive on disk; they are garbage behind the published size
+// and are overwritten by the next seal or truncated by replay. Caller holds
+// s.mu.
+func (seg *segment) rollback(off int64) {
+	seg.size = off
+	if seg.file != nil {
+		seg.rd.SetSize(off)
+		return
+	}
+	seg.wbuf = seg.wbuf[:off]
+	seg.rd.PublishMem(seg.wbuf)
 }
 
 // loadBlock returns the decompressed contents of the block at (slot, off),
@@ -883,7 +913,7 @@ func (s *Store) Compact() (int64, error) {
 
 	s.table.Retire(victimIdx)
 	if name != "" {
-		os.Remove(name)
+		s.opts.FS.Remove(name)
 	}
 	s.cache.DropSegment(victimIdx)
 	return reclaimed, nil

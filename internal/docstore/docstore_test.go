@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
-	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -204,49 +203,6 @@ func TestPersistenceAndReplay(t *testing.T) {
 	}
 	if st := s2.Stats(); st.LiveRecords != 29 {
 		t.Errorf("LiveRecords after replay = %d, want 29", st.LiveRecords)
-	}
-}
-
-func TestReplayTruncatedTail(t *testing.T) {
-	dir := t.TempDir()
-	s, err := Open(Options{Dir: dir, BlockSize: 128})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := uint64(1); i <= 20; i++ {
-		s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i),
-			Payload: bytes.Repeat([]byte("p"), 64)})
-	}
-	s.Close()
-
-	// Corrupt: chop bytes off the segment tail (torn write).
-	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
-	if len(segs) == 0 {
-		t.Fatal("no segment files")
-	}
-	last := segs[len(segs)-1]
-	fi, _ := os.Stat(last)
-	if err := os.Truncate(last, fi.Size()-10); err != nil {
-		t.Fatal(err)
-	}
-
-	s2, err := Open(Options{Dir: dir, BlockSize: 128})
-	if err != nil {
-		t.Fatalf("reopen after torn write failed: %v", err)
-	}
-	defer s2.Close()
-	st := s2.Stats()
-	if st.LiveRecords == 0 || st.LiveRecords >= 20 {
-		t.Errorf("LiveRecords after torn write = %d; want partial recovery", st.LiveRecords)
-	}
-	// New writes must land correctly after recovery.
-	if err := s2.Append(Record{ID: 100, DB: "d", Key: "new", Payload: []byte("fresh")}); err != nil {
-		t.Fatal(err)
-	}
-	s2.Flush()
-	got, ok, _ := s2.Get(100)
-	if !ok || string(got.Payload) != "fresh" {
-		t.Fatal("write after recovery failed")
 	}
 }
 

@@ -1,0 +1,297 @@
+package docstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbdedup/internal/faultfs"
+)
+
+// blockSpans walks a segment image and returns the (offset, storedLen) of
+// every well-formed block header whose body fits, i.e. the blocks replay
+// would visit.
+type blockSpan struct {
+	off    int64
+	stored int64
+}
+
+func blockSpans(data []byte) []blockSpan {
+	var spans []blockSpan
+	var off int64
+	for off+blockHeaderSize <= int64(len(data)) {
+		if binary.LittleEndian.Uint32(data[off:]) != blockMagic {
+			break
+		}
+		stored := int64(binary.LittleEndian.Uint32(data[off+8:]))
+		if off+blockHeaderSize+stored > int64(len(data)) {
+			break
+		}
+		spans = append(spans, blockSpan{off: off, stored: stored})
+		off += blockHeaderSize + stored
+	}
+	return spans
+}
+
+// TestReplayTornSegments is the table-driven torn-tail matrix that replaces
+// the old single "-10 bytes off the last segment" case. It tears or corrupts
+// a block at every structural boundary — inside the block header, inside a
+// record frame header, and mid-payload — in the first, middle, and last
+// segments, over both the os-backed and in-memory filesystems. Replay must
+// reopen without error, keep exactly the records whose blocks precede the
+// damage (everything in other segments plus earlier blocks of the damaged
+// one), drop the rest, and accept and persist new writes afterwards.
+func TestReplayTornSegments(t *testing.T) {
+	type fsMode struct {
+		name string
+		mk   func(t *testing.T) (fs faultfs.FS, dir string, corrupt func(name string, data []byte))
+	}
+	modes := []fsMode{
+		{name: "file", mk: func(t *testing.T) (faultfs.FS, string, func(string, []byte)) {
+			dir := t.TempDir()
+			return faultfs.OS{}, dir, func(name string, data []byte) {
+				if err := os.WriteFile(name, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}},
+		{name: "mem", mk: func(t *testing.T) (faultfs.FS, string, func(string, []byte)) {
+			mem := faultfs.NewMemFS()
+			return mem, "m", mem.SetBytes
+		}},
+	}
+	segPositions := []string{"first", "middle", "last"}
+	boundaries := []struct {
+		name string
+		// cut returns the damage: the byte length to keep (truncation) or
+		// -1 with a flip offset for in-place corruption.
+		cut  func(b blockSpan) int64
+		flip func(b blockSpan) int64 // -1 = truncate instead
+	}{
+		{name: "block-header", cut: func(b blockSpan) int64 { return b.off + 9 }, flip: func(blockSpan) int64 { return -1 }},
+		{name: "record-header", cut: func(b blockSpan) int64 { return b.off + blockHeaderSize + 2 }, flip: func(blockSpan) int64 { return -1 }},
+		{name: "mid-payload", cut: func(b blockSpan) int64 { return b.off + blockHeaderSize + b.stored - 7 }, flip: func(blockSpan) int64 { return -1 }},
+		{name: "payload-bitflip", cut: func(blockSpan) int64 { return -1 },
+			flip: func(b blockSpan) int64 { return b.off + blockHeaderSize + b.stored/2 }},
+	}
+
+	for _, mode := range modes {
+		for _, pos := range segPositions {
+			for _, bd := range boundaries {
+				t.Run(fmt.Sprintf("%s/%s/%s", mode.name, pos, bd.name), func(t *testing.T) {
+					fs, dir, corrupt := mode.mk(t)
+					opts := Options{Dir: dir, BlockSize: 128, SegmentSize: 600, FS: fs}
+					s, err := Open(opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					payloads := map[uint64][]byte{}
+					for i := uint64(1); i <= 36; i++ {
+						p := bytes.Repeat([]byte(fmt.Sprintf("p%03d-", i)), 20) // 100 bytes
+						payloads[i] = p
+						if err := s.Append(Record{ID: i, DB: "d", Key: fmt.Sprintf("k%d", i), Payload: p}); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := s.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					// Snapshot each live record's home segment before closing.
+					recSeg := map[uint64]locator{}
+					for id := range payloads {
+						lv, ok := s.index.Load(id)
+						if !ok {
+							t.Fatalf("record %d not indexed", id)
+						}
+						recSeg[id] = lv.(locator)
+					}
+					var segNames []string
+					for _, seg := range s.segments {
+						if seg.size > 0 {
+							segNames = append(segNames, filepath.Join(dir, fmt.Sprintf("seg-%06d.log", seg.id)))
+						}
+					}
+					if err := s.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if len(segNames) < 3 {
+						t.Fatalf("only %d non-empty segments; need 3 for first/middle/last", len(segNames))
+					}
+
+					dmgSlot := map[string]int{"first": 0, "middle": len(segNames) / 2, "last": len(segNames) - 1}[pos]
+					name := segNames[dmgSlot]
+					var data []byte
+					if mem, ok := fs.(*faultfs.MemFS); ok {
+						data = mem.Bytes(name)
+					} else {
+						data, err = os.ReadFile(name)
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+					spans := blockSpans(data)
+					if len(spans) == 0 {
+						t.Fatal("damaged segment has no blocks")
+					}
+					target := spans[len(spans)-1] // tear the segment's tail block
+					if cut := bd.cut(target); cut >= 0 {
+						data = data[:cut]
+					} else {
+						data = append([]byte(nil), data...)
+						data[bd.flip(target)] ^= 0x40
+					}
+					corrupt(name, data)
+
+					// Reopen: survivors are exactly the records outside the
+					// damaged segment or in blocks before the damaged one.
+					s2, err := Open(opts)
+					if err != nil {
+						t.Fatalf("reopen over damage failed: %v", err)
+					}
+					lost := 0
+					for id, p := range payloads {
+						loc := recSeg[id]
+						wantLive := loc.seg != dmgSlot || loc.off < target.off
+						got, ok, err := s2.Get(id)
+						if err != nil {
+							t.Fatalf("Get(%d): %v", id, err)
+						}
+						if ok != wantLive {
+							t.Fatalf("record %d (seg %d off %d): live=%v, want %v", id, loc.seg, loc.off, ok, wantLive)
+						}
+						if ok && !bytes.Equal(got.Payload, p) {
+							t.Fatalf("record %d payload corrupted after recovery", id)
+						}
+						if !wantLive {
+							lost++
+						}
+					}
+					if lost == 0 {
+						t.Fatal("damage cost no records; the case exercises nothing")
+					}
+
+					// The store must keep working: a new write lands, is
+					// readable, and survives another reopen.
+					if err := s2.Append(Record{ID: 999, DB: "d", Key: "post-damage", Payload: []byte("fresh")}); err != nil {
+						t.Fatal(err)
+					}
+					if err := s2.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					if err := s2.Close(); err != nil {
+						t.Fatal(err)
+					}
+					s3, err := Open(opts)
+					if err != nil {
+						t.Fatalf("third open failed: %v", err)
+					}
+					defer s3.Close()
+					got, ok, err := s3.Get(999)
+					if err != nil || !ok || string(got.Payload) != "fresh" {
+						t.Fatalf("post-damage write lost: %v %v", ok, err)
+					}
+					for id, p := range payloads {
+						loc := recSeg[id]
+						if loc.seg != dmgSlot || loc.off < target.off {
+							if got, ok, _ := s3.Get(id); !ok || !bytes.Equal(got.Payload, p) {
+								t.Fatalf("survivor %d lost on third open", id)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSyncFailurePropagation: with SyncWrites set, a failed fsync must
+// surface to the caller that triggered the seal — the block is NOT sealed,
+// the records stay pending, and a retry (whose sync succeeds) makes them
+// durable exactly once.
+func TestSyncFailurePropagation(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	inj := faultfs.NewInjector(mem, 1, faultfs.FailSync(1))
+	opts := Options{Dir: "d", BlockSize: 64, SyncWrites: true, FS: inj}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("s"), 100) // > BlockSize: the append seals
+	err = s.Append(Record{ID: 1, DB: "db", Key: "k", Payload: payload})
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Append with failing fsync returned %v, want injected error", err)
+	}
+	// Not sealed: the record is still pending and still readable.
+	if len(s.pending) == 0 {
+		t.Fatal("pending buffer cleared despite failed sync")
+	}
+	if _, ok, _ := s.Get(1); !ok {
+		t.Fatal("record unreadable after failed sync")
+	}
+	// Retry succeeds and the data is durable.
+	if err := s.Flush(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Dir: "d", BlockSize: 64, FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok, err := s2.Get(1)
+	if err != nil || !ok || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("record lost after sync retry: %v %v", ok, err)
+	}
+	// The failed attempt was rolled back in place: exactly one block on disk.
+	if spans := blockSpans(mem.Bytes("d/seg-000000.log")); len(spans) != 1 {
+		t.Fatalf("segment holds %d blocks, want 1 (failed seal not rolled back)", len(spans))
+	}
+}
+
+// TestWriteFailureRollback is the regression test for the orphan-header bug:
+// a seal whose header write succeeded but whose body write failed used to
+// leave a valid-magic header in front of the retried block. Replay would
+// read the orphan, fail its checksum, truncate there — and silently discard
+// the retried (acknowledged, synced) block. The rollback in sealBlock makes
+// the retry overwrite the partial block in place.
+func TestWriteFailureRollback(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	// Write #1 is the block header, write #2 the stored body: fail the body.
+	inj := faultfs.NewInjector(mem, 1, faultfs.FailWrite(2))
+	opts := Options{Dir: "d", BlockSize: 64, SyncWrites: true, FS: inj}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("w"), 100)
+	err = s.Append(Record{ID: 7, DB: "db", Key: "k", Payload: payload})
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Append with failing body write returned %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay must find the retried block — not an orphan header that poisons
+	// the scan.
+	s2, err := Open(Options{Dir: "d", BlockSize: 64, FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok, err := s2.Get(7)
+	if err != nil || !ok || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("acknowledged record lost to orphan header: ok=%v err=%v", ok, err)
+	}
+	if st := s2.Stats(); st.LiveRecords != 1 {
+		t.Fatalf("LiveRecords = %d, want 1", st.LiveRecords)
+	}
+}

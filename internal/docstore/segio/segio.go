@@ -34,7 +34,7 @@ package segio
 
 import (
 	"errors"
-	"os"
+	"io"
 	"sync"
 	"sync/atomic"
 )
@@ -43,13 +43,21 @@ import (
 // re-resolve its locator (the record was moved before the segment retired).
 var ErrRetired = errors.New("segio: segment retired")
 
+// File is the read-side handle segio needs from a segment file. *os.File
+// satisfies it directly; crash tests hand in a fault-injecting wrapper
+// (internal/faultfs) instead.
+type File interface {
+	io.ReaderAt
+	Close() error
+}
+
 // Reader is a refcounted handle over one segment's bytes. The refcount
 // starts at 1 (the Table's reference); every successful pin adds one. When
 // the count drains to zero — only possible after Retire dropped the table's
 // reference — the release hook runs exactly once.
 type Reader struct {
 	slot int
-	file *os.File
+	file File
 	mem  atomic.Pointer[[]byte] // memory mode: grow-only published buffer
 	size atomic.Int64           // published (sealed, durable) byte count
 
@@ -60,7 +68,7 @@ type Reader struct {
 
 // NewFileReader wraps an open segment file. size is the initially published
 // length; the writer advances it with SetSize as blocks seal.
-func NewFileReader(slot int, f *os.File, size int64) *Reader {
+func NewFileReader(slot int, f File, size int64) *Reader {
 	r := &Reader{slot: slot, file: f}
 	r.size.Store(size)
 	r.refs.Store(1)

@@ -1,0 +1,281 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f.log")
+	f, err := DefaultFS.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil || string(buf) != "world" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := f.Stat(); fi.Size() != 5 {
+		t.Fatalf("size after truncate = %d", fi.Size())
+	}
+	if f.Name() != name {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	f.Close()
+	matches, err := DefaultFS.Glob(filepath.Join(dir, "*.log"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("Glob = %v, %v", matches, err)
+	}
+	if err := DefaultFS.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func openInj(t *testing.T, in *Injector, name string) File {
+	t.Helper()
+	f, err := in.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestInjectorFailsExactlyNthWrite(t *testing.T) {
+	in := NewInjector(DefaultFS, 1, FailWrite(2))
+	f := openInj(t, in, filepath.Join(t.TempDir(), "f"))
+	if _, err := f.WriteAt([]byte("one"), 0); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("two"), 3); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 = %v, want ErrInjected", err)
+	}
+	if _, err := f.WriteAt([]byte("two"), 3); err != nil {
+		t.Fatalf("write 3 (retry): %v", err)
+	}
+	if got := in.Count(OpWrite); got != 3 {
+		t.Fatalf("write count = %d, want 3", got)
+	}
+	buf := make([]byte, 6)
+	if _, err := f.ReadAt(buf, 0); err != nil || string(buf) != "onetwo" {
+		t.Fatalf("content = %q, %v", buf, err)
+	}
+}
+
+func TestInjectorShortWriteLeavesPrefix(t *testing.T) {
+	in := NewInjector(DefaultFS, 7, Rule{Op: OpWrite, Nth: 1, Kind: KindShort, Keep: 4})
+	f := openInj(t, in, filepath.Join(t.TempDir(), "f"))
+	n, err := f.WriteAt([]byte("abcdefgh"), 0)
+	if !errors.Is(err, ErrInjected) || n != 4 {
+		t.Fatalf("short write = %d, %v", n, err)
+	}
+	fi, _ := f.Stat()
+	if fi.Size() != 4 {
+		t.Fatalf("file size = %d, want 4 (torn prefix)", fi.Size())
+	}
+}
+
+func TestInjectorCrashFreezesMutations(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(DefaultFS, 3, CrashAtSync(1))
+	f := openInj(t, in, filepath.Join(dir, "f"))
+	if _, err := f.WriteAt([]byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync = %v, want ErrCrashed", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not crashed")
+	}
+	// Every mutating op now fails without side effects.
+	if _, err := f.WriteAt([]byte("more"), 4); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync = %v", err)
+	}
+	if _, err := in.OpenFile(filepath.Join(dir, "g"), os.O_CREATE|os.O_RDWR, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v", err)
+	}
+	if err := in.Remove(f.Name()); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash remove = %v", err)
+	}
+	// Reads and Close still work so the harness can inspect and release.
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); err != nil || string(buf) != "data" {
+		t.Fatalf("post-crash read = %q, %v", buf, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("post-crash close = %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "f")); err != nil || fi.Size() != 4 {
+		t.Fatal("post-crash writes leaked to disk")
+	}
+	if len(in.Events()) == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestInjectorFlipReadCorruptsOneBit(t *testing.T) {
+	in := NewInjector(DefaultFS, 11, FlipRead(1))
+	f := openInj(t, in, filepath.Join(t.TempDir(), "f"))
+	want := bytes.Repeat([]byte{0x00}, 64)
+	if _, err := f.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("flip read errored: %v", err)
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^want[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flipped %d bits, want exactly 1", diff)
+	}
+	// The next read is clean.
+	clean := make([]byte, 64)
+	if _, err := f.ReadAt(clean, 0); err != nil || !bytes.Equal(clean, want) {
+		t.Fatalf("second read corrupted: %v", err)
+	}
+}
+
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	run := func() []string {
+		dir := t.TempDir()
+		in := NewInjector(DefaultFS, 42, ShortWrite(2), FlipRead(1))
+		f := openInj(t, in, filepath.Join(dir, "f"))
+		f.WriteAt(bytes.Repeat([]byte("x"), 100), 0)
+		f.WriteAt(bytes.Repeat([]byte("y"), 100), 100) // torn
+		buf := make([]byte, 50)
+		f.ReadAt(buf, 0) // flipped
+		evs := in.Events()
+		for i := range evs {
+			evs[i] = strings.ReplaceAll(evs[i], dir, "<dir>")
+		}
+		return evs
+	}
+	a, b := run(), run()
+	if len(a) != 2 {
+		t.Fatalf("events = %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic:\n%v\n%v", a, b)
+		}
+	}
+}
+
+func TestInjectorPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(DefaultFS, 1, Rule{Op: OpWrite, Nth: 2, Kind: KindErr, Path: "seg-"})
+	other := openInj(t, in, filepath.Join(dir, "other.log"))
+	seg := openInj(t, in, filepath.Join(dir, "seg-000001.log"))
+	if _, err := other.WriteAt([]byte("a"), 0); err != nil { // write#1, no match
+		t.Fatal(err)
+	}
+	if _, err := seg.WriteAt([]byte("b"), 0); !errors.Is(err, ErrInjected) { // write#2, match
+		t.Fatalf("filtered write = %v", err)
+	}
+	if _, err := other.WriteAt([]byte("c"), 1); err != nil { // write#3
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSRoundTrip(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/a.log", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A second handle on the same path sees the first handle's writes.
+	g, err := m.OpenFile("d/a.log", os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := g.ReadAt(buf, 6); err != nil || string(buf) != "world" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	fi, err := g.Stat()
+	if err != nil || fi.Size() != 11 {
+		t.Fatalf("Stat = %v, %v", fi, err)
+	}
+	if names, _ := m.Glob("d/*.log"); len(names) != 1 || names[0] != "d/a.log" {
+		t.Fatalf("Glob = %v", names)
+	}
+	// Sparse WriteAt zero-fills the gap, like a real file.
+	if _, err := f.WriteAt([]byte("x"), 20); err != nil {
+		t.Fatal(err)
+	}
+	if b := m.Bytes("d/a.log"); len(b) != 21 || b[15] != 0 {
+		t.Fatalf("sparse write: len=%d", len(b))
+	}
+	if err := m.Truncate("d/a.log", 4); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Bytes("d/a.log")) != "hell" {
+		t.Fatalf("after truncate: %q", m.Bytes("d/a.log"))
+	}
+	// O_TRUNC resets; ReadAt past EOF reports it.
+	h, err := m.OpenFile("d/a.log", os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadAt(buf, 0); err == nil {
+		t.Fatal("ReadAt on empty file succeeded")
+	}
+	if err := m.Remove("d/a.log"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OpenFile("d/a.log", os.O_RDWR, 0o644); err == nil {
+		t.Fatal("open of removed file succeeded")
+	}
+}
+
+func TestInjectorOverMemFS(t *testing.T) {
+	m := NewMemFS()
+	inj := NewInjector(m, 1, FailWrite(2))
+	f, err := inj.OpenFile("seg", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("one"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("two"), 3); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("two"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Bytes("seg")) != "onetwo" {
+		t.Fatalf("contents = %q", m.Bytes("seg"))
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"dbdedup/internal/dedupcache"
 	"dbdedup/internal/delta"
 	"dbdedup/internal/docstore"
+	"dbdedup/internal/faultfs"
 	"dbdedup/internal/metrics"
 	"dbdedup/internal/oplog"
 )
@@ -53,6 +54,12 @@ type Options struct {
 	// BlockSize, SegmentSize, CacheBlocks, CacheShards pass through to
 	// the store.
 	BlockSize, SegmentSize, CacheBlocks, CacheShards int
+	// SyncWrites passes through to the store: fsync each sealed block, so
+	// an acknowledged Flush survives a crash.
+	SyncWrites bool
+	// FS is the filesystem the store runs on (nil = direct os-backed).
+	// Crash tests install a faultfs.Injector here.
+	FS faultfs.FS
 	// OplogCapacity bounds the retained oplog entries.
 	OplogCapacity int
 	// WritebackCacheBytes bounds the lossy write-back cache (default
@@ -217,6 +224,8 @@ func Open(opts Options) (*Node, error) {
 		CacheBlocks: opts.CacheBlocks,
 		CacheShards: opts.CacheShards,
 		AppendDelay: opts.SimulatedAppendDelay,
+		SyncWrites:  opts.SyncWrites,
+		FS:          opts.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -269,32 +278,77 @@ func Open(opts Options) (*Node, error) {
 	return n, nil
 }
 
-// recover rebuilds key maps and reference counts from the store.
+// recover rebuilds key maps and reference counts from the store, dropping
+// any record whose delta chain no longer reaches a raw base. Crash tears
+// only remove a segment suffix — bases always precede their dependants, so
+// a tear cannot orphan a survivor — but mid-file corruption (a bad block
+// inside an earlier segment) can erase a base out from under later records;
+// keeping such a record would leave a key→ID mapping whose reads can never
+// decode.
 func (n *Node) recover() error {
 	maxID := uint64(0)
-	var rangeErr error
+	var ids []uint64
 	err := n.store.Range(func(rec docstore.Record) bool {
 		if rec.ID > maxID {
 			maxID = rec.ID
 		}
-		if !rec.Hidden {
-			dbm := n.keys[rec.DB]
-			if dbm == nil {
-				dbm = make(map[string]uint64)
-				n.keys[rec.DB] = dbm
-			}
-			dbm[rec.Key] = rec.ID
-		}
-		if rec.Form == docstore.FormDelta {
-			n.refcnt[rec.BaseID]++
-		}
+		ids = append(ids, rec.ID)
 		return true
 	})
 	if err != nil {
 		return err
 	}
+	// Classify each record by whether its chain grounds in a raw record.
+	// Memoised; the depth bound turns corruption-induced base cycles into
+	// "broken" instead of unbounded recursion.
+	grounded := make(map[uint64]bool, len(ids))
+	var walk func(id uint64, depth int) bool
+	walk = func(id uint64, depth int) bool {
+		if v, ok := grounded[id]; ok {
+			return v
+		}
+		if depth > len(ids) {
+			return false
+		}
+		m, ok := n.store.Meta(id)
+		if !ok {
+			return false
+		}
+		ok = m.Form != docstore.FormDelta || walk(m.BaseID, depth+1)
+		grounded[id] = ok
+		return ok
+	}
+	for _, id := range ids {
+		if !walk(id, 0) {
+			// Undecodable: drop it now, and tombstone it so the next
+			// replay does not resurface it either.
+			if err := n.store.Delete(id); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range ids {
+		if !grounded[id] {
+			continue
+		}
+		m, ok := n.store.Meta(id)
+		if !ok {
+			continue
+		}
+		if !m.Hidden {
+			dbm := n.keys[m.DB]
+			if dbm == nil {
+				dbm = make(map[string]uint64)
+				n.keys[m.DB] = dbm
+			}
+			dbm[m.Key] = id
+		}
+		if m.Form == docstore.FormDelta {
+			n.refcnt[m.BaseID]++
+		}
+	}
 	n.nextID = maxID + 1
-	return rangeErr
+	return nil
 }
 
 // Close drains the encode queues, flushes pending write-backs, and closes
