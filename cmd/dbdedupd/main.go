@@ -98,7 +98,12 @@ func main() {
 		log.Printf("replication (primary) on %s", p.Addr())
 	}
 	if *follow != "" {
-		sec, err := repl.Connect(n, *follow, 0)
+		// Reconnect across transient outages; the stream resumes from the
+		// applied low-water mark, so a primary restart or network blip does
+		// not require restarting the secondary.
+		sec, err := repl.ConnectWithOptions(n, *follow, 0, 0, repl.Options{
+			MaxReconnects: 1 << 20,
+		})
 		if err != nil {
 			log.Fatalf("following %s: %v", *follow, err)
 		}

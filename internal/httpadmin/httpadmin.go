@@ -82,6 +82,7 @@ type metricsView struct {
 	Encode        metrics.EncodeSnapshot
 	Apply         metrics.ApplySnapshot
 	Read          metrics.ReadSnapshot
+	Repl          metrics.ReplSnapshot
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -90,6 +91,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Encode:        s.node.EncodeMetrics().Snapshot(),
 		Apply:         s.node.ApplyMetrics().Snapshot(),
 		Read:          s.node.ReadSnapshot(),
+		Repl:          s.node.ReplMetrics().Snapshot(),
 	})
 }
 
@@ -124,6 +126,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "read:     %d cache hits / %d misses, %d segments (%d pinned handles, %d retiring)\n",
 		st.Store.CacheHits, st.Store.CacheMisses, st.Store.LiveSegments,
 		st.Store.PinnedReaders, st.Store.RetiredPending)
+	rp := s.node.ReplMetrics().Snapshot()
+	fmt.Fprintf(w, "repl:     %d reconnects (%d dial failures), %d corrupt frames, %d seq violations, %d idle timeouts\n",
+		rp.Reconnects, rp.DialFailures, rp.CorruptFrames, rp.FrameSeqViolations, rp.IdleTimeouts)
 	fmt.Fprintf(w, "\ndatabases:\n")
 	for _, d := range s.node.DBStats() {
 		verdict := "active"

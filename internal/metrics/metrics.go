@@ -415,6 +415,63 @@ type ReadSnapshot struct {
 	LiveSegments   int
 }
 
+// ReplMetrics bundles the replication transport's hardening counters: how
+// often the stream reconnected and why, what the checksum layer rejected,
+// and the heartbeat/idle-timeout machinery's activity. All fields are
+// individually safe for concurrent use.
+type ReplMetrics struct {
+	// Reconnects counts stream reconnection attempts that succeeded;
+	// Dials/DialFailures count every attempt. BackoffNanos accumulates
+	// time spent sleeping between attempts.
+	Reconnects   Meter
+	Dials        Meter
+	DialFailures Meter
+	BackoffNanos Meter
+	// CorruptFrames counts frames rejected by the per-frame checksum;
+	// FrameSeqViolations counts frames whose sequence number proved
+	// duplication, reordering, or loss on the wire.
+	CorruptFrames      Meter
+	FrameSeqViolations Meter
+	// IdleTimeouts counts silent partitions detected by the read deadline
+	// (no frame, not even a heartbeat, within the idle window).
+	IdleTimeouts Meter
+	// HeartbeatsSent counts primary→secondary heartbeat frames (sent when
+	// a secondary is fully caught up).
+	HeartbeatsSent Meter
+	// ForcedResyncs counts reconnects that requested a fresh snapshot
+	// because the previous connection died mid-snapshot.
+	ForcedResyncs Meter
+}
+
+// ReplSnapshot is a point-in-time view of a ReplMetrics bundle, shaped for
+// the admin endpoint.
+type ReplSnapshot struct {
+	Reconnects         int64
+	Dials              int64
+	DialFailures       int64
+	BackoffNanos       int64
+	CorruptFrames      int64
+	FrameSeqViolations int64
+	IdleTimeouts       int64
+	HeartbeatsSent     int64
+	ForcedResyncs      int64
+}
+
+// Snapshot summarises the bundle.
+func (m *ReplMetrics) Snapshot() ReplSnapshot {
+	return ReplSnapshot{
+		Reconnects:         m.Reconnects.Total(),
+		Dials:              m.Dials.Total(),
+		DialFailures:       m.DialFailures.Total(),
+		BackoffNanos:       m.BackoffNanos.Total(),
+		CorruptFrames:      m.CorruptFrames.Total(),
+		FrameSeqViolations: m.FrameSeqViolations.Total(),
+		IdleTimeouts:       m.IdleTimeouts.Total(),
+		HeartbeatsSent:     m.HeartbeatsSent.Total(),
+		ForcedResyncs:      m.ForcedResyncs.Total(),
+	}
+}
+
 // Series records a value per fixed time slot, for throughput-over-time
 // plots. Slot 0 starts at the Series' creation.
 type Series struct {

@@ -1,0 +1,51 @@
+// Package netsim is the replication layer's transport seam — the network
+// analogue of the storage layer's faultfs. The repl package performs every
+// listen and dial through the Network interface; in production that is the
+// thin TCP implementation below, and in simulation tests it is a Sim
+// (sim.go): an in-memory network whose connections misbehave on a
+// seed-pinned schedule — one-way and full partitions, latency and jitter,
+// chunk reordering, duplicated delivery, byte corruption, and connections
+// cut mid-chunk — so the replication protocol's hardening (per-frame
+// checksums, heartbeats, reconnect with backoff, idempotent resume) can be
+// driven through every network failure the paper's syncer must survive.
+//
+// The interface is deliberately exactly the two operations the replication
+// layer uses: Listen and DialTimeout. Connections are plain net.Conn, so
+// the protocol code is identical over TCP and over the simulator; the
+// simulator honours SetDeadline and friends, which the hardened protocol
+// relies on to detect silent partitions.
+package netsim
+
+import (
+	"net"
+	"time"
+)
+
+// Network abstracts connection establishment so the replication protocol
+// can run over the real network or a simulated one.
+type Network interface {
+	// Listen starts accepting connections on addr (e.g. "127.0.0.1:0").
+	Listen(addr string) (net.Listener, error)
+	// DialTimeout connects to addr, giving up after timeout (0 = no
+	// timeout).
+	DialTimeout(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// TCP is the direct net-backed network.
+type TCP struct{}
+
+// Default is what a nil Network option resolves to.
+var Default Network = TCP{}
+
+// Listen implements Network over real TCP.
+func (TCP) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// DialTimeout implements Network over real TCP.
+func (TCP) DialTimeout(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		return net.Dial("tcp", addr)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}

@@ -47,6 +47,14 @@ type Applier struct {
 	errv    error
 	base    uint64       // all dispatched seqs <= base are applied
 	pending []*applySlot // dispatched tracked seqs > base, dispatch order
+
+	// vanished records keys ("db\x00key") whose strict insert was skipped
+	// because the primary no longer held the record (ErrFetchUnavailable):
+	// it was deleted there after the insert was logged, so the stream will
+	// carry that delete later. Ops on a vanished key that fail with
+	// ErrNotFound are expected, not pool poison; the delete clears the
+	// mark. Guarded by mu.
+	vanished map[string]struct{}
 }
 
 // ApplierOptions configures an apply pool.
@@ -202,13 +210,35 @@ func (a *Applier) Barrier() {
 
 // Reset rebases the low-water mark after a snapshot: the snapshot defines
 // the stream position outright (an epoch-mismatch resync can rebase it
-// downward). Callers must Barrier first so no tracked entries are in
-// flight.
+// downward), and with it any pending vanished-key expectations. Callers
+// must Barrier first so no tracked entries are in flight.
 func (a *Applier) Reset(seq uint64) {
 	a.mu.Lock()
 	a.base = seq
 	a.pending = a.pending[:0]
+	a.vanished = nil
 	a.mu.Unlock()
+}
+
+func (a *Applier) markVanished(db, key string) {
+	a.mu.Lock()
+	if a.vanished == nil {
+		a.vanished = make(map[string]struct{})
+	}
+	a.vanished[db+"\x00"+key] = struct{}{}
+	a.mu.Unlock()
+}
+
+// vanishedHit reports whether (db, key) is marked vanished, clearing the
+// mark when clear is set (the expected delete arrived).
+func (a *Applier) vanishedHit(db, key string, clear bool) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.vanished[db+"\x00"+key]
+	if ok && clear {
+		delete(a.vanished, db+"\x00"+key)
+	}
+	return ok
 }
 
 // LowWater returns the applied-sequence low-water mark: every dispatched
@@ -302,19 +332,59 @@ func (a *Applier) run(job applyJob) {
 	default:
 		err = a.n.ApplyReplicated(job.entry)
 	}
-	if errors.Is(err, ErrBaseMissing) && a.fetch != nil {
-		// Fall back to fetching the full record from the primary
-		// (paper §4.1 fn. 4). applyReplicatedInsert rolled the key
-		// reservation and insert counter back, so installing the fetched
-		// content counts the insert exactly once.
-		content, ferr := a.fetch(job.entry.DB, job.entry.Key)
-		if ferr == nil {
-			err = a.n.ApplySnapshotRecord(job.entry.DB, job.entry.Key, content)
-			if err == nil {
-				a.m.BaseFetches.Add(1)
+	if errors.Is(err, ErrBaseMissing) {
+		switch {
+		case a.fetch == nil:
+			if job.lenient {
+				// Resync window without a fetch path: the record is
+				// re-delivered by a future snapshot if still live.
+				err = nil
 			}
-		} else {
-			err = fmt.Errorf("%w (fetch fallback: %v)", err, ferr)
+		default:
+			// Fall back to fetching the full record from the primary
+			// (paper §4.1 fn. 4). applyReplicatedInsert rolled the insert
+			// counter back, so installing the fetched content counts the
+			// insert exactly once.
+			content, ferr := a.fetch(job.entry.DB, job.entry.Key)
+			switch {
+			case ferr == nil:
+				err = a.n.ApplySnapshotRecord(job.entry.DB, job.entry.Key, content)
+				if err == nil {
+					a.m.BaseFetches.Add(1)
+				}
+			case errors.Is(ferr, ErrFetchUnavailable):
+				// The primary no longer holds the record: it was deleted
+				// (or replaced) after this insert was logged, and the
+				// stream will carry that op later. Skip the insert; on
+				// the strict path remember the key so the upcoming
+				// delete's ErrNotFound is expected rather than terminal.
+				if !job.lenient {
+					a.markVanished(job.entry.DB, job.entry.Key)
+				}
+				err = nil
+			case job.lenient:
+				// Transport trouble during a resync window: tolerate it —
+				// the record is re-delivered by a future snapshot if
+				// still live.
+				err = nil
+			default:
+				err = fmt.Errorf("%w (fetch fallback: %v)", err, ferr)
+			}
+		}
+	}
+	if errors.Is(err, ErrNotFound) && !job.lenient && !job.snapshot {
+		// A strict op on a key whose insert was skipped as vanished is the
+		// follow-up the skip predicted. The delete consumes the mark; an
+		// update leaves it (the record is still not installed).
+		switch job.entry.Op {
+		case oplog.OpUpdate:
+			if a.vanishedHit(job.entry.DB, job.entry.Key, false) {
+				err = nil
+			}
+		case oplog.OpDelete:
+			if a.vanishedHit(job.entry.DB, job.entry.Key, true) {
+				err = nil
+			}
 		}
 	}
 	a.m.Latency().Observe(time.Since(start))

@@ -318,3 +318,47 @@ func TestApplierFetchFallback(t *testing.T) {
 		t.Fatalf("Inserts after fallback = %d, want exactly 1", got)
 	}
 }
+
+// TestApplierFetchUnavailableVanishedKey covers the delete-raced insert: a
+// forward-encoded insert whose base is missing falls back to fetching, but
+// the primary no longer holds the record either (it was deleted there after
+// the insert was logged). The applier must skip the insert and tolerate the
+// follow-up ops on the never-installed key — the stream is guaranteed to
+// carry the delete that explains the miss — without poisoning the pool.
+func TestApplierFetchUnavailableVanishedKey(t *testing.T) {
+	sec := testNode(t, Options{})
+	ap := NewApplier(sec, 0, ApplierOptions{Workers: 2, Fetch: func(db, key string) ([]byte, error) {
+		return nil, fmt.Errorf("%w: record not found", ErrFetchUnavailable)
+	}})
+	defer ap.Close()
+
+	ap.EnqueueEntry(oplog.Entry{Seq: 1, Op: oplog.OpInsert, DB: "db", Key: "ghost",
+		Form: oplog.FormDelta, BaseKey: "missing",
+		Payload: delta.Compress([]byte("a"), []byte("b"), delta.Options{}).Marshal()}, false)
+	// An update ordered before the delete hits the same missing key and is
+	// equally expected; the delete itself consumes the mark.
+	ap.EnqueueEntry(oplog.Entry{Seq: 2, Op: oplog.OpUpdate, DB: "db", Key: "ghost",
+		Payload: []byte("newer content")}, false)
+	ap.EnqueueEntry(oplog.Entry{Seq: 3, Op: oplog.OpDelete, DB: "db", Key: "ghost"}, false)
+	ap.Barrier()
+	if err := ap.Err(); err != nil {
+		t.Fatalf("vanished-key sequence poisoned the pool: %v", err)
+	}
+	if got := ap.LowWater(); got != 3 {
+		t.Fatalf("LowWater = %d, want 3 (skipped ops must still advance it)", got)
+	}
+	if sec.Has("db", "ghost") {
+		t.Fatal("vanished key was installed")
+	}
+	if got := sec.Stats().Inserts; got != 0 {
+		t.Fatalf("Inserts = %d, want 0 (skipped insert leaked the counter)", got)
+	}
+
+	// The mark is consumed: a second miss on the same key has no pending
+	// insert explaining it and must surface as real divergence.
+	ap.EnqueueEntry(oplog.Entry{Seq: 4, Op: oplog.OpDelete, DB: "db", Key: "ghost"}, false)
+	ap.Barrier()
+	if err := ap.Err(); err == nil {
+		t.Fatal("unexplained delete of a missing key should poison the pool")
+	}
+}

@@ -134,9 +134,13 @@ type Node struct {
 	eng   *core.Engine
 	wb    *dedupcache.WritebackCache
 
-	mu      sync.RWMutex
-	keys    map[string]map[string]uint64 // db -> key -> record ID
-	refcnt  map[uint64]int               // decode-base reference counts
+	mu sync.RWMutex
+	// keys is lock-free for readers (see keyDir): Read/Has resolve keys
+	// without touching n.mu. Writers stay serialised — by n.mu on the
+	// client path, by the applier's per-database FIFO on the replica path
+	// — and publish a key only after its record is appended.
+	keys    keyDir
+	refcnt  map[uint64]int // decode-base reference counts
 	version map[uint64]uint32            // bumped on client update/delete
 	nextID  uint64
 	stats   Stats
@@ -168,6 +172,7 @@ type Node struct {
 	encClosed atomic.Bool
 	encm      *metrics.EncodeMetrics // queue gauges; engine's bundle when dedup is on
 	applym    *metrics.ApplyMetrics  // replication apply-path instrumentation
+	replm     *metrics.ReplMetrics   // replication transport hardening counters
 
 	wg     sync.WaitGroup
 	stopCh chan struct{}
@@ -234,7 +239,6 @@ func Open(opts Options) (*Node, error) {
 		opts:    opts,
 		store:   store,
 		log:     oplog.New(opts.OplogCapacity),
-		keys:    make(map[string]map[string]uint64),
 		refcnt:  make(map[uint64]int),
 		version: make(map[uint64]uint32),
 		lastMut: make(map[uint64]uint64),
@@ -250,6 +254,7 @@ func Open(opts Options) (*Node, error) {
 		n.encm = metrics.NewEncodeMetrics()
 	}
 	n.applym = metrics.NewApplyMetrics()
+	n.replm = &metrics.ReplMetrics{}
 	if opts.WritebackCacheBytes >= 0 {
 		n.wb = dedupcache.NewWritebackCache(opts.WritebackCacheBytes)
 	}
@@ -336,12 +341,7 @@ func (n *Node) recover() error {
 			continue
 		}
 		if !m.Hidden {
-			dbm := n.keys[m.DB]
-			if dbm == nil {
-				dbm = make(map[string]uint64)
-				n.keys[m.DB] = dbm
-			}
-			dbm[m.Key] = id
+			n.keys.put(m.DB, m.Key, id)
 		}
 		if m.Form == docstore.FormDelta {
 			n.refcnt[m.BaseID]++
@@ -471,36 +471,32 @@ func (n *Node) Insert(db, key string, payload []byte) error {
 		n.releaseEncodeSlot(sh)
 		return errors.New("node: closed")
 	}
-	dbm := n.keys[db]
-	if dbm == nil {
-		dbm = make(map[string]uint64)
-		n.keys[db] = dbm
-	}
-	if _, exists := dbm[key]; exists {
+	dbm := n.keys.dbMap(db)
+	if _, exists := dbm.Load(key); exists {
 		n.mu.Unlock()
 		n.releaseEncodeSlot(sh)
 		return fmt.Errorf("node: duplicate key %q/%q", db, key)
 	}
 	id := n.nextID
 	n.nextID++
-	dbm[key] = id
 	n.stats.Inserts++
 	n.stats.RawInsertBytes += int64(len(payload))
 	n.recentOps.Add(1)
 	ver := n.version[id]
 
 	// Store the record raw (paper: new records are always stored in
-	// original form; backward encoding touches older records) and queue
-	// its encode job inside the same critical section, so the record is
-	// readable the moment the key is visible and the oplog order matches
-	// the mutation order.
+	// original form; backward encoding touches older records), publish the
+	// key, and queue its encode job inside the same critical section, so
+	// the oplog order matches the mutation order. The key is published
+	// only after the append succeeds: lock-free readers must never
+	// resolve a key to a record the store does not hold.
 	cp := append([]byte(nil), payload...)
 	if err := n.store.Append(docstore.Record{ID: id, DB: db, Key: key, Payload: cp}); err != nil {
-		delete(dbm, key)
 		n.mu.Unlock()
 		n.releaseEncodeSlot(sh)
 		return err
 	}
+	dbm.Store(key, id)
 	job, inline := n.enqueueLocked(sh, encodeJob{kind: oplog.OpInsert, db: db, key: key, id: id, payload: cp, version: ver})
 	n.mu.Unlock()
 
@@ -649,7 +645,7 @@ func (n *Node) deleteLocalEmit(db, key string, emit bool) (encodeJob, bool, erro
 		n.releaseEncodeSlot(sh)
 		return job, false, ErrNotFound
 	}
-	delete(n.keys[db], key)
+	n.keys.delete(db, key)
 	n.version[id]++
 	n.stats.Deletes++
 	n.recentOps.Add(1)
@@ -741,12 +737,11 @@ func (n *Node) reclaimLocked(id uint64) error {
 	}
 }
 
-// Read returns the record's visible content.
+// Read returns the record's visible content. The key lookup is lock-free
+// (keyDir); Read never touches n.mu.
 func (n *Node) Read(db, key string) ([]byte, error) {
 	start := time.Now()
-	n.mu.RLock()
 	id, ok := n.lookup(db, key)
-	n.mu.RUnlock()
 	n.readsTotal.Add(1)
 	n.recentOps.Add(1)
 	if !ok {
@@ -760,20 +755,14 @@ func (n *Node) Read(db, key string) ([]byte, error) {
 	return content, nil
 }
 
-// lookup requires n.mu held.
+// lookup resolves (db, key) to a record ID. Lock-free; safe with or
+// without n.mu held.
 func (n *Node) lookup(db, key string) (uint64, bool) {
-	dbm, ok := n.keys[db]
-	if !ok {
-		return 0, false
-	}
-	id, ok := dbm[key]
-	return id, ok
+	return n.keys.load(db, key)
 }
 
-// Has reports whether (db, key) exists.
+// Has reports whether (db, key) exists. Lock-free.
 func (n *Node) Has(db, key string) bool {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
 	_, ok := n.lookup(db, key)
 	return ok
 }
@@ -1410,6 +1399,11 @@ func (n *Node) EncodeMetrics() *metrics.EncodeMetrics { return n.encm }
 // ApplyMetrics exposes the replication apply-path instrumentation (populated
 // when this node runs as a secondary behind an Applier).
 func (n *Node) ApplyMetrics() *metrics.ApplyMetrics { return n.applym }
+
+// ReplMetrics exposes the replication transport hardening counters
+// (reconnects, backoff, corrupt-frame rejections, idle timeouts) — populated
+// when this node replicates over repl without an explicit metrics bundle.
+func (n *Node) ReplMetrics() *metrics.ReplMetrics { return n.replm }
 
 // Stats returns a node snapshot.
 func (n *Node) Stats() Stats {

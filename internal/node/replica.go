@@ -14,6 +14,13 @@ import (
 // the full record from the primary (paper §4.1 fn. 4).
 var ErrBaseMissing = errors.New("node: delta base not present")
 
+// ErrFetchUnavailable reports that the base-miss fetch fallback reached the
+// primary but the primary no longer holds the record — typically because it
+// was deleted (or replaced) after the insert was logged. The stream will
+// carry that delete/replace in a later entry, so the applier treats this as
+// "skip the insert and expect the follow-up" rather than as pool poison.
+var ErrFetchUnavailable = errors.New("node: record unavailable at source")
+
 // ApplyReplicated applies one oplog entry shipped from a primary. Entries
 // of one database must be applied in sequence order (a forward-encoded
 // insert's BaseKey always names a record of the same database); entries of
@@ -36,34 +43,23 @@ func (n *Node) ApplyReplicated(e oplog.Entry) error {
 }
 
 func (n *Node) applyReplicatedInsert(e oplog.Entry) error {
-	n.mu.Lock()
-	dbm := n.keys[e.DB]
-	if dbm == nil {
-		dbm = make(map[string]uint64)
-		n.keys[e.DB] = dbm
-	}
-	if _, exists := dbm[e.Key]; exists {
-		n.mu.Unlock()
+	if _, exists := n.keys.load(e.DB, e.Key); exists {
 		return fmt.Errorf("node: replicated insert of existing key %q/%q", e.DB, e.Key)
 	}
+	n.mu.Lock()
 	id := n.nextID
 	n.nextID++
-	dbm[e.Key] = id
 	n.stats.Inserts++
 	n.mu.Unlock()
 
-	// undoReservation rolls back everything the critical section above
-	// published — the key→ID mapping *and* the insert counter — on any
-	// failure before the record is durably appended. Leaving either
-	// behind corrupts the node: a dangling mapping makes later reads of
-	// the key fail on a record that was never written, and a leaked
-	// counter double-counts inserts once the ErrBaseMissing fallback
-	// re-installs the record via ApplySnapshotRecord.
+	// undoReservation rolls back the insert counter on any failure before
+	// the record is durably appended. The key→ID mapping needs no undo:
+	// under the keyDir publish discipline it is only stored *after* a
+	// successful append, so a failed insert leaves no dangling mapping for
+	// readers to trip on — and the ErrBaseMissing fetch fallback can
+	// re-install the record via ApplySnapshotRecord without double-counting.
 	undoReservation := func() {
 		n.mu.Lock()
-		if cur, ok := n.keys[e.DB][e.Key]; ok && cur == id {
-			delete(n.keys[e.DB], e.Key)
-		}
 		n.stats.Inserts--
 		n.mu.Unlock()
 	}
@@ -74,6 +70,7 @@ func (n *Node) applyReplicatedInsert(e oplog.Entry) error {
 			undoReservation()
 			return err
 		}
+		n.keys.put(e.DB, e.Key, id)
 		n.mu.Lock()
 		n.stats.RawInsertBytes += int64(len(payload))
 		n.mu.Unlock()
@@ -85,9 +82,7 @@ func (n *Node) applyReplicatedInsert(e oplog.Entry) error {
 
 	// Forward-encoded insert: reconstruct the record from the local copy
 	// of the base, then mirror the primary's backward encoding.
-	n.mu.RLock()
 	srcID, ok := n.lookup(e.DB, e.BaseKey)
-	n.mu.RUnlock()
 	if !ok {
 		// Rare: the base is almost always already replicated. Undo the
 		// reservation and let the caller fall back to fetching the full
@@ -114,6 +109,7 @@ func (n *Node) applyReplicatedInsert(e oplog.Entry) error {
 		undoReservation()
 		return err
 	}
+	n.keys.put(e.DB, e.Key, id)
 	n.mu.Lock()
 	n.stats.RawInsertBytes += int64(len(payload))
 	n.mu.Unlock()

@@ -14,14 +14,11 @@ import (
 // during the scan are replayed on top afterwards.
 func (n *Node) Snapshot(fn func(db, key string, content []byte) bool) error {
 	type entry struct{ db, key string }
-	n.mu.RLock()
 	var all []entry
-	for db, keys := range n.keys {
-		for key := range keys {
-			all = append(all, entry{db, key})
-		}
-	}
-	n.mu.RUnlock()
+	n.keys.rangeAll(func(db, key string, _ uint64) bool {
+		all = append(all, entry{db, key})
+		return true
+	})
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].db != all[j].db {
 			return all[i].db < all[j].db
@@ -46,10 +43,7 @@ func (n *Node) Snapshot(fn func(db, key string, content []byte) bool) error {
 // ApplySnapshotRecord installs one record from a primary's snapshot stream:
 // insert-or-replace semantics, no oplog entry.
 func (n *Node) ApplySnapshotRecord(db, key string, payload []byte) error {
-	n.mu.RLock()
-	_, exists := n.lookup(db, key)
-	n.mu.RUnlock()
-	if exists {
+	if _, exists := n.lookup(db, key); exists {
 		return n.updateLocal(db, key, payload)
 	}
 	return n.insertSnapshot(db, key, payload)
@@ -57,22 +51,23 @@ func (n *Node) ApplySnapshotRecord(db, key string, payload []byte) error {
 
 func (n *Node) insertSnapshot(db, key string, payload []byte) error {
 	n.mu.Lock()
-	dbm := n.keys[db]
-	if dbm == nil {
-		dbm = make(map[string]uint64)
-		n.keys[db] = dbm
-	}
 	id := n.nextID
 	n.nextID++
-	dbm[key] = id
 	n.stats.Inserts++
 	n.stats.RawInsertBytes += int64(len(payload))
 	n.mu.Unlock()
 
 	cp := append([]byte(nil), payload...)
 	if err := n.store.Append(docstore.Record{ID: id, DB: db, Key: key, Payload: cp}); err != nil {
+		n.mu.Lock()
+		n.stats.Inserts--
+		n.stats.RawInsertBytes -= int64(len(payload))
+		n.mu.Unlock()
 		return err
 	}
+	// Publish only after the record is durably appended, so lock-free
+	// readers never resolve the key to a record the store does not hold.
+	n.keys.put(db, key, id)
 	if n.eng != nil {
 		n.eng.ObserveRaw(db, id, cp)
 	}
@@ -87,28 +82,18 @@ func (n *Node) insertSnapshot(db, key string, payload []byte) error {
 func (n *Node) ApplyReplicatedLenient(e oplog.Entry) error {
 	switch e.Op {
 	case oplog.OpInsert:
-		n.mu.RLock()
-		_, exists := n.lookup(e.DB, e.Key)
-		n.mu.RUnlock()
-		if exists {
+		if _, exists := n.lookup(e.DB, e.Key); exists {
 			// The snapshot already carried this record; the entry's
 			// payload may be forward-encoded against state we can
 			// resolve, but replacing with the snapshot's copy is
 			// equivalent — skip.
 			return nil
 		}
-		if e.Form == oplog.FormDelta {
-			// Base may itself have arrived via snapshot; the normal
-			// path handles that (bases are resolved by key).
-			err := n.ApplyReplicated(e)
-			if err != nil {
-				// Base genuinely missing (e.g. deleted during the
-				// window): cannot reconstruct. The record will be
-				// re-delivered by a future snapshot if still live.
-				return nil
-			}
-			return nil
-		}
+		// Delta bases may themselves have arrived via snapshot; the
+		// normal path resolves them by key. A missing base surfaces as
+		// ErrBaseMissing so the applier's fetch fallback can recover the
+		// full record — swallowing it here would leave the key absent
+		// forever with no future snapshot to re-deliver it.
 		return n.ApplyReplicated(e)
 	case oplog.OpUpdate:
 		err := n.updateLocal(e.DB, e.Key, e.Payload)
@@ -133,16 +118,13 @@ func (n *Node) ApplyReplicatedLenient(e oplog.Entry) error {
 func (n *Node) ReconcileAfterSnapshot(keep map[string]map[string]bool) {
 	type entry struct{ db, key string }
 	var stale []entry
-	n.mu.RLock()
-	for db, keys := range n.keys {
+	n.keys.rangeAll(func(db, key string, _ uint64) bool {
 		kept := keep[db]
-		for key := range keys {
-			if kept == nil || !kept[key] {
-				stale = append(stale, entry{db, key})
-			}
+		if kept == nil || !kept[key] {
+			stale = append(stale, entry{db, key})
 		}
-	}
-	n.mu.RUnlock()
+		return true
+	})
 	for _, e := range stale {
 		// Best effort: a failure leaves a stale record, not corruption.
 		_ = n.deleteLocal(e.db, e.key)

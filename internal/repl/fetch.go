@@ -1,0 +1,152 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dbdedup/internal/metrics"
+	"dbdedup/internal/netsim"
+	"dbdedup/internal/node"
+)
+
+// fetchClient asks the primary for full record contents over a lazily
+// opened dedicated connection (the base-miss fallback of paper §4.1 fn. 4).
+// It is safe to call from multiple apply workers: requests are serialised
+// on one connection, every round-trip carries a deadline, and a transport
+// failure redials and retries (with a short growing backoff) up to
+// `retries` times before the error surfaces — a fetch error poisons the
+// whole apply pool, so the client must ride out the same network faults
+// the stream does.
+type fetchClient struct {
+	addr    string
+	timeout time.Duration
+	retries int
+	network netsim.Network
+	rm      *metrics.ReplMetrics
+	bytesIn *metrics.Meter
+
+	mu   sync.Mutex
+	conn net.Conn
+	fr   *frameReader
+	fw   *frameWriter
+}
+
+// errPrimaryReject marks an application-level refusal from the primary
+// (e.g. record not found); retrying on a fresh connection cannot help.
+var errPrimaryReject = errors.New("repl: primary")
+
+func (c *fetchClient) fetch(db, key string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Zero-value clients (tests construct them directly) get defaults.
+	if c.network == nil {
+		c.network = netsim.Default
+	}
+	if c.rm == nil {
+		c.rm = &metrics.ReplMetrics{}
+	}
+	var (
+		content []byte
+		err     error
+	)
+	for attempt := 0; ; attempt++ {
+		content, err = c.fetchOnce(db, key)
+		if err == nil {
+			return content, nil
+		}
+		if errors.Is(err, errPrimaryReject) {
+			// The primary answered but does not hold the record (deleted
+			// after the insert was logged). Surface the applier's sentinel
+			// so it can skip the insert and expect the follow-up op.
+			return nil, fmt.Errorf("%w: %v", node.ErrFetchUnavailable, err)
+		}
+		// Transport trouble (timeout, broken or corrupted connection):
+		// reconnect and retry before giving up.
+		if attempt >= c.retries {
+			return nil, err
+		}
+		c.reset()
+		backoff := 10 * time.Millisecond << uint(min(attempt, 5))
+		time.Sleep(backoff)
+	}
+}
+
+// fetchOnce performs one deadline-bounded request/response round-trip,
+// dialling if needed. Caller holds c.mu. On transport errors the connection
+// is torn down so the next attempt redials.
+func (c *fetchClient) fetchOnce(db, key string) ([]byte, error) {
+	deadline := time.Now().Add(c.timeout)
+	if c.conn == nil {
+		c.rm.Dials.Add(1)
+		conn, err := c.network.DialTimeout(c.addr, c.timeout)
+		if err != nil {
+			c.rm.DialFailures.Add(1)
+			return nil, fmt.Errorf("repl: fetch dial: %w", err)
+		}
+		conn.SetDeadline(deadline)
+		fw := &frameWriter{w: conn}
+		if _, err := fw.write(frameHello, []byte{helloFetch}); err != nil {
+			conn.Close()
+			c.rm.DialFailures.Add(1)
+			return nil, fmt.Errorf("repl: fetch hello: %w", err)
+		}
+		c.conn = conn
+		c.fr = &frameReader{r: conn}
+		c.fw = fw
+	}
+	c.conn.SetDeadline(deadline)
+	defer func() {
+		if c.conn != nil {
+			c.conn.SetDeadline(time.Time{})
+		}
+	}()
+	req := appendLenBytes(nil, []byte(db))
+	req = appendLenBytes(req, []byte(key))
+	if _, err := c.fw.write(frameFetch, req); err != nil {
+		c.reset()
+		return nil, err
+	}
+	typ, payload, err := c.fr.read()
+	if err != nil {
+		switch {
+		case errors.Is(err, errCorruptFrame) || errors.Is(err, errOversizedFrame):
+			c.rm.CorruptFrames.Add(1)
+		case errors.Is(err, errFrameSeq):
+			c.rm.FrameSeqViolations.Add(1)
+		}
+		c.reset()
+		return nil, err
+	}
+	c.bytesIn.Add(int64(len(payload) + frameHeaderSize))
+	switch typ {
+	case frameRecord:
+		return payload, nil
+	case frameError:
+		return nil, fmt.Errorf("%w: %s", errPrimaryReject, payload)
+	default:
+		c.reset()
+		return nil, fmt.Errorf("repl: unexpected fetch frame %q", typ)
+	}
+}
+
+// reset tears down the connection so the next fetch redials. Caller holds
+// c.mu.
+func (c *fetchClient) reset() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.fr = nil
+		c.fw = nil
+	}
+}
+
+// close shuts the fetch connection down (terminal; unblocks any in-flight
+// round-trip).
+func (c *fetchClient) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reset()
+}

@@ -1,0 +1,67 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"dbdedup/internal/oplog"
+)
+
+// realFrameStream builds a corpus entry from genuine wire traffic: the frames
+// a short replication session actually exchanges.
+func realFrameStream() []byte {
+	var buf bytes.Buffer
+	fw := &frameWriter{w: &buf}
+	hello := append([]byte{helloStream}, binary.AppendUvarint(nil, 7)...)
+	hello = binary.AppendUvarint(hello, 1)
+	fw.write(frameHello, hello)
+	fw.write(frameEpoch, binary.AppendUvarint(nil, 42))
+	e := oplog.Entry{Seq: 8, Op: oplog.OpInsert, DB: "db", Key: "k",
+		Form: oplog.FormRaw, Payload: []byte("record content")}
+	batch := binary.AppendUvarint(nil, 1)
+	batch = append(batch, e.Marshal()...)
+	fw.write(frameBatch, batch)
+	fw.write(frameHeartbeat, nil)
+	fw.write(frameSnapEnd, binary.AppendUvarint(nil, 9))
+	return buf.Bytes()
+}
+
+// FuzzFrameDecode feeds arbitrary byte streams into the wire-frame parser.
+// The parser must never panic, must never hand back a payload the stream did
+// not carry, and must not let a lying length prefix drive allocation beyond
+// its bounded growth step — truncated headers, garbage type/seq/CRC fields,
+// and oversized lengths all have to surface as clean errors.
+func FuzzFrameDecode(f *testing.F) {
+	real := realFrameStream()
+	f.Add(real)
+	// Truncations at every interesting boundary: mid-header, exactly one
+	// header, mid-payload.
+	f.Add(real[:5])
+	f.Add(real[:frameHeaderSize])
+	f.Add(real[:frameHeaderSize+3])
+	// A frame whose length prefix claims far more than the stream holds.
+	over := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(over[0:4], maxFrame)
+	f.Add(over)
+	// Length prefix beyond the allowed maximum.
+	tooBig := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(tooBig[0:4], maxFrame+1)
+	f.Add(tooBig)
+	// Flag garbage: valid length, nonsense type and CRC.
+	garbage := append([]byte{4, 0, 0, 0, 0xFF, 9, 9, 9, 9, 1, 2, 3, 4}, "junk"...)
+	f.Add(garbage)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := &frameReader{r: bytes.NewReader(data)}
+		for i := 0; i < 1<<10; i++ {
+			_, payload, err := fr.read()
+			if err != nil {
+				return // every malformed stream must end in an error, not a panic
+			}
+			if len(payload) > len(data) {
+				t.Fatalf("payload %d bytes exceeds the %d-byte input", len(payload), len(data))
+			}
+		}
+	})
+}

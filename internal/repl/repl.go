@@ -1,26 +1,41 @@
-// Package repl implements asynchronous primary→secondary replication over
-// TCP: the paper's oplog syncer (Fig. 8). A secondary connects to the
-// primary, announces the last sequence number it has applied, and the
-// primary streams oplog entry batches from there — entries whose insert
-// payloads the dedup engine has already rewritten into forward-encoded
-// (base reference + delta) form, which is where the network savings of
-// Fig. 11 come from.
+// Package repl implements asynchronous primary→secondary replication: the
+// paper's oplog syncer (Fig. 8). A secondary connects to the primary,
+// announces the last sequence number it has applied, and the primary
+// streams oplog entry batches from there — entries whose insert payloads
+// the dedup engine has already rewritten into forward-encoded (base
+// reference + delta) form, which is where the network savings of Fig. 11
+// come from.
 //
-// Wire protocol (all frames length-prefixed):
+// All traffic crosses the netsim.Network seam, so the same protocol code
+// runs over real TCP in production and over the in-memory fault-injecting
+// simulator in tests. The wire format (frame.go) carries a per-frame CRC
+// and sequence number; see that file for the framing grammar. Frame types:
 //
-//	frame      := uint32(len) byte(type) payload
-//	hello      := type 'H', payload uvarint(afterSeq)            secondary → primary
-//	batch      := type 'B', payload uvarint(n) n×entry           primary → secondary
-//	error      := type 'E', payload utf-8 message                primary → secondary
-//	snap-begin := type 'G', payload uvarint(resumeSeq)           primary → secondary
-//	snap-batch := type 'N', payload uvarint(n) n×(db,key,value)  primary → secondary
-//	snap-end   := type 'F', payload uvarint(endSeq)              primary → secondary
+//	hello      := 'H', payload mode uvarint(afterSeq) uvarint(expectEpoch)
+//	batch      := 'B', payload uvarint(n) n×entry           primary → secondary
+//	error      := 'E', payload utf-8 message                primary → secondary
+//	snap-begin := 'G', payload uvarint(resumeSeq)           primary → secondary
+//	snap-batch := 'N', payload uvarint(n) n×(db,key,value)  primary → secondary
+//	snap-end   := 'F', payload uvarint(endSeq)              primary → secondary
+//	heartbeat  := 'T', empty payload                        primary → secondary
 //
-// Entries inside a batch use oplog.Entry's own marshalling. A secondary that
-// requests entries older than the primary's retained oplog window receives a
-// full snapshot (begin/batches/end) and then resumes incremental streaming;
-// entries concurrent with the snapshot scan (seq ≤ endSeq) are applied with
-// lenient semantics. The secondary counts received frame bytes, giving the
+// Entries inside a batch use oplog.Entry's own marshalling. A secondary
+// that requests entries older than the primary's retained oplog window
+// receives a full snapshot (begin/batches/end) and then resumes incremental
+// streaming; entries concurrent with the snapshot scan (seq ≤ endSeq) are
+// applied with lenient semantics.
+//
+// The protocol is hardened against a misbehaving network: corrupt or
+// out-of-sequence frames and silent partitions (detected by heartbeat/idle
+// timeouts) tear the connection down, and a Secondary configured with
+// MaxReconnects redials under bounded exponential backoff with jitter,
+// resuming from its applied low-water mark. Resume is idempotent: the
+// stream reader dispatches entries in sequence order and drains the apply
+// shards (Barrier) before reconnecting, so the low-water mark is exactly
+// the last dispatched entry and nothing is applied twice. A connection
+// that dies mid-snapshot reconnects with a forced-resync hello ('R' mode),
+// discarding the half-installed snapshot's stream position rather than
+// trusting it. The secondary counts received frame bytes, giving the
 // experiments exact replication traffic numbers.
 package repl
 
@@ -29,11 +44,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbdedup/internal/metrics"
+	"dbdedup/internal/netsim"
 	"dbdedup/internal/node"
 	"dbdedup/internal/oplog"
 )
@@ -56,10 +74,17 @@ const (
 
 	// frameEpoch announces the primary's oplog epoch right after hello.
 	frameEpoch = 'P'
+	// frameHeartbeat keeps a caught-up stream visibly alive so the
+	// secondary's idle timeout only fires on a genuinely dead path.
+	frameHeartbeat = 'T'
 
 	// hello modes
 	helloStream = 'S'
 	helloFetch  = 'F'
+	// helloResync demands a fresh snapshot regardless of cursor validity —
+	// sent when the previous connection died mid-snapshot and the
+	// secondary's stream position cannot be trusted.
+	helloResync = 'R'
 
 	// maxFrame bounds a frame so a corrupt length cannot allocate wildly.
 	maxFrame = 64 << 20
@@ -68,12 +93,50 @@ const (
 	// pollInterval is the primary's idle wait when the secondary is
 	// caught up.
 	pollInterval = 2 * time.Millisecond
+	// helloTimeout bounds how long the primary waits for a connection's
+	// opening hello before giving up on it.
+	helloTimeout = 30 * time.Second
+	// fetchIdleTimeout reaps primary-side fetch connections whose
+	// secondary has silently vanished.
+	fetchIdleTimeout = 5 * time.Minute
 )
+
+// PrimaryOptions tunes a Primary. The zero value selects the defaults.
+type PrimaryOptions struct {
+	// Network is the transport seam (default netsim.Default, i.e. TCP).
+	Network netsim.Network
+	// HeartbeatInterval is how often a caught-up stream emits a heartbeat
+	// frame (default 1s; <0 disables).
+	HeartbeatInterval time.Duration
+	// WriteTimeout bounds each frame write (default 10s; <0 disables). A
+	// partitioned or wedged secondary fails its connection instead of
+	// pinning a serve goroutine forever.
+	WriteTimeout time.Duration
+	// Metrics receives transport counters (default: a private bundle).
+	Metrics *metrics.ReplMetrics
+}
+
+func (o PrimaryOptions) withDefaults() PrimaryOptions {
+	if o.Network == nil {
+		o.Network = netsim.Default
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = &metrics.ReplMetrics{}
+	}
+	return o
+}
 
 // Primary serves the local node's oplog to connecting secondaries.
 type Primary struct {
 	node *node.Node
 	ln   net.Listener
+	opts PrimaryOptions
 
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -83,13 +146,23 @@ type Primary struct {
 }
 
 // ListenAndServe starts a replication listener for n on addr (e.g.
-// "127.0.0.1:0").
+// "127.0.0.1:0") with default options.
 func ListenAndServe(n *node.Node, addr string) (*Primary, error) {
-	ln, err := net.Listen("tcp", addr)
+	return ListenAndServeWithOptions(n, addr, PrimaryOptions{})
+}
+
+// ListenAndServeWithOptions starts a replication listener with explicit
+// transport tuning.
+func ListenAndServeWithOptions(n *node.Node, addr string, o PrimaryOptions) (*Primary, error) {
+	if o.Metrics == nil {
+		o.Metrics = n.ReplMetrics()
+	}
+	o = o.withDefaults()
+	ln, err := o.Network.Listen(addr)
 	if err != nil {
 		return nil, fmt.Errorf("repl: %w", err)
 	}
-	p := &Primary{node: n, ln: ln, conns: make(map[net.Conn]struct{})}
+	p := &Primary{node: n, ln: ln, opts: o, conns: make(map[net.Conn]struct{})}
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
@@ -100,6 +173,9 @@ func (p *Primary) Addr() string { return p.ln.Addr().String() }
 
 // BytesSent returns total frame bytes sent to all secondaries.
 func (p *Primary) BytesSent() int64 { return p.sentOut.Total() }
+
+// Metrics returns the primary's transport counter bundle.
+func (p *Primary) Metrics() *metrics.ReplMetrics { return p.opts.Metrics }
 
 // Close stops serving and closes all replica connections.
 func (p *Primary) Close() error {
@@ -138,6 +214,20 @@ func (p *Primary) acceptLoop() {
 	}
 }
 
+// send writes one frame under the primary's per-frame write deadline and
+// accounts the bytes.
+func (p *Primary) send(conn net.Conn, fw *frameWriter, typ byte, payload []byte) error {
+	if p.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(p.opts.WriteTimeout))
+	}
+	n, err := fw.write(typ, payload)
+	if err != nil {
+		return err
+	}
+	p.sentOut.Add(int64(n))
+	return nil
+}
+
 func (p *Primary) serveConn(conn net.Conn) {
 	defer p.wg.Done()
 	defer func() {
@@ -147,13 +237,20 @@ func (p *Primary) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 
-	typ, payload, err := readFrame(conn)
+	fr := &frameReader{r: conn}
+	fw := &frameWriter{w: conn}
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	typ, payload, err := fr.read()
 	if err != nil || typ != frameHello || len(payload) < 1 {
 		return
 	}
+	conn.SetReadDeadline(time.Time{})
 	mode := payload[0]
 	if mode == helloFetch {
-		p.serveFetches(conn)
+		p.serveFetches(conn, fr, fw)
+		return
+	}
+	if mode != helloStream && mode != helloResync {
 		return
 	}
 	rest := payload[1:]
@@ -168,35 +265,36 @@ func (p *Primary) serveConn(conn net.Conn) {
 
 	// Announce our epoch so the secondary can resume correctly later.
 	epoch := p.node.Oplog().Epoch()
-	if n, err := writeFrame(conn, frameEpoch, binary.AppendUvarint(nil, epoch)); err != nil {
+	if err := p.send(conn, fw, frameEpoch, binary.AppendUvarint(nil, epoch)); err != nil {
 		return
-	} else {
-		p.sentOut.Add(int64(n))
 	}
-	if expectEpoch != 0 && expectEpoch != epoch {
-		// The secondary's cursor belongs to a previous incarnation of
-		// this primary's oplog: its sequence numbers are meaningless
-		// here. Full resync.
-		newCursor, serr := p.sendSnapshot(conn)
+	if mode == helloResync || (expectEpoch != 0 && expectEpoch != epoch) {
+		// Either the secondary explicitly distrusts its cursor (its last
+		// connection died mid-snapshot), or the cursor belongs to a
+		// previous incarnation of this primary's oplog and its sequence
+		// numbers are meaningless here. Full resync.
+		newCursor, serr := p.sendSnapshot(conn, fw)
 		if serr != nil {
 			return
 		}
 		cursor = newCursor
 	}
 
+	lastSend := time.Now()
 	for {
 		ents, err := p.node.Oplog().EntriesSince(cursor, batchEntries)
 		if errors.Is(err, oplog.ErrTruncated) {
 			// The secondary is behind the retained window: full resync.
-			newCursor, serr := p.sendSnapshot(conn)
+			newCursor, serr := p.sendSnapshot(conn, fw)
 			if serr != nil {
 				return
 			}
 			cursor = newCursor
+			lastSend = time.Now()
 			continue
 		}
 		if err != nil {
-			writeFrame(conn, frameError, []byte(err.Error()))
+			p.send(conn, fw, frameError, []byte(err.Error()))
 			return
 		}
 		if len(ents) == 0 {
@@ -206,6 +304,13 @@ func (p *Primary) serveConn(conn net.Conn) {
 			if closed {
 				return
 			}
+			if p.opts.HeartbeatInterval > 0 && time.Since(lastSend) >= p.opts.HeartbeatInterval {
+				if err := p.send(conn, fw, frameHeartbeat, nil); err != nil {
+					return
+				}
+				p.opts.Metrics.HeartbeatsSent.Add(1)
+				lastSend = time.Now()
+			}
 			time.Sleep(pollInterval)
 			continue
 		}
@@ -214,19 +319,19 @@ func (p *Primary) serveConn(conn net.Conn) {
 		for _, e := range ents {
 			buf = append(buf, e.Marshal()...)
 		}
-		n, err := writeFrame(conn, frameBatch, buf)
-		if err != nil {
+		if err := p.send(conn, fw, frameBatch, buf); err != nil {
 			return
 		}
-		p.sentOut.Add(int64(n))
+		lastSend = time.Now()
 		cursor = ents[len(ents)-1].Seq
 	}
 }
 
 // serveFetches answers record-fetch requests on a dedicated connection.
-func (p *Primary) serveFetches(conn net.Conn) {
+func (p *Primary) serveFetches(conn net.Conn, fr *frameReader, fw *frameWriter) {
 	for {
-		typ, payload, err := readFrame(conn)
+		conn.SetReadDeadline(time.Now().Add(fetchIdleTimeout))
+		typ, payload, err := fr.read()
 		if err != nil || typ != frameFetch {
 			return
 		}
@@ -240,29 +345,25 @@ func (p *Primary) serveFetches(conn net.Conn) {
 		}
 		content, err := p.node.Read(string(db), string(key))
 		if err != nil {
-			if _, werr := writeFrame(conn, frameError, []byte(err.Error())); werr != nil {
+			if werr := p.send(conn, fw, frameError, []byte(err.Error())); werr != nil {
 				return
 			}
 			continue
 		}
-		n, err := writeFrame(conn, frameRecord, content)
-		if err != nil {
+		if err := p.send(conn, fw, frameRecord, content); err != nil {
 			return
 		}
-		p.sentOut.Add(int64(n))
 	}
 }
 
 // sendSnapshot streams the node's full visible state and returns the oplog
 // cursor normal streaming should resume from (the sequence number observed
 // when the scan started; entries after it are replayed leniently on top).
-func (p *Primary) sendSnapshot(conn net.Conn) (uint64, error) {
+func (p *Primary) sendSnapshot(conn net.Conn, fw *frameWriter) (uint64, error) {
 	startSeq := p.node.Oplog().LastSeq()
 	begin := binary.AppendUvarint(nil, startSeq)
-	if n, err := writeFrame(conn, frameSnapBegin, begin); err != nil {
+	if err := p.send(conn, fw, frameSnapBegin, begin); err != nil {
 		return 0, err
-	} else {
-		p.sentOut.Add(int64(n))
 	}
 
 	const batchRecords = 128
@@ -274,11 +375,9 @@ func (p *Primary) sendSnapshot(conn net.Conn) (uint64, error) {
 		}
 		frame := binary.AppendUvarint(nil, uint64(count))
 		frame = append(frame, buf...)
-		n, err := writeFrame(conn, frameSnapBatch, frame)
-		if err != nil {
+		if err := p.send(conn, fw, frameSnapBatch, frame); err != nil {
 			return err
 		}
-		p.sentOut.Add(int64(n))
 		buf = buf[:0]
 		count = 0
 		return nil
@@ -297,7 +396,7 @@ func (p *Primary) sendSnapshot(conn net.Conn) (uint64, error) {
 		return true
 	})
 	if err != nil {
-		writeFrame(conn, frameError, []byte(err.Error()))
+		p.send(conn, fw, frameError, []byte(err.Error()))
 		return 0, err
 	}
 	if streamErr != nil {
@@ -313,11 +412,9 @@ func (p *Primary) sendSnapshot(conn net.Conn) (uint64, error) {
 	// can trail the scan — the assigned seq cannot.
 	endSeq := p.node.LastAssignedSeq()
 	end := binary.AppendUvarint(nil, endSeq)
-	n, err := writeFrame(conn, frameSnapEnd, end)
-	if err != nil {
+	if err := p.send(conn, fw, frameSnapEnd, end); err != nil {
 		return 0, err
 	}
-	p.sentOut.Add(int64(n))
 	return startSeq, nil
 }
 
@@ -334,6 +431,19 @@ func readLenBytes(p []byte) ([]byte, []byte, bool) {
 	return p[k : k+int(l)], p[k+int(l):], true
 }
 
+// transientErr tags an error as transport-level: worth a reconnect rather
+// than terminal.
+type transientErr struct{ error }
+
+func (t transientErr) Unwrap() error { return t.error }
+
+func transient(err error) error { return transientErr{err} }
+
+func isTransient(err error) bool {
+	var t transientErr
+	return errors.As(err, &t)
+}
+
 // Secondary pulls the primary's oplog and applies it into the local node
 // through a database-sharded apply pool (node.Applier): the stream reader
 // decodes frames and dispatches entries to per-database FIFO workers, so
@@ -341,13 +451,25 @@ func readLenBytes(p []byte) ([]byte, []byte, bool) {
 // databases apply in parallel — the secondary-side mirror of the primary's
 // encoder pool. AppliedSeq is a low-water mark across the shards; snapshot
 // frames act as barriers (drain all shards, then rebase the mark).
+//
+// With Options.MaxReconnects > 0 the secondary survives transport faults:
+// it drains the apply shards, backs off with jitter, redials, and resumes
+// from the low-water mark (or forces a fresh snapshot if the previous
+// connection died mid-snapshot).
 type Secondary struct {
 	node    *node.Node
-	conn    net.Conn
 	applier *node.Applier
 	fetch   *fetchClient
+	opts    Options
+	addr    string
+	rm      *metrics.ReplMetrics
 
-	mu sync.Mutex
+	closed   atomic.Bool
+	closedCh chan struct{}
+
+	mu   sync.Mutex
+	conn net.Conn
+	fr   *frameReader
 	// lenientUntil marks the end of a snapshot catch-up window: entries
 	// with Seq <= lenientUntil were concurrent with the snapshot scan
 	// and are applied with insert-or-skip/ignore-missing semantics.
@@ -363,13 +485,17 @@ type Secondary struct {
 	// stale local records (deleted on the primary while disconnected) can
 	// be reconciled away at snapshot end.
 	snapKeys map[string]map[string]bool
-	err      error
-	done     chan struct{}
-	bytesIn  metrics.Meter
+	// needResync is set when a connection dies mid-snapshot: the stream
+	// position is untrustworthy, so the next hello demands a fresh
+	// snapshot. Cleared when a snapshot completes.
+	needResync bool
+	err        error
+	done       chan struct{}
+	bytesIn    metrics.Meter
 }
 
-// Options tunes a Secondary's apply pipeline. The zero value selects the
-// defaults.
+// Options tunes a Secondary's transport and apply pipeline. The zero value
+// selects the defaults.
 type Options struct {
 	// ApplyWorkers is the number of parallel apply workers, each owning
 	// one per-database FIFO shard (default GOMAXPROCS).
@@ -382,10 +508,62 @@ type Options struct {
 	// (dial, write, read). Default 3s. A hung primary fails the fetch
 	// instead of stalling an apply worker forever.
 	FetchTimeout time.Duration
+	// FetchRetries is how many times a failed base-fetch redials and
+	// retries before the error poisons the apply pool (default 1;
+	// <0 disables retries).
+	FetchRetries int
+
+	// Network is the transport seam (default netsim.Default, i.e. TCP).
+	Network netsim.Network
+	// MaxReconnects bounds consecutive failed reconnection attempts after
+	// a transport fault. 0 (the default) disables reconnection entirely:
+	// the first transport error ends the stream, as before hardening. The
+	// counter resets every time a connection processes a frame.
+	MaxReconnects int
+	// ReconnectBackoff is the base backoff between reconnection attempts
+	// (default 50ms); it doubles per consecutive failure up to MaxBackoff
+	// (default 2s), with ±50% jitter.
+	ReconnectBackoff time.Duration
+	MaxBackoff       time.Duration
+	// DialTimeout bounds each dial + hello (default 3s).
+	DialTimeout time.Duration
+	// IdleTimeout is how long the stream may stay silent before the
+	// secondary declares the path dead (default 30s; <0 disables). The
+	// primary heartbeats every HeartbeatInterval, so a healthy idle
+	// stream never trips this.
+	IdleTimeout time.Duration
+	// Metrics receives transport counters (default: the node's bundle,
+	// so /metrics surfaces them).
+	Metrics *metrics.ReplMetrics
 }
 
 // DefaultFetchTimeout bounds base-fetch round-trips unless overridden.
 const DefaultFetchTimeout = 3 * time.Second
+
+func (o Options) withDefaults() Options {
+	if o.FetchTimeout <= 0 {
+		o.FetchTimeout = DefaultFetchTimeout
+	}
+	if o.FetchRetries == 0 {
+		o.FetchRetries = 1
+	}
+	if o.Network == nil {
+		o.Network = netsim.Default
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 30 * time.Second
+	}
+	return o
+}
 
 // Connect dials the primary and starts applying its oplog from afterSeq
 // (normally 0 for a fresh secondary).
@@ -407,273 +585,342 @@ func ConnectWithOptions(n *node.Node, addr string, afterSeq, expectEpoch uint64,
 }
 
 func connect(n *node.Node, addr string, afterSeq, expectEpoch uint64, o Options) (*Secondary, error) {
-	if o.FetchTimeout <= 0 {
-		o.FetchTimeout = DefaultFetchTimeout
+	o = o.withDefaults()
+	rm := o.Metrics
+	if rm == nil {
+		rm = n.ReplMetrics()
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("repl: %w", err)
+	s := &Secondary{
+		node:     n,
+		opts:     o,
+		addr:     addr,
+		rm:       rm,
+		epoch:    expectEpoch,
+		closedCh: make(chan struct{}),
+		done:     make(chan struct{}),
 	}
-	hello := append([]byte{helloStream}, binary.AppendUvarint(nil, afterSeq)...)
-	hello = binary.AppendUvarint(hello, expectEpoch)
-	if _, err := writeFrame(conn, frameHello, hello); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("repl: %w", err)
+	s.fetch = &fetchClient{
+		addr:    addr,
+		timeout: o.FetchTimeout,
+		retries: o.FetchRetries,
+		network: o.Network,
+		rm:      rm,
+		bytesIn: &s.bytesIn,
 	}
-	s := &Secondary{node: n, conn: conn, done: make(chan struct{})}
-	s.fetch = &fetchClient{addr: addr, timeout: o.FetchTimeout, bytesIn: &s.bytesIn}
 	s.applier = node.NewApplier(n, afterSeq, node.ApplierOptions{
 		Workers: o.ApplyWorkers,
 		Queue:   o.ApplyQueue,
 		Fetch:   s.fetch.fetch,
 	})
-	go s.applyLoop()
+	if err := s.dialAndHello(); err != nil {
+		s.applier.Close()
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	go s.run()
 	return s, nil
 }
 
-// fetchClient asks the primary for full record contents over a lazily
-// opened dedicated connection (the base-miss fallback of paper §4.1 fn. 4).
-// It is safe to call from multiple apply workers: requests are serialised
-// on one connection, every round-trip carries a deadline, and a transport
-// failure triggers one reconnect-and-retry before the error surfaces.
-type fetchClient struct {
-	addr    string
-	timeout time.Duration
-	bytesIn *metrics.Meter
-
-	mu   sync.Mutex
-	conn net.Conn
-}
-
-// errPrimaryReject marks an application-level refusal from the primary
-// (e.g. record not found); retrying on a fresh connection cannot help.
-var errPrimaryReject = errors.New("repl: primary")
-
-func (c *fetchClient) fetch(db, key string) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	content, err := c.fetchOnce(db, key)
-	if err == nil || errors.Is(err, errPrimaryReject) {
-		return content, err
-	}
-	// Transport trouble (timeout, broken connection): reconnect once and
-	// retry before giving up.
-	c.reset()
-	return c.fetchOnce(db, key)
-}
-
-// fetchOnce performs one deadline-bounded request/response round-trip,
-// dialling if needed. Caller holds c.mu. On transport errors the connection
-// is torn down so the next attempt redials.
-func (c *fetchClient) fetchOnce(db, key string) ([]byte, error) {
-	deadline := time.Now().Add(c.timeout)
-	if c.conn == nil {
-		conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
-		if err != nil {
-			return nil, fmt.Errorf("repl: fetch dial: %w", err)
-		}
-		conn.SetDeadline(deadline)
-		if _, err := writeFrame(conn, frameHello, []byte{helloFetch}); err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("repl: fetch hello: %w", err)
-		}
-		c.conn = conn
-	}
-	c.conn.SetDeadline(deadline)
-	defer func() {
-		if c.conn != nil {
-			c.conn.SetDeadline(time.Time{})
-		}
-	}()
-	req := appendLenBytes(nil, []byte(db))
-	req = appendLenBytes(req, []byte(key))
-	if _, err := writeFrame(c.conn, frameFetch, req); err != nil {
-		c.reset()
-		return nil, err
-	}
-	typ, payload, err := readFrame(c.conn)
+// dialAndHello establishes a connection and sends the stream hello,
+// resuming from the applier's low-water mark (exact, because the caller
+// drains the shards before reconnecting). Installs the connection on
+// success.
+func (s *Secondary) dialAndHello() error {
+	s.rm.Dials.Add(1)
+	conn, err := s.opts.Network.DialTimeout(s.addr, s.opts.DialTimeout)
 	if err != nil {
-		c.reset()
-		return nil, err
+		s.rm.DialFailures.Add(1)
+		return err
 	}
-	c.bytesIn.Add(int64(len(payload) + 5))
-	switch typ {
-	case frameRecord:
-		return payload, nil
-	case frameError:
-		return nil, fmt.Errorf("%w: %s", errPrimaryReject, payload)
-	default:
-		c.reset()
-		return nil, fmt.Errorf("repl: unexpected fetch frame %q", typ)
+	s.mu.Lock()
+	mode := byte(helloStream)
+	if s.needResync {
+		mode = helloResync
 	}
+	epoch := s.epoch
+	s.mu.Unlock()
+	afterSeq := s.applier.LowWater()
+	hello := append([]byte{mode}, binary.AppendUvarint(nil, afterSeq)...)
+	hello = binary.AppendUvarint(hello, epoch)
+	fw := &frameWriter{w: conn}
+	conn.SetWriteDeadline(time.Now().Add(s.opts.DialTimeout))
+	if _, err := fw.write(frameHello, hello); err != nil {
+		conn.Close()
+		s.rm.DialFailures.Add(1)
+		return err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		conn.Close()
+		return net.ErrClosed
+	}
+	s.conn = conn
+	s.fr = &frameReader{r: conn}
+	s.mu.Unlock()
+	if mode == helloResync {
+		s.rm.ForcedResyncs.Add(1)
+	}
+	return nil
 }
 
-// reset tears down the connection so the next fetch redials. Caller holds
-// c.mu.
-func (c *fetchClient) reset() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
-}
-
-// close shuts the fetch connection down (terminal; unblocks any in-flight
-// round-trip).
-func (c *fetchClient) close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.reset()
-}
-
-func (s *Secondary) applyLoop() {
+// run owns the secondary's lifecycle: stream until the connection fails,
+// then (if configured) drain, back off, redial, resume; terminal errors and
+// Close end it.
+func (s *Secondary) run() {
 	defer close(s.done)
+	failures := 0
 	for {
-		typ, payload, err := readFrame(s.conn)
-		if err != nil {
+		progressed, err := s.stream()
+		if progressed {
+			failures = 0
+		}
+		if s.closed.Load() {
+			return
+		}
+		if !isTransient(err) {
 			s.fail(err)
 			return
 		}
+		if s.opts.MaxReconnects <= 0 {
+			// Reconnection disabled: surface the transport error (fail
+			// ignores clean EOF/closed, preserving the original
+			// stop-silently semantics).
+			s.fail(err)
+			return
+		}
+		s.mu.Lock()
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		s.mu.Unlock()
+		// Drain the apply shards: afterwards the low-water mark equals the
+		// highest dispatched sequence, so resuming from it re-fetches
+		// exactly the undelivered suffix — nothing is applied twice.
+		s.applier.Barrier()
+		if aerr := s.applier.Err(); aerr != nil {
+			s.fail(fmt.Errorf("repl: %w", aerr))
+			return
+		}
+		s.mu.Lock()
+		if s.snapKeys != nil {
+			// Died mid-snapshot: the half-installed snapshot poisons the
+			// stream position. Demand a fresh one on reconnect.
+			s.snapKeys = nil
+			s.needResync = true
+		}
+		s.mu.Unlock()
+		for {
+			failures++
+			if failures > s.opts.MaxReconnects {
+				s.fail(fmt.Errorf("repl: giving up after %d reconnect attempts: %w", failures-1, err))
+				return
+			}
+			if !s.sleepBackoff(failures) {
+				return
+			}
+			if derr := s.dialAndHello(); derr != nil {
+				err = transient(derr)
+				continue
+			}
+			break
+		}
+		s.rm.Reconnects.Add(1)
+	}
+}
+
+// sleepBackoff waits the jittered exponential backoff for the given
+// consecutive-failure count; false means the secondary closed meanwhile.
+func (s *Secondary) sleepBackoff(attempt int) bool {
+	d := s.opts.ReconnectBackoff
+	for i := 1; i < attempt && d < s.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > s.opts.MaxBackoff {
+		d = s.opts.MaxBackoff
+	}
+	// Full ±50% jitter decorrelates a fleet of secondaries hammering a
+	// recovering primary.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	s.rm.BackoffNanos.Add(int64(d))
+	select {
+	case <-time.After(d):
+		return true
+	case <-s.closedCh:
+		return false
+	}
+}
+
+// stream consumes frames off the current connection until it fails.
+// progressed reports whether at least one frame was fully processed (used
+// to reset the consecutive-failure budget).
+func (s *Secondary) stream() (progressed bool, err error) {
+	s.mu.Lock()
+	conn, fr := s.conn, s.fr
+	s.mu.Unlock()
+	for {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		typ, payload, rerr := fr.read()
+		if rerr != nil {
+			var ne net.Error
+			switch {
+			case errors.As(rerr, &ne) && ne.Timeout():
+				// Nothing on the wire for a full idle window — not even a
+				// heartbeat. Silent partition.
+				s.rm.IdleTimeouts.Add(1)
+				return progressed, transient(fmt.Errorf("repl: idle timeout: %w", rerr))
+			case errors.Is(rerr, errCorruptFrame) || errors.Is(rerr, errOversizedFrame):
+				s.rm.CorruptFrames.Add(1)
+				return progressed, transient(rerr)
+			case errors.Is(rerr, errFrameSeq):
+				s.rm.FrameSeqViolations.Add(1)
+				return progressed, transient(rerr)
+			default:
+				return progressed, transient(rerr)
+			}
+		}
 		// An apply worker hitting a terminal error poisons the applier;
 		// stop consuming the stream instead of dispatching into it.
-		if err := s.applier.Err(); err != nil {
-			s.fail(fmt.Errorf("repl: %w", err))
-			return
+		if aerr := s.applier.Err(); aerr != nil {
+			return progressed, fmt.Errorf("repl: %w", aerr)
 		}
-		s.bytesIn.Add(int64(len(payload) + 5))
-		switch typ {
-		case frameBatch:
-			count, k := binary.Uvarint(payload)
-			if k <= 0 {
-				s.fail(errors.New("repl: corrupt batch"))
-				return
-			}
-			p := payload[k:]
-			for i := uint64(0); i < count; i++ {
-				e, n, err := oplog.Unmarshal(p)
-				if err != nil {
-					s.fail(fmt.Errorf("repl: batch entry: %w", err))
-					return
-				}
-				p = p[n:]
-				s.mu.Lock()
-				lenient := e.Seq <= s.lenientUntil
-				s.mu.Unlock()
-				// Dispatch to the entry's database shard; blocks only
-				// when that shard is at capacity (backpressure onto the
-				// TCP stream). ErrBaseMissing falls back to a full-record
-				// fetch inside the worker (paper §4.1 fn. 4).
-				s.applier.EnqueueEntry(e, lenient)
-			}
-		case frameEpoch:
-			ep, k := binary.Uvarint(payload)
-			if k <= 0 {
-				s.fail(errors.New("repl: corrupt epoch frame"))
-				return
-			}
-			s.mu.Lock()
-			s.epoch = ep
-			s.mu.Unlock()
-		case frameSnapBegin:
-			startSeq, k := binary.Uvarint(payload)
-			if k <= 0 {
-				s.fail(errors.New("repl: corrupt snapshot begin"))
-				return
-			}
-			// Barrier: the snapshot's records replace state across
-			// arbitrary databases and must not interleave with entries
-			// still in flight on any shard.
-			s.applier.Barrier()
-			if err := s.applier.Err(); err != nil {
-				s.fail(fmt.Errorf("repl: %w", err))
-				return
-			}
-			s.mu.Lock()
-			s.resyncs++
-			// Until the end frame arrives, every entry is in-window.
-			// The applied low-water mark is NOT rebased yet: the
-			// snapshot's records are still in flight, and WaitForSeq
-			// must not observe progress before they are applied.
-			s.lenientUntil = ^uint64(0)
-			s.snapStartSeq = startSeq
-			s.snapKeys = make(map[string]map[string]bool)
-			s.mu.Unlock()
-		case frameSnapBatch:
-			count, k := binary.Uvarint(payload)
-			if k <= 0 {
-				s.fail(errors.New("repl: corrupt snapshot batch"))
-				return
-			}
-			p := payload[k:]
-			for i := uint64(0); i < count; i++ {
-				var db, key, content []byte
-				var ok bool
-				if db, p, ok = readLenBytes(p); !ok {
-					s.fail(errors.New("repl: corrupt snapshot record"))
-					return
-				}
-				if key, p, ok = readLenBytes(p); !ok {
-					s.fail(errors.New("repl: corrupt snapshot record"))
-					return
-				}
-				if content, p, ok = readLenBytes(p); !ok {
-					s.fail(errors.New("repl: corrupt snapshot record"))
-					return
-				}
-				// Snapshot records ride the same per-database shards
-				// (insert-or-replace, untracked by the low-water mark);
-				// the primary never interleaves batch frames with an
-				// in-flight snapshot, so only snapshot records are in
-				// the shards until the end-frame barrier.
-				s.applier.EnqueueSnapshotRecord(string(db), string(key), content)
-				s.mu.Lock()
-				s.snapRecords++
-				if s.snapKeys != nil {
-					dbm := s.snapKeys[string(db)]
-					if dbm == nil {
-						dbm = make(map[string]bool)
-						s.snapKeys[string(db)] = dbm
-					}
-					dbm[string(key)] = true
-				}
-				s.mu.Unlock()
-			}
-		case frameSnapEnd:
-			endSeq, k := binary.Uvarint(payload)
-			if k <= 0 {
-				s.fail(errors.New("repl: corrupt snapshot end"))
-				return
-			}
-			// Barrier: every snapshot record must be installed before
-			// the low-water mark rebases and reconciliation deletes
-			// records the snapshot did not carry.
-			s.applier.Barrier()
-			if err := s.applier.Err(); err != nil {
-				s.fail(fmt.Errorf("repl: %w", err))
-				return
-			}
-			s.mu.Lock()
-			keys := s.snapKeys
-			s.snapKeys = nil
-			s.lenientUntil = endSeq
-			snapStart := s.snapStartSeq
-			s.mu.Unlock()
-			// The snapshot defines the stream position outright — on an
-			// epoch-mismatch resync the old cursor may be numerically
-			// larger but belongs to a dead numbering.
-			s.applier.Reset(snapStart)
-			// Reconcile: local records absent from the snapshot were
-			// deleted on the primary while we were disconnected.
-			if keys != nil {
-				s.node.ReconcileAfterSnapshot(keys)
-			}
-		case frameError:
-			s.fail(fmt.Errorf("repl: primary: %s", payload))
-			return
-		default:
-			s.fail(fmt.Errorf("repl: unexpected frame %q", typ))
-			return
+		s.bytesIn.Add(int64(len(payload) + frameHeaderSize))
+		if herr := s.handleFrame(typ, payload); herr != nil {
+			return progressed, herr
 		}
+		progressed = true
 	}
+}
+
+// handleFrame applies one validated frame. A returned error is terminal
+// unless wrapped transient.
+func (s *Secondary) handleFrame(typ byte, payload []byte) error {
+	switch typ {
+	case frameHeartbeat:
+		// Liveness only; resetting the read deadline happened by arriving.
+	case frameBatch:
+		count, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return errors.New("repl: corrupt batch")
+		}
+		p := payload[k:]
+		for i := uint64(0); i < count; i++ {
+			e, n, err := oplog.Unmarshal(p)
+			if err != nil {
+				return fmt.Errorf("repl: batch entry: %w", err)
+			}
+			p = p[n:]
+			s.mu.Lock()
+			lenient := e.Seq <= s.lenientUntil
+			s.mu.Unlock()
+			// Dispatch to the entry's database shard; blocks only
+			// when that shard is at capacity (backpressure onto the
+			// TCP stream). ErrBaseMissing falls back to a full-record
+			// fetch inside the worker (paper §4.1 fn. 4).
+			s.applier.EnqueueEntry(e, lenient)
+		}
+	case frameEpoch:
+		ep, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return errors.New("repl: corrupt epoch frame")
+		}
+		s.mu.Lock()
+		s.epoch = ep
+		s.mu.Unlock()
+	case frameSnapBegin:
+		startSeq, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return errors.New("repl: corrupt snapshot begin")
+		}
+		// Barrier: the snapshot's records replace state across
+		// arbitrary databases and must not interleave with entries
+		// still in flight on any shard.
+		s.applier.Barrier()
+		if err := s.applier.Err(); err != nil {
+			return fmt.Errorf("repl: %w", err)
+		}
+		s.mu.Lock()
+		s.resyncs++
+		// Until the end frame arrives, every entry is in-window.
+		// The applied low-water mark is NOT rebased yet: the
+		// snapshot's records are still in flight, and WaitForSeq
+		// must not observe progress before they are applied.
+		s.lenientUntil = ^uint64(0)
+		s.snapStartSeq = startSeq
+		s.snapKeys = make(map[string]map[string]bool)
+		s.mu.Unlock()
+	case frameSnapBatch:
+		count, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return errors.New("repl: corrupt snapshot batch")
+		}
+		p := payload[k:]
+		for i := uint64(0); i < count; i++ {
+			var db, key, content []byte
+			var ok bool
+			if db, p, ok = readLenBytes(p); !ok {
+				return errors.New("repl: corrupt snapshot record")
+			}
+			if key, p, ok = readLenBytes(p); !ok {
+				return errors.New("repl: corrupt snapshot record")
+			}
+			if content, p, ok = readLenBytes(p); !ok {
+				return errors.New("repl: corrupt snapshot record")
+			}
+			// Snapshot records ride the same per-database shards
+			// (insert-or-replace, untracked by the low-water mark);
+			// the primary never interleaves batch frames with an
+			// in-flight snapshot, so only snapshot records are in
+			// the shards until the end-frame barrier.
+			s.applier.EnqueueSnapshotRecord(string(db), string(key), content)
+			s.mu.Lock()
+			s.snapRecords++
+			if s.snapKeys != nil {
+				dbm := s.snapKeys[string(db)]
+				if dbm == nil {
+					dbm = make(map[string]bool)
+					s.snapKeys[string(db)] = dbm
+				}
+				dbm[string(key)] = true
+			}
+			s.mu.Unlock()
+		}
+	case frameSnapEnd:
+		endSeq, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return errors.New("repl: corrupt snapshot end")
+		}
+		// Barrier: every snapshot record must be installed before
+		// the low-water mark rebases and reconciliation deletes
+		// records the snapshot did not carry.
+		s.applier.Barrier()
+		if err := s.applier.Err(); err != nil {
+			return fmt.Errorf("repl: %w", err)
+		}
+		s.mu.Lock()
+		keys := s.snapKeys
+		s.snapKeys = nil
+		s.needResync = false
+		s.lenientUntil = endSeq
+		snapStart := s.snapStartSeq
+		s.mu.Unlock()
+		// The snapshot defines the stream position outright — on an
+		// epoch-mismatch resync the old cursor may be numerically
+		// larger but belongs to a dead numbering.
+		s.applier.Reset(snapStart)
+		// Reconcile: local records absent from the snapshot were
+		// deleted on the primary while we were disconnected.
+		if keys != nil {
+			s.node.ReconcileAfterSnapshot(keys)
+		}
+	case frameError:
+		return fmt.Errorf("repl: primary: %s", payload)
+	default:
+		return fmt.Errorf("repl: unexpected frame %q", typ)
+	}
+	return nil
 }
 
 func (s *Secondary) fail(err error) {
@@ -691,7 +938,8 @@ func (s *Secondary) AppliedSeq() uint64 {
 }
 
 // Err returns the first terminal replication error, if any — a stream
-// failure or an apply-worker failure.
+// failure or an apply-worker failure. Transport faults the reconnect loop
+// is still absorbing are not terminal.
 func (s *Secondary) Err() error {
 	s.mu.Lock()
 	err := s.err
@@ -708,6 +956,9 @@ func (s *Secondary) Err() error {
 // BytesReceived returns the replication traffic received so far.
 func (s *Secondary) BytesReceived() int64 { return s.bytesIn.Total() }
 
+// Metrics returns the secondary's transport counter bundle.
+func (s *Secondary) Metrics() *metrics.ReplMetrics { return s.rm }
+
 // Resyncs reports how many full snapshot transfers this secondary performed
 // and how many records arrived via snapshots.
 func (s *Secondary) Resyncs() (count, records uint64) {
@@ -717,8 +968,8 @@ func (s *Secondary) Resyncs() (count, records uint64) {
 }
 
 // WaitForSeq blocks until the secondary has applied seq (the low-water mark
-// reaches it, i.e. every shard is caught up), the stream fails, or the
-// timeout expires.
+// reaches it, i.e. every shard is caught up), the stream fails terminally,
+// or the timeout expires.
 func (s *Secondary) WaitForSeq(seq uint64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -770,45 +1021,24 @@ func (s *Secondary) ApplyMetrics() *metrics.ApplyMetrics {
 	return s.node.ApplyMetrics()
 }
 
-// Close tears down the connection, drains the apply shards, and stops the
-// workers.
+// Close tears down the connection, stops the reconnect loop, drains the
+// apply shards, and stops the workers.
 func (s *Secondary) Close() error {
-	err := s.conn.Close()
+	if s.closed.Swap(true) {
+		<-s.done
+		return nil
+	}
+	close(s.closedCh)
+	s.mu.Lock()
+	var err error
+	if s.conn != nil {
+		err = s.conn.Close()
+	}
+	s.mu.Unlock()
 	<-s.done
 	// The stream reader has exited; drain and stop the apply pool, then
 	// the fetch connection it may have been using.
 	s.applier.Close()
 	s.fetch.close()
 	return err
-}
-
-// ---- framing ----
-
-func writeFrame(w io.Writer, typ byte, payload []byte) (int, error) {
-	hdr := make([]byte, 5)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
-	hdr[4] = typ
-	if _, err := w.Write(hdr); err != nil {
-		return 0, err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return 0, err
-	}
-	return len(hdr) + len(payload), nil
-}
-
-func readFrame(r io.Reader) (byte, []byte, error) {
-	hdr := make([]byte, 5)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return 0, nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr)
-	if n > maxFrame {
-		return 0, nil, errors.New("repl: oversized frame")
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
-	}
-	return hdr[4], payload, nil
 }

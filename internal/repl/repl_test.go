@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dbdedup/internal/metrics"
+	"dbdedup/internal/netsim"
 	"dbdedup/internal/node"
 )
 
@@ -739,18 +740,20 @@ func startFetchServer(t *testing.T, content []byte, behaviors ...fetchBehavior) 
 				if behavior == fetchDropImmediately {
 					return
 				}
-				if typ, _, err := readFrame(conn); err != nil || typ != frameHello {
+				fr := &frameReader{r: conn}
+				fw := &frameWriter{w: conn}
+				if typ, _, err := fr.read(); err != nil || typ != frameHello {
 					return
 				}
 				for {
-					typ, _, err := readFrame(conn)
+					typ, _, err := fr.read()
 					if err != nil || typ != frameFetch {
 						return
 					}
 					if behavior == fetchHang {
 						continue // swallow the request, never reply
 					}
-					if _, err := writeFrame(conn, frameRecord, content); err != nil {
+					if _, err := fw.write(frameRecord, content); err != nil {
 						return
 					}
 				}
@@ -767,7 +770,7 @@ func startFetchServer(t *testing.T, content []byte, behaviors ...fetchBehavior) 
 func TestFetchClientTimeoutOnHungPrimary(t *testing.T) {
 	var meter metrics.Meter
 	addr := startFetchServer(t, nil, fetchHang, fetchHang)
-	c := &fetchClient{addr: addr, timeout: 150 * time.Millisecond, bytesIn: &meter}
+	c := &fetchClient{addr: addr, timeout: 150 * time.Millisecond, retries: 1, bytesIn: &meter}
 	start := time.Now()
 	_, err := c.fetch("db", "key")
 	elapsed := time.Since(start)
@@ -787,7 +790,7 @@ func TestFetchClientReconnectRetry(t *testing.T) {
 	var meter metrics.Meter
 	want := []byte("the full record content")
 	addr := startFetchServer(t, want, fetchDropImmediately, fetchServe)
-	c := &fetchClient{addr: addr, timeout: time.Second, bytesIn: &meter}
+	c := &fetchClient{addr: addr, timeout: time.Second, retries: 1, bytesIn: &meter}
 	got, err := c.fetch("db", "key")
 	if err != nil {
 		t.Fatalf("fetch did not recover via reconnect: %v", err)
@@ -797,5 +800,146 @@ func TestFetchClientReconnectRetry(t *testing.T) {
 	}
 	if meter.Total() == 0 {
 		t.Error("fetch bytes not metered")
+	}
+}
+
+// TestSecondaryReconnectResumeAtPhase severs the replication connection at
+// each protocol phase — during the handshake, mid-batch, mid-snapshot, and
+// after the secondary has fully caught up — and asserts the secondary
+// reconnects, resumes from the right point, and applies nothing twice (an
+// exact insert count; a double-applied insert would poison the pool as a
+// duplicate key).
+func TestSecondaryReconnectResumeAtPhase(t *testing.T) {
+	payload := func(i int) []byte {
+		return []byte(fmt.Sprintf("record %04d: some content bytes that pad the record out a little", i))
+	}
+	cases := []struct {
+		name     string
+		preOps   int // inserts before the secondary connects
+		oplogCap int // 0 = ample; small forces a snapshot on connect
+		// cut selects the one chunk to sever; nil = cut after catch-up
+		// (the post-ack phase). Conn 0 is the initial stream connection;
+		// toClient index 0 is the epoch frame.
+		cut        func(netsim.ChunkInfo) bool
+		postOps    int
+		wantResync bool // a forced-resync hello must have been sent
+	}{
+		{name: "handshake", preOps: 20, postOps: 10,
+			// Sever the hello itself: the write "succeeds" but the frame
+			// arrives truncated, so the session dies before streaming.
+			cut: func(ci netsim.ChunkInfo) bool { return ci.ToServer && ci.Conn == 0 && ci.Index == 0 }},
+		{name: "mid-batch", preOps: 300, postOps: 10,
+			// 300 entries stream as a 256-batch then a 44-batch; sever the
+			// second, so resume must continue from seq 256 exactly.
+			cut: func(ci netsim.ChunkInfo) bool { return !ci.ToServer && ci.Conn == 0 && ci.Index == 2 }},
+		{name: "mid-snapshot", preOps: 60, oplogCap: 16, postOps: 10, wantResync: true,
+			// The truncated oplog forces a snapshot; sever its record batch
+			// so the half-installed snapshot must be discarded and the
+			// reconnect hello must demand a fresh one.
+			cut: func(ci netsim.ChunkInfo) bool { return !ci.ToServer && ci.Conn == 0 && ci.Index == 2 }},
+		{name: "post-ack", preOps: 50, postOps: 10},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			sim := netsim.NewSim(1)
+			nopts := node.Options{SyncEncode: true, DisableAutoFlush: true, OplogCapacity: c.oplogCap}
+			nopts.Engine.GovernorWindow = 1 << 30
+			prim, err := node.Open(nopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { prim.Close() })
+			sopts := node.Options{SyncEncode: true, DisableAutoFlush: true}
+			sopts.Engine.GovernorWindow = 1 << 30
+			sec, err := node.Open(sopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { sec.Close() })
+
+			for i := 0; i < c.preOps; i++ {
+				if err := prim.Insert("db", fmt.Sprintf("k%04d", i), payload(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cutOnce := func(match func(netsim.ChunkInfo) bool) {
+				done := false
+				sim.SetFaults(func(ci netsim.ChunkInfo) netsim.Verdict {
+					if !done && match(ci) {
+						done = true
+						return netsim.Verdict{Cut: true}
+					}
+					return netsim.Verdict{}
+				})
+			}
+			if c.cut != nil {
+				cutOnce(c.cut)
+			}
+
+			p, err := ListenAndServeWithOptions(prim, "primary", PrimaryOptions{
+				Network: sim, HeartbeatInterval: 5 * time.Millisecond, WriteTimeout: 100 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { p.Close() })
+			s, err := ConnectWithOptions(sec, p.Addr(), 0, 0, Options{
+				Network: sim, MaxReconnects: 50,
+				ReconnectBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+				DialTimeout: 200 * time.Millisecond, IdleTimeout: 100 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+
+			if err := s.WaitForSeq(prim.Oplog().LastSeq(), 10*time.Second); err != nil {
+				t.Fatalf("catch-up: %v", err)
+			}
+			if c.cut == nil {
+				// Post-ack phase: the secondary is fully caught up and the
+				// stream is idle; sever the next heartbeat.
+				cutOnce(func(ci netsim.ChunkInfo) bool { return !ci.ToServer })
+				deadline := time.Now().Add(5 * time.Second)
+				for s.Metrics().Reconnects.Total() == 0 {
+					if time.Now().After(deadline) {
+						t.Fatal("post-ack cut never forced a reconnect")
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+
+			for i := 0; i < c.postOps; i++ {
+				if err := prim.Insert("db", fmt.Sprintf("post%04d", i), payload(1000+i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.WaitForSeq(prim.Oplog().LastSeq(), 10*time.Second); err != nil {
+				t.Fatalf("post-recovery convergence: %v", err)
+			}
+
+			rm := s.Metrics()
+			if rm.Reconnects.Total() < 1 {
+				t.Error("secondary never reconnected")
+			}
+			if c.wantResync && rm.ForcedResyncs.Total() == 0 {
+				t.Error("mid-snapshot death did not force a resync hello")
+			}
+			// Exactly-once: every insert applied once, none twice (a
+			// double-apply would also have poisoned the pool above).
+			want := uint64(c.preOps + c.postOps)
+			if got := sec.Stats().Inserts; got != want {
+				t.Errorf("secondary Inserts = %d, want exactly %d", got, want)
+			}
+			for _, key := range []string{"k0000", fmt.Sprintf("k%04d", c.preOps-1), "post0000"} {
+				pv, perr := prim.Read("db", key)
+				sv, serr := sec.Read("db", key)
+				if perr != nil || serr != nil || !bytes.Equal(pv, sv) {
+					t.Errorf("key %s diverged after resume: %v/%v", key, perr, serr)
+				}
+			}
+			if rep := sec.VerifyAll(); !rep.Ok() {
+				t.Errorf("secondary verify after resume: %v", rep.Errors)
+			}
+		})
 	}
 }

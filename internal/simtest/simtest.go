@@ -1,0 +1,334 @@
+// Package simtest model-checks the replication stack under injected network
+// faults. Each Schedule builds a primary and a secondary node joined only
+// through an in-memory netsim.Sim, churns inserts/updates/deletes on the
+// primary while the network misbehaves (partitions, reordering, duplication,
+// corruption, mid-frame connection cuts), then heals the network and checks
+// convergence against a driver-side model:
+//
+//   - every acknowledged primary write is present, with identical content,
+//     on both nodes (no lost or diverged records),
+//   - the secondary holds no records the model does not (no resurrection),
+//   - the secondary's applied sequence number never regresses,
+//   - the online integrity scrub (VerifyAll) passes on both sides.
+//
+// Both the operation schedule and the network's fault rolls derive from one
+// seed, so a failing seed re-runs the same schedule. (Goroutine interleaving
+// still varies between runs; the seed pins *what* the schedule and network
+// do, which in practice reproduces failures.)
+package simtest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dbdedup/internal/netsim"
+	"dbdedup/internal/node"
+	"dbdedup/internal/repl"
+)
+
+// Classes are the fault classes a schedule can run under.
+var Classes = []string{
+	"partition", // full two-way outages while churn continues
+	"oneway",    // half-open outages: one direction delivers, the other starves
+	"reorder",   // frames overtake each other
+	"duplicate", // frames delivered twice
+	"corrupt",   // payload bytes flipped in flight
+	"drop",      // frames silently lost mid-stream
+	"cut",       // connections severed mid-frame
+	"mixed",     // a little of everything at once
+}
+
+// Schedule is one seed-pinned fault-injection run.
+type Schedule struct {
+	Seed  int64
+	Class string
+	Ops   int // churn operations against the primary
+}
+
+// Result reports what a converged schedule observed, so callers can assert a
+// class actually exercised its fault path.
+type Result struct {
+	Resyncs            uint64 // full snapshot transfers
+	Reconnects         int64
+	CorruptFrames      int64
+	FrameSeqViolations int64
+	IdleTimeouts       int64
+	BaseFetches        uint64
+	Keys               int // records live in the model at convergence
+	AppliedSeq         uint64
+	Counters           netsim.Counters
+}
+
+// profileFor returns the randomized fault mix for a class; partition classes
+// return nil (outages are driven by the op loop instead).
+func profileFor(class string) *netsim.Profile {
+	switch class {
+	case "reorder":
+		return &netsim.Profile{Reorder: 0.15, DelayMax: 2 * time.Millisecond}
+	case "duplicate":
+		return &netsim.Profile{Duplicate: 0.20}
+	case "corrupt":
+		return &netsim.Profile{Corrupt: 0.05}
+	case "drop":
+		return &netsim.Profile{Drop: 0.05}
+	case "cut":
+		return &netsim.Profile{Cut: 0.02}
+	case "mixed":
+		return &netsim.Profile{Drop: 0.02, Corrupt: 0.02, Duplicate: 0.05,
+			Reorder: 0.05, Cut: 0.01, DelayMax: time.Millisecond}
+	default:
+		return nil
+	}
+}
+
+// Run executes one schedule to convergence. A non-nil error is an invariant
+// violation (or a setup failure); the message names the offending record.
+func Run(sch Schedule) (Result, error) {
+	var res Result
+	sim := netsim.NewSim(sch.Seed)
+	rng := rand.New(rand.NewSource(sch.Seed))
+
+	// A small oplog window forces long outages to resync via snapshot.
+	nopts := node.Options{SyncEncode: true, DisableAutoFlush: true, OplogCapacity: 64}
+	nopts.Engine.GovernorWindow = 1 << 30
+	prim, err := node.Open(nopts)
+	if err != nil {
+		return res, err
+	}
+	defer prim.Close()
+	sec, err := node.Open(nopts)
+	if err != nil {
+		return res, err
+	}
+	defer sec.Close()
+
+	p, err := repl.ListenAndServeWithOptions(prim, "primary", repl.PrimaryOptions{
+		Network:           sim,
+		HeartbeatInterval: 10 * time.Millisecond,
+		WriteTimeout:      100 * time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer p.Close()
+
+	s, err := repl.ConnectWithOptions(sec, p.Addr(), 0, 0, repl.Options{
+		ApplyWorkers:     2,
+		ApplyQueue:       64,
+		FetchTimeout:     250 * time.Millisecond,
+		FetchRetries:     40,
+		Network:          sim,
+		MaxReconnects:    100000,
+		ReconnectBackoff: 2 * time.Millisecond,
+		MaxBackoff:       25 * time.Millisecond,
+		DialTimeout:      250 * time.Millisecond,
+		IdleTimeout:      75 * time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer s.Close()
+
+	// Monitor: the applied low-water mark must never regress. (Within one
+	// primary epoch even snapshot rebases only move it forward.)
+	stopMon := make(chan struct{})
+	var monWG sync.WaitGroup
+	var regression error
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		var prev uint64
+		for {
+			select {
+			case <-stopMon:
+				return
+			default:
+			}
+			cur := s.AppliedSeq()
+			if cur < prev {
+				regression = fmt.Errorf("appliedSeq regressed %d -> %d", prev, cur)
+				return
+			}
+			prev = cur
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Faults start only once the session is up: the run exercises recovery,
+	// not initial-connection refusal.
+	sim.SetProfile(profileFor(sch.Class))
+
+	// Churn. The model mirrors every acknowledged op; key order is tracked
+	// in slices so rng picks are reproducible (map iteration is not).
+	model := make(map[string]map[string][]byte) // db -> key -> content
+	order := make(map[string][]string)          // db -> live keys
+	dbs := []string{"alpha", "beta", "gamma"}
+	nextKey := 0
+	partitionLeft, windows := 0, 0
+	for op := 0; op < sch.Ops; op++ {
+		if sch.Class == "partition" || sch.Class == "oneway" {
+			// Random outage windows, plus a guaranteed one a third of the
+			// way in so every schedule exercises at least one.
+			if partitionLeft == 0 && (rng.Intn(18) == 0 || (windows == 0 && op == sch.Ops/3)) {
+				mode := netsim.PartitionBoth
+				if sch.Class == "oneway" {
+					// Alternate directions, starting with the one the
+					// stack can detect (primary→secondary starves, so the
+					// write timeout and idle timeout fire). A to-server
+					// half-open outage is deliberately silent mid-stream:
+					// the batch flow is one-directional, so it only bites
+					// fetch traffic — worth running, not worth asserting
+					// reconnects on.
+					if windows%2 == 0 {
+						mode = netsim.PartitionToClient
+					} else {
+						mode = netsim.PartitionToServer
+					}
+				}
+				sim.SetPartition(mode)
+				windows++
+				partitionLeft = 30 + rng.Intn(40)
+			}
+			if partitionLeft > 0 {
+				partitionLeft--
+				if partitionLeft == 0 {
+					sim.SetPartition(netsim.PartitionNone)
+				}
+				// Outages must span real time so the idle/write timeouts
+				// actually trip while the primary keeps accepting writes.
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		db := dbs[rng.Intn(len(dbs))]
+		if model[db] == nil {
+			model[db] = make(map[string][]byte)
+		}
+		m, keys := model[db], order[db]
+		roll := rng.Float64()
+		switch {
+		case roll < 0.55 || len(keys) == 0:
+			key := fmt.Sprintf("k%06d", nextKey)
+			nextKey++
+			var content []byte
+			if len(keys) > 0 && rng.Float64() < 0.8 {
+				// Derived content: the engine forward-encodes these, so the
+				// wire carries deltas and the secondary resolves bases
+				// (exercising the fetch fallback when a base is missing).
+				content = editText(rng, m[keys[rng.Intn(len(keys))]], 1+rng.Intn(2))
+			} else {
+				content = prose(rng, 1024+rng.Intn(1024))
+			}
+			if err := prim.Insert(db, key, content); err != nil {
+				return res, fmt.Errorf("insert %s/%s: %w", db, key, err)
+			}
+			m[key] = content
+			order[db] = append(keys, key)
+		case roll < 0.80:
+			key := keys[rng.Intn(len(keys))]
+			content := editText(rng, m[key], 1)
+			if err := prim.Update(db, key, content); err != nil {
+				return res, fmt.Errorf("update %s/%s: %w", db, key, err)
+			}
+			m[key] = content
+		default:
+			i := rng.Intn(len(keys))
+			key := keys[i]
+			if err := prim.Delete(db, key); err != nil {
+				return res, fmt.Errorf("delete %s/%s: %w", db, key, err)
+			}
+			delete(m, key)
+			keys[i] = keys[len(keys)-1]
+			order[db] = keys[:len(keys)-1]
+		}
+		if rng.Intn(4) == 0 {
+			time.Sleep(time.Duration(rng.Intn(400)) * time.Microsecond)
+		}
+	}
+
+	// Heal and converge.
+	sim.Heal()
+	prim.Barrier()
+	target := prim.Oplog().LastSeq()
+	if err := s.WaitForSeq(target, 30*time.Second); err != nil {
+		return res, fmt.Errorf("convergence: %w", err)
+	}
+	close(stopMon)
+	monWG.Wait()
+	if regression != nil {
+		return res, regression
+	}
+
+	// Model check: state equality in both directions, then the scrub.
+	for db, m := range model {
+		for key, want := range m {
+			if got, err := prim.Read(db, key); err != nil || !bytes.Equal(got, want) {
+				return res, fmt.Errorf("primary diverged on %s/%s: %v", db, key, err)
+			}
+			if got, err := sec.Read(db, key); err != nil {
+				return res, fmt.Errorf("secondary lost acknowledged write %s/%s: %v", db, key, err)
+			} else if !bytes.Equal(got, want) {
+				return res, fmt.Errorf("secondary diverged on %s/%s: got %d bytes, want %d",
+					db, key, len(got), len(want))
+			}
+			res.Keys++
+		}
+	}
+	extra := 0
+	err = sec.Snapshot(func(db, key string, _ []byte) bool {
+		if _, ok := model[db][key]; !ok {
+			extra++
+			err = fmt.Errorf("secondary resurrected deleted record %s/%s", db, key)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return res, err
+	}
+	if rep := prim.VerifyAll(); !rep.Ok() {
+		return res, fmt.Errorf("primary verify: %v", rep.Errors)
+	}
+	if rep := sec.VerifyAll(); !rep.Ok() {
+		return res, fmt.Errorf("secondary verify: %v", rep.Errors)
+	}
+
+	res.Resyncs, _ = s.Resyncs()
+	rm := s.Metrics()
+	res.Reconnects = rm.Reconnects.Total()
+	res.CorruptFrames = rm.CorruptFrames.Total()
+	res.FrameSeqViolations = rm.FrameSeqViolations.Total()
+	res.IdleTimeouts = rm.IdleTimeouts.Total()
+	res.BaseFetches = s.BaseFetches()
+	res.AppliedSeq = s.AppliedSeq()
+	res.Counters = sim.Counters()
+	return res, nil
+}
+
+// prose builds dedup-friendly text of length n from a small vocabulary.
+func prose(rng *rand.Rand, n int) []byte {
+	words := []string{"the", "record", "database", "version", "of", "and",
+		"revision", "content", "chunk", "update", "a", "delta", "system"}
+	var buf bytes.Buffer
+	for buf.Len() < n {
+		buf.WriteString(words[rng.Intn(len(words))])
+		buf.WriteByte(' ')
+	}
+	return buf.Bytes()[:n]
+}
+
+// editText mutates data in k places and appends a tail, mimicking a revised
+// document (similar enough to delta-encode against its ancestor).
+func editText(rng *rand.Rand, data []byte, k int) []byte {
+	out := append([]byte(nil), data...)
+	for i := 0; i < k; i++ {
+		if len(out) <= 20 {
+			break
+		}
+		pos := rng.Intn(len(out) - 20)
+		copy(out[pos:], prose(rng, 12))
+	}
+	return append(out, prose(rng, 40)...)
+}
