@@ -41,6 +41,9 @@ func main() {
 		hop        = flag.Int("hop", 16, "hop distance / cluster size")
 		statsEvery = flag.Duration("stats-every", 0, "periodically log store stats (0 = off)")
 		compaction = flag.Bool("auto-compact", true, "enable background segment compaction")
+		rededup    = flag.Bool("compact-rededup", false, "re-deduplicate live raw records during compaction")
+		rdMaxChain = flag.Int("rededup-max-chain", 8, "max delta-chain depth a compaction conversion may create")
+		rdBudget   = flag.Duration("rededup-budget", 0, "wall-clock budget per compaction pass for re-sketching (0 = unlimited)")
 		admin      = flag.String("admin", "", "HTTP admin endpoint address (e.g. :7090; empty = off)")
 	)
 	flag.Parse()
@@ -66,7 +69,12 @@ func main() {
 			HopDistance:  *hop,
 		},
 		BlockCompression: *compress,
-		Compaction:       node.CompactionOptions{Enabled: *compaction},
+		Compaction: node.CompactionOptions{
+			Enabled:              *compaction,
+			Rededup:              *rededup,
+			RededupMaxChainDepth: *rdMaxChain,
+			RededupBudget:        *rdBudget,
+		},
 	})
 	if err != nil {
 		log.Fatalf("opening node: %v", err)

@@ -205,8 +205,10 @@ func (s *Store) FlushWritebacks(max int) int { return s.n.FlushWritebacks(max) }
 // PendingWritebacks returns the deferred re-encoding backlog size.
 func (s *Store) PendingWritebacks() int { return s.n.PendingWritebacks() }
 
-// Compact reclaims disk space from superseded record versions.
-func (s *Store) Compact() (int64, error) { return s.n.Store().Compact() }
+// Compact reclaims disk space from superseded record versions. It runs
+// through the node so compaction-time re-deduplication (when enabled) and
+// the compaction counters apply.
+func (s *Store) Compact() (int64, error) { return s.n.Compact() }
 
 // Close flushes and shuts the store down.
 func (s *Store) Close() error { return s.n.Close() }

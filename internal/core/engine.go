@@ -193,8 +193,18 @@ type Stats struct {
 	SourceCacheHits  uint64
 	SourceCacheMiss  uint64
 	IndexMemoryBytes int64
-	RawBytes         int64 // total bytes presented
-	ForwardBytes     int64 // total forward-delta bytes for deduped inserts
+	// IndexEntries / IndexCapacityBytes describe bounded feature-index
+	// occupancy across partitions; IndexLookups / IndexMatches /
+	// IndexEvictions aggregate its counters. Evictions are the similarity
+	// matches the inline path gave up — the headroom signal for the
+	// compaction-time re-dedup pass.
+	IndexEntries       int
+	IndexCapacityBytes int64
+	IndexLookups       uint64
+	IndexMatches       uint64
+	IndexEvictions     uint64
+	RawBytes           int64 // total bytes presented
+	ForwardBytes       int64 // total forward-delta bytes for deduped inserts
 }
 
 // counters is the lock-free mirror of Stats: every field is an atomic so the
@@ -508,6 +518,63 @@ func (e *Engine) EncodeAsReplica(dbName string, id uint64, payload []byte, srcID
 	return res
 }
 
+// ProbeSimilar re-runs the sketch and index stages for an already-stored
+// record — the entry point of compaction-time re-deduplication (out-of-line
+// dedup in the hybrid sense of Li et al.). Because the feature index is
+// bounded, LRU eviction permanently costs the inline path some similarity
+// matches; a record whose features were evicted before its similar
+// successors arrived stays raw. Re-probing at compaction time finds those
+// successors (whose features are fresher) and re-registers the probed
+// record's own features, so the index re-learns the part of the working set
+// it had forgotten. Returns the best similar candidate, chosen by the same
+// cache-aware scoring the inline path uses. It never touches governor or
+// size-filter state: compaction must not perturb the inline policy.
+func (e *Engine) ProbeSimilar(dbName string, id uint64, payload []byte) (srcID uint64, ok bool) {
+	if len(payload) < e.cfg.MinDedupRecordBytes {
+		return 0, false
+	}
+	st := e.db(dbName)
+	st.mu.Lock()
+	disabled := st.disabled || st.index == nil
+	st.mu.Unlock()
+	if disabled {
+		return 0, false
+	}
+	sk := e.extractor.Extract(payload) // CPU-heavy, lock-free
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.disabled || st.index == nil {
+		return 0, false
+	}
+	ref := uint32(len(st.refs))
+	st.refs = append(st.refs, id)
+	counts := make(map[uint64]int)
+	for _, f := range sk {
+		for _, r := range st.index.LookupInsert(f, ref) {
+			// Exclude the ref just registered and any older ref of the
+			// probed record itself (its features may still be resident).
+			if int(r) < len(st.refs)-1 && st.refs[r] != id {
+				counts[st.refs[r]]++
+			}
+		}
+	}
+	if len(counts) == 0 {
+		return 0, false
+	}
+	src := e.selectSource(counts)
+	if src == id {
+		return 0, false
+	}
+	return src, true
+}
+
+// CompressDelta runs the engine-configured forward delta stage — the same
+// anchor interval the inline encode path uses. The compaction re-dedup pass
+// calls it to build conversion payloads.
+func (e *Engine) CompressDelta(base, target []byte) delta.Delta {
+	return delta.Compress(base, target, delta.Options{AnchorInterval: e.cfg.AnchorInterval})
+}
+
 // ObserveRaw lets a replica node keep chain/cache state coherent for records
 // that arrived unencoded.
 func (e *Engine) ObserveRaw(dbName string, id uint64, payload []byte) {
@@ -748,6 +815,12 @@ type DBStats struct {
 	IndexMemoryBytes int64
 	// Chains is the number of live similarity chains tracked.
 	Chains int
+	// IndexEntries is the feature index's occupancy; IndexLookups /
+	// IndexMatches / IndexEvictions are its lifetime counters.
+	IndexEntries   int
+	IndexLookups   uint64
+	IndexMatches   uint64
+	IndexEvictions uint64
 	// StoredBytes is the database's live stored payload (filled in by
 	// the node, which owns storage accounting).
 	StoredBytes int64
@@ -791,6 +864,8 @@ func (e *Engine) DBStats() []DBStats {
 		}
 		if st.index != nil {
 			ds.IndexMemoryBytes = st.index.MemoryBytes()
+			ds.IndexEntries = st.index.Len()
+			ds.IndexLookups, ds.IndexMatches, ds.IndexEvictions = st.index.Stats()
 		}
 		st.mu.Unlock()
 		out = append(out, ds)
@@ -844,6 +919,12 @@ func (e *Engine) Stats() Stats {
 		st.mu.Lock()
 		if st.index != nil {
 			s.IndexMemoryBytes += st.index.MemoryBytes()
+			s.IndexEntries += st.index.Len()
+			s.IndexCapacityBytes += st.index.CapacityBytes()
+			lk, mt, ev := st.index.Stats()
+			s.IndexLookups += lk
+			s.IndexMatches += mt
+			s.IndexEvictions += ev
 		}
 		st.mu.Unlock()
 	}

@@ -61,7 +61,11 @@ type Workload struct {
 	// Replicated workloads attach a live secondary mid-script and get a
 	// post-recovery convergence check.
 	Replicated bool
-	Script     func(c *Ctx)
+	// Tune, when set, adjusts the node options for both the faulted run
+	// and the recovery reopen (e.g. shrink the feature index so the
+	// compaction re-dedup pass has evictions to recover from).
+	Tune   func(o *node.Options)
+	Script func(c *Ctx)
 }
 
 // Ctx is the handle a workload script drives. Every mutation is recorded in
@@ -177,6 +181,15 @@ func (c *Ctx) Compact() {
 	}
 }
 
+// Junk generates n incompressible random bytes: filler whose sketch
+// features evict resident entries from a bounded feature index without ever
+// matching anything.
+func (c *Ctx) Junk(n int) []byte {
+	b := make([]byte, n)
+	c.rng.Read(b)
+	return b
+}
+
 // Doc generates n bytes of pseudo-prose from the workload seed.
 func (c *Ctx) Doc(n int) []byte {
 	words := []string{"online", "dedup", "for", "databases", "segment",
@@ -264,6 +277,9 @@ func primaryOpts(cfg Config, dir string, fs faultfs.FS) node.Options {
 		WritebackCacheBytes: 4 << 20,
 	}
 	opts.Engine = core.Config{GovernorWindow: 1 << 30}
+	// Re-dedup during Ctx.Compact keeps conversion commits (and their
+	// crash points) inside the matrix. The background compactor stays off.
+	opts.Compaction = node.CompactionOptions{Rededup: true, RededupMaxChainDepth: 8}
 	return opts
 }
 
@@ -307,7 +323,11 @@ func RunPoint(cfg Config, w Workload, rule *faultfs.Rule, injSeed int64, dir str
 	m := NewModel()
 	res := Result{Rule: rule}
 
-	n, err := node.Open(primaryOpts(cfg, dir, inj))
+	popts := primaryOpts(cfg, dir, inj)
+	if w.Tune != nil {
+		w.Tune(&popts)
+	}
+	n, err := node.Open(popts)
 	if err != nil {
 		if !injected(err) {
 			res.Problems = append(res.Problems, fmt.Sprintf("initial open: %v", err))
@@ -328,7 +348,11 @@ func RunPoint(cfg Config, w Workload, rule *faultfs.Rule, injSeed int64, dir str
 	res.Events = inj.Events()
 
 	// Recovery: reopen the directory on the real filesystem.
-	n2, err := node.Open(primaryOpts(cfg, dir, nil))
+	ropts := primaryOpts(cfg, dir, nil)
+	if w.Tune != nil {
+		w.Tune(&ropts)
+	}
+	n2, err := node.Open(ropts)
 	if err != nil {
 		res.Problems = append(res.Problems, fmt.Sprintf("reopen after fault: %v", err))
 		return res
@@ -461,6 +485,13 @@ func Points(counts [faultfs.NumOps]uint64, maxPerClass int) []faultfs.Rule {
 	probe(counts[faultfs.OpSync], faultfs.FailSync)
 	probe(counts[faultfs.OpRemove], func(nth uint64) faultfs.Rule {
 		return faultfs.Rule{Op: faultfs.OpRemove, Nth: nth, Kind: faultfs.KindErr}
+	})
+	// Mmap faults: a failed mapping must degrade to pread (FailMmap), and
+	// process death at a mapping attempt is a valid tear position (the
+	// attempt sits right after a segment roll or replay).
+	probe(counts[faultfs.OpMmap], faultfs.FailMmap)
+	probe(counts[faultfs.OpMmap], func(nth uint64) faultfs.Rule {
+		return faultfs.Rule{Op: faultfs.OpMmap, Nth: nth, Kind: faultfs.KindCrash}
 	})
 	return rules
 }

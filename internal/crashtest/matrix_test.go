@@ -1,6 +1,7 @@
 package crashtest
 
 import (
+	"os"
 	"testing"
 
 	"dbdedup/internal/faultfs"
@@ -10,7 +11,7 @@ import (
 // workload (read counts vary with replication timing and cache state, so
 // they are excluded from determinism checks and never carry matrix rules).
 var mutatingOps = []faultfs.Op{faultfs.OpOpen, faultfs.OpWrite, faultfs.OpSync,
-	faultfs.OpTruncate, faultfs.OpRemove}
+	faultfs.OpTruncate, faultfs.OpRemove, faultfs.OpMmap}
 
 // TestCrashMatrix is the headline fault matrix: every standard workload is
 // killed (or transiently faulted) at a schedule of fault points derived
@@ -33,6 +34,12 @@ func TestCrashMatrix(t *testing.T) {
 					t.Fatalf("workload %s schedule not deterministic: %s count %d vs %d",
 						w.Name, op, base.Counts[op], base2.Counts[op])
 				}
+			}
+
+			// Every workload writes past SegmentSize, so sealed segments
+			// roll and get mapped — unless the no-mmap lane is forced.
+			if os.Getenv("DBDEDUP_NO_MMAP") == "" && base.Counts[faultfs.OpMmap] == 0 {
+				t.Fatalf("workload %s never mapped a sealed segment", w.Name)
 			}
 
 			perClass := 12

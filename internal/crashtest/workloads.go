@@ -1,13 +1,17 @@
 package crashtest
 
-import "fmt"
+import (
+	"fmt"
+
+	"dbdedup/internal/node"
+)
 
 // StandardWorkloads returns the harness's stock scripts: chained
-// insert/update/delete churn, compaction under churn, and a replicated
-// session. Together they drive every durability-relevant filesystem op the
-// storage and replication paths issue.
+// insert/update/delete churn, compaction under churn, compaction-time
+// re-deduplication, and a replicated session. Together they drive every
+// durability-relevant filesystem op the storage and replication paths issue.
 func StandardWorkloads() []Workload {
-	return []Workload{Chains(), CompactChurn(), Replicated()}
+	return []Workload{Chains(), CompactChurn(), RededupCompact(), Replicated()}
 }
 
 // Chains exercises the dedup substrate's chain machinery: similar documents
@@ -71,6 +75,54 @@ func CompactChurn() Workload {
 		c.Insert("db", "post-compact", doc)
 		c.Flush()
 	}}
+}
+
+// RededupCompact drives the compaction-time re-dedup pass under fault
+// injection: similar documents interleaved with junk records evict each
+// other from a deliberately tiny feature index (so the insert path stores
+// them raw), the junk is deleted, and compaction passes then convert the
+// survivors to deltas — putting conversion commits, their delta appends,
+// and the mmap remap of rolled segments inside the crash schedule. Updates
+// after the first conversions exercise stacking on compaction-created
+// bases, and a tail insert proves the store still accepts writes.
+func RededupCompact() Workload {
+	return Workload{
+		Name: "rededup-compact",
+		Tune: func(o *node.Options) {
+			o.Engine.IndexEntries = 16 // two records' worth of sketch features
+			o.Compaction.RededupMaxChainDepth = 6
+		},
+		Script: func(c *Ctx) {
+			doc := c.Doc(1500)
+			for i := 0; i < 8; i++ {
+				c.Insert("db", fmt.Sprintf("f%02d", i), doc)
+				doc = c.Edit(doc)
+				for j := 0; j < 2; j++ {
+					c.Insert("db", fmt.Sprintf("s%02d-%d", i, j), c.Junk(1400))
+				}
+				if i%3 == 2 {
+					c.Flush()
+				}
+			}
+			c.Flush()
+			for i := 0; i < 8; i++ {
+				for j := 0; j < 2; j++ {
+					c.Delete("db", fmt.Sprintf("s%02d-%d", i, j))
+				}
+			}
+			c.Flush()
+			c.Compact()
+			c.Compact()
+			for i := 0; i < 8; i += 2 {
+				doc = c.Edit(doc)
+				c.Update("db", fmt.Sprintf("f%02d", i), doc)
+			}
+			c.Flush()
+			c.Compact()
+			c.Insert("db", "tail", doc)
+			c.Flush()
+		},
+	}
 }
 
 // Replicated drives a primary with a live secondary attached mid-script:

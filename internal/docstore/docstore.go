@@ -124,6 +124,11 @@ type Options struct {
 	// os-backed implementation; crash tests install a faultfs.Injector to
 	// script write/sync/read failures and crash points.
 	FS faultfs.FS
+	// DisableMmap forces the pread read path even when the filesystem
+	// supports memory-mapped segments. Also forced by the DBDEDUP_NO_MMAP
+	// environment variable, which CI uses to keep the fallback path
+	// covered.
+	DisableMmap bool
 }
 
 // Stats is the store's size accounting.
@@ -146,6 +151,11 @@ type Stats struct {
 	Appends uint64
 	// CacheHits/CacheMisses count block-cache outcomes on reads.
 	CacheHits, CacheMisses uint64
+	// MmapBlockReads/PreadBlockReads split block loads by how the bytes
+	// were served: zero-copy from a segment mapping vs a positional read.
+	// MmapFailures counts mapping attempts that failed (the segment stays
+	// on the pread path).
+	MmapBlockReads, PreadBlockReads, MmapFailures uint64
 	// PinnedReaders is the number of segment handles currently pinned by
 	// in-flight reads (gauge).
 	PinnedReaders int64
@@ -190,6 +200,9 @@ type Store struct {
 	blockBytesIn  atomic.Int64
 	blockBytesOut atomic.Int64
 	appends       atomic.Uint64
+	mmapReads     atomic.Uint64
+	preadReads    atomic.Uint64
+	mmapFailures  atomic.Uint64
 
 	// statsMu guards only dbBytes, so DBLogicalBytes never waits on a
 	// writer holding mu.
@@ -241,6 +254,9 @@ func Open(opts Options) (*Store, error) {
 	}
 	if opts.FS == nil {
 		opts.FS = faultfs.DefaultFS
+	}
+	if os.Getenv("DBDEDUP_NO_MMAP") != "" {
+		opts.DisableMmap = true
 	}
 	s := &Store{
 		opts:    opts,
@@ -298,7 +314,40 @@ func Open(opts Options) (*Store, error) {
 		s.Close()
 		return nil, err
 	}
+	// Map every non-active segment now that replay has corrected sizes past
+	// torn tails. The active segment is never mapped — a rollback could
+	// rewrite bytes in place under a mapping's snapshot semantics — it gets
+	// mapped when it rolls.
+	for _, seg := range s.segments {
+		if seg != s.active {
+			s.mapSegment(seg)
+		}
+	}
 	return s, nil
+}
+
+// mapSegment installs a zero-copy memory mapping over a sealed segment's
+// bytes. Failure is not an error — the segment simply stays on the pread
+// path. Only segments past their last write may be mapped (mappings cover
+// immutable bytes only), which the callers guarantee: Open maps non-active
+// segments after replay, sealBlock maps a segment when it rolls out of the
+// active role. Caller holds s.mu (or the store is not yet shared).
+func (s *Store) mapSegment(seg *segment) {
+	if s.opts.DisableMmap || seg.file == nil || seg.size == 0 || seg.retired || seg.rd.Mapped() {
+		return
+	}
+	m, ok := seg.file.(faultfs.Mapper)
+	if !ok {
+		return
+	}
+	mp, err := m.Mmap(seg.size)
+	if err != nil {
+		s.mmapFailures.Add(1)
+		return
+	}
+	if !seg.rd.InstallMapping(mp.Bytes(), func() { mp.Close() }) {
+		mp.Close()
+	}
 }
 
 // newSegment creates a fresh segment and installs its reader at slot.
@@ -437,8 +486,7 @@ func (s *Store) Get(id uint64) (Record, bool, error) {
 				return Record{}, false, nil
 			}
 		}
-		loc := lv.(locator)
-		block, err := s.loadBlock(loc.seg, loc.off)
+		rec, err := s.recordAt(lv.(locator))
 		if errors.Is(err, segio.ErrRetired) {
 			// Compaction retired the segment after we resolved the
 			// locator. The record was moved first, so re-resolving finds
@@ -448,15 +496,40 @@ func (s *Store) Get(id uint64) (Record, bool, error) {
 		if err != nil {
 			return Record{}, false, err
 		}
-		rec, _, err := parseFrame(block[loc.recStart:])
-		if err != nil {
-			return Record{}, false, err
-		}
 		if rec.ID != id {
 			return Record{}, false, fmt.Errorf("docstore: index corruption: wanted %d found %d", id, rec.ID)
 		}
 		return rec, true, nil
 	}
+}
+
+// recordAt reads the record frame at loc: block cache first, then — under
+// one pin — the segment's memory mapping (zero copy) or a positional read.
+// Payloads parsed out of a mapping are detached before the pin is released,
+// because the mapping dies when the segment reader drains.
+func (s *Store) recordAt(loc locator) (Record, error) {
+	key := segio.BlockKey(loc.seg, loc.off)
+	if b, ok := s.cache.Get(key); ok {
+		rec, _, err := parseFrame(b[loc.recStart:])
+		return rec, err
+	}
+	rd, ok := s.table.Pin(loc.seg)
+	if !ok {
+		return Record{}, segio.ErrRetired
+	}
+	defer s.table.Unpin(rd)
+	block, mapped, err := s.blockFrom(rd, key, loc.off)
+	if err != nil {
+		return Record{}, err
+	}
+	rec, _, err := parseFrame(block[loc.recStart:])
+	if err != nil {
+		return Record{}, err
+	}
+	if mapped {
+		rec.Payload = append([]byte(nil), rec.Payload...)
+	}
+	return rec, nil
 }
 
 // Delete writes a tombstone for id.
@@ -543,6 +616,9 @@ func (s *Store) sealBlock() error {
 		}
 		s.segments = append(s.segments, ns)
 		s.active = ns
+		// seg has rolled out of the active role: no byte of it will ever
+		// be written again, so its sealed prefix can be mapped.
+		s.mapSegment(seg)
 	}
 	return nil
 }
@@ -602,7 +678,9 @@ func (seg *segment) rollback(off int64) {
 
 // loadBlock returns the decompressed contents of the block at (slot, off),
 // through the sharded cache. It returns segio.ErrRetired when the segment
-// was retired by compaction — the caller re-resolves its locator.
+// was retired by compaction — the caller re-resolves its locator. The
+// returned bytes never alias a mapping (mapped blocks are detached), so the
+// caller may hold them without a pin; replay and Range use this path.
 func (s *Store) loadBlock(slot int, off int64) ([]byte, error) {
 	key := segio.BlockKey(slot, off)
 	if b, ok := s.cache.Get(key); ok {
@@ -613,13 +691,59 @@ func (s *Store) loadBlock(slot int, off int64) ([]byte, error) {
 		return nil, segio.ErrRetired
 	}
 	defer s.table.Unpin(rd)
+	block, mapped, err := s.blockFrom(rd, key, off)
+	if err != nil {
+		return nil, err
+	}
+	if mapped {
+		block = append([]byte(nil), block...)
+	}
+	return block, nil
+}
+
+// blockFrom returns the decompressed block at offset off of the pinned
+// reader rd. mapped reports that the returned bytes alias the segment
+// mapping — valid only while the caller's pin is held; such callers must
+// detach anything they keep. Mapped bytes skip the checksum: a mapping only
+// ever covers bytes this process sealed itself or that replay has already
+// verified, and the sharded cache holds only decode products — a mapped
+// uncompressed block IS the cache, a mapped compressed block is decoded and
+// its decode product cached.
+func (s *Store) blockFrom(rd *segio.Reader, key uint64, off int64) ([]byte, bool, error) {
+	if hdr, ok := rd.MappedRange(off, blockHeaderSize); ok {
+		if binary.LittleEndian.Uint32(hdr[0:]) != blockMagic {
+			return nil, false, errors.New("docstore: bad block magic")
+		}
+		rawLen := binary.LittleEndian.Uint32(hdr[4:])
+		storedLen := binary.LittleEndian.Uint32(hdr[8:])
+		flags := hdr[16]
+		if body, ok := rd.MappedRange(off+blockHeaderSize, int64(storedLen)); ok {
+			s.mmapReads.Add(1)
+			if flags&flagCompressed != 0 {
+				raw, err := blockcomp.Decode(body)
+				if err != nil {
+					return nil, false, fmt.Errorf("docstore: %w", err)
+				}
+				if len(raw) != int(rawLen) {
+					return nil, false, errors.New("docstore: block length mismatch")
+				}
+				s.cache.Put(key, raw)
+				return raw, false, nil
+			}
+			if int(rawLen) != len(body) {
+				return nil, false, errors.New("docstore: block length mismatch")
+			}
+			return body, true, nil
+		}
+	}
+	s.preadReads.Add(1)
 
 	var hdr [blockHeaderSize]byte
 	if err := rd.ReadAt(hdr[:], off); err != nil {
-		return nil, fmt.Errorf("docstore: %w", err)
+		return nil, false, fmt.Errorf("docstore: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != blockMagic {
-		return nil, errors.New("docstore: bad block magic")
+		return nil, false, errors.New("docstore: bad block magic")
 	}
 	rawLen := binary.LittleEndian.Uint32(hdr[4:])
 	storedLen := binary.LittleEndian.Uint32(hdr[8:])
@@ -628,24 +752,24 @@ func (s *Store) loadBlock(slot int, off int64) ([]byte, error) {
 
 	stored := make([]byte, storedLen)
 	if err := rd.ReadAt(stored, off+blockHeaderSize); err != nil {
-		return nil, fmt.Errorf("docstore: %w", err)
+		return nil, false, fmt.Errorf("docstore: %w", err)
 	}
 	if crc32.ChecksumIEEE(stored) != sum {
-		return nil, errors.New("docstore: block checksum mismatch")
+		return nil, false, errors.New("docstore: block checksum mismatch")
 	}
 	raw := stored
 	if flags&flagCompressed != 0 {
 		var err error
 		raw, err = blockcomp.Decode(stored)
 		if err != nil {
-			return nil, fmt.Errorf("docstore: %w", err)
+			return nil, false, fmt.Errorf("docstore: %w", err)
 		}
 	}
 	if len(raw) != int(rawLen) {
-		return nil, errors.New("docstore: block length mismatch")
+		return nil, false, errors.New("docstore: block length mismatch")
 	}
 	s.cache.Put(key, raw)
-	return raw, nil
+	return raw, false, nil
 }
 
 // Range calls fn for every live record's stored form, in unspecified order.
@@ -704,17 +828,20 @@ func (s *Store) DBLogicalBytes(db string) int64 {
 func (s *Store) Stats() Stats {
 	hits, misses := s.cache.HitsMisses()
 	return Stats{
-		LiveRecords:    int(s.liveRecords.Load()),
-		LogicalBytes:   s.logicalBytes.Load(),
-		BlockBytesIn:   s.blockBytesIn.Load(),
-		BlockBytesOut:  s.blockBytesOut.Load(),
-		DeadBytes:      s.deadBytes.Load(),
-		Appends:        s.appends.Load(),
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		PinnedReaders:  s.table.Pinned(),
-		RetiredPending: s.table.RetiredPending(),
-		LiveSegments:   s.table.Live(),
+		LiveRecords:     int(s.liveRecords.Load()),
+		LogicalBytes:    s.logicalBytes.Load(),
+		BlockBytesIn:    s.blockBytesIn.Load(),
+		BlockBytesOut:   s.blockBytesOut.Load(),
+		DeadBytes:       s.deadBytes.Load(),
+		Appends:         s.appends.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		MmapBlockReads:  s.mmapReads.Load(),
+		PreadBlockReads: s.preadReads.Load(),
+		MmapFailures:    s.mmapFailures.Load(),
+		PinnedReaders:   s.table.Pinned(),
+		RetiredPending:  s.table.RetiredPending(),
+		LiveSegments:    s.table.Live(),
 	}
 }
 
@@ -834,7 +961,39 @@ func minInt64(a, b int64) int64 {
 // closes the descriptor — and its cached blocks are dropped. Segment slots
 // are never reused, so a stale cache entry that races the drop stays
 // harmless (its bytes are still correct) until the LRU evicts it.
-func (s *Store) Compact() (int64, error) {
+func (s *Store) Compact() (int64, error) { return s.CompactWith(nil) }
+
+// RewriteFunc is CompactHooks.Rewrite: offered one live record about to be
+// moved, it may return a replacement form (e.g. the node's re-dedup pass
+// returns a delta-encoded conversion) and true. It runs outside all store
+// locks and must not call back into the store's writer surface.
+type RewriteFunc func(rec Record) (Record, bool)
+
+// CompactHooks lets a policy layer (the node) participate in a compaction
+// pass without the store knowing anything about dedup. The protocol per
+// converted record:
+//
+//	Rewrite (no locks) → CommitLock.Lock → Verify → [s.mu: re-check
+//	locator, append] → Committed → CommitLock.Unlock
+//
+// Verify runs under CommitLock but before the store's writer lock, so it
+// may inspect (but not mutate) policy state that CommitLock serialises;
+// Committed runs after the append, still under CommitLock, and may take
+// the policy layer's own locks. Skipped is called — outside every lock —
+// for each conversion that was abandoned (superseded mid-pass, failed
+// Verify, or failed append), so the policy layer can undo side effects of
+// Rewrite (e.g. release a claimed base reference).
+type CompactHooks struct {
+	Rewrite    RewriteFunc
+	CommitLock sync.Locker
+	Verify     func(old, conv Record) bool
+	Committed  func(old, conv Record)
+	Skipped    func(conv Record)
+}
+
+// CompactWith is Compact with an optional policy hook bundle (nil behaves
+// exactly like Compact).
+func (s *Store) CompactWith(h *CompactHooks) (int64, error) {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 
@@ -867,6 +1026,9 @@ func (s *Store) Compact() (int64, error) {
 	if victim == nil {
 		return 0, nil
 	}
+	// Move (and offer to Rewrite) in insertion order: deterministic passes,
+	// and bases precede the records that might delta-encode against them.
+	sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
 
 	for _, id := range liveIDs {
 		rec, ok, err := s.Get(id)
@@ -876,23 +1038,70 @@ func (s *Store) Compact() (int64, error) {
 		if !ok {
 			continue
 		}
+		// Offer the record to the policy hook outside all locks; a
+		// conversion commits under the hook's CommitLock so the policy
+		// layer's other form-changing paths are serialised against it.
+		conv := rec
+		converted := false
+		if h != nil && h.Rewrite != nil {
+			if c, ok := h.Rewrite(rec); ok {
+				conv, converted = c, true
+			}
+		}
 		if s.opts.AppendDelay > 0 {
 			time.Sleep(s.opts.AppendDelay)
 		}
+		if converted && h.CommitLock != nil {
+			h.CommitLock.Lock()
+		}
+		commit := converted && (h.Verify == nil || h.Verify(rec, conv))
 		// Re-check and move in one critical section: a concurrent write
 		// between the check and the append could otherwise be superseded
-		// by this stale copy.
+		// by this stale copy. The victim is not the active segment, so an
+		// index entry still pointing into it means the frame we read is
+		// still the current version.
 		s.mu.Lock()
 		lv, still := s.index.Load(id)
 		if !still || lv.(locator).seg != victimIdx {
 			s.mu.Unlock()
+			if converted {
+				if h.CommitLock != nil {
+					h.CommitLock.Unlock()
+				}
+				if h.Skipped != nil {
+					h.Skipped(conv)
+				}
+			}
 			continue
 		}
-		if err := s.appendLocked(rec); err != nil {
+		toAppend := rec
+		if commit {
+			toAppend = conv
+		}
+		if err := s.appendLocked(toAppend); err != nil {
 			s.mu.Unlock()
+			if converted {
+				if h.CommitLock != nil {
+					h.CommitLock.Unlock()
+				}
+				if h.Skipped != nil {
+					h.Skipped(conv)
+				}
+			}
 			return 0, err
 		}
 		s.mu.Unlock()
+		if converted {
+			if commit && h.Committed != nil {
+				h.Committed(rec, conv)
+			}
+			if h.CommitLock != nil {
+				h.CommitLock.Unlock()
+			}
+			if !commit && h.Skipped != nil {
+				h.Skipped(conv)
+			}
+		}
 	}
 	if err := s.Flush(); err != nil {
 		return 0, err

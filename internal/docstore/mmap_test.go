@@ -1,0 +1,212 @@
+package docstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"dbdedup/internal/faultfs"
+)
+
+// skipIfNoMmap skips tests that assert on mmap-path counters when the
+// environment forces the pread fallback (the CI no-mmap lane).
+func skipIfNoMmap(t *testing.T) {
+	t.Helper()
+	if os.Getenv("DBDEDUP_NO_MMAP") != "" {
+		t.Skip("DBDEDUP_NO_MMAP set: mmap path disabled")
+	}
+}
+
+func fillSegments(t *testing.T, s *Store, n int) map[uint64][]byte {
+	t.Helper()
+	want := make(map[uint64][]byte)
+	for i := 1; i <= n; i++ {
+		payload := bytes.Repeat([]byte(fmt.Sprintf("rec-%04d|", i)), 40)
+		rec := Record{ID: uint64(i), DB: "db", Key: fmt.Sprintf("k%d", i), Payload: payload}
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		want[rec.ID] = payload
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func checkAll(t *testing.T, s *Store, want map[uint64][]byte) {
+	t.Helper()
+	for id, payload := range want {
+		rec, ok, err := s.Get(id)
+		if err != nil || !ok || !bytes.Equal(rec.Payload, payload) {
+			t.Fatalf("Get(%d) = ok=%v err=%v (payload match=%v)", id, ok, err, bytes.Equal(rec.Payload, payload))
+		}
+	}
+}
+
+// TestMmapReadEquivalence reopens the same on-disk segments with and without
+// mmap and checks both paths return identical records, with the read-path
+// counters attributing the reads to the right path.
+func TestMmapReadEquivalence(t *testing.T) {
+	skipIfNoMmap(t)
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			dir := t.TempDir()
+			// CacheBlocks is tiny so reads actually hit the block-read
+			// path instead of the decode cache replay left behind.
+			opts := Options{Dir: dir, BlockSize: 512, SegmentSize: 1024, Compress: compress, CacheBlocks: 2}
+			s, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fillSegments(t, s, 40)
+			checkAll(t, s, want)
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reopen with mmap: every sealed segment maps at Open, so
+			// cold block reads come from the mapping.
+			s, err = Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAll(t, s, want)
+			st := s.Stats()
+			if st.MmapBlockReads == 0 {
+				t.Fatalf("no mmap block reads after mapped reopen (pread=%d)", st.PreadBlockReads)
+			}
+			if st.MmapFailures != 0 {
+				t.Fatalf("unexpected mmap failures: %d", st.MmapFailures)
+			}
+			s.Close()
+
+			// Reopen with mmap disabled: identical results via pread.
+			opts.DisableMmap = true
+			s, err = Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAll(t, s, want)
+			st = s.Stats()
+			if st.MmapBlockReads != 0 {
+				t.Fatalf("mmap reads with DisableMmap: %d", st.MmapBlockReads)
+			}
+			if st.PreadBlockReads == 0 {
+				t.Fatal("no pread block reads with DisableMmap")
+			}
+			s.Close()
+		})
+	}
+}
+
+// TestMmapFailureFallsBack injects an mmap failure at reopen and checks the
+// store degrades to pread with nothing lost.
+func TestMmapFailureFallsBack(t *testing.T) {
+	skipIfNoMmap(t)
+	fs := faultfs.NewMemFS()
+	opts := Options{Dir: "d", BlockSize: 512, SegmentSize: 4096, FS: fs}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillSegments(t, s, 40)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.FS = faultfs.NewInjector(fs, 1, faultfs.FailMmap(1))
+	s, err = Open(opts)
+	if err != nil {
+		t.Fatalf("open must survive a failed mapping: %v", err)
+	}
+	checkAll(t, s, want)
+	st := s.Stats()
+	if st.MmapFailures == 0 {
+		t.Fatal("injected mmap failure not counted")
+	}
+	if st.PreadBlockReads == 0 {
+		t.Fatal("unmapped segment should be read via pread")
+	}
+	s.Close()
+}
+
+// TestMmapRetirementSafety compacts mapped segments away and checks reads
+// stay correct across retirement (the unmap is tied to the refcount drain).
+func TestMmapRetirementSafety(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, BlockSize: 512, SegmentSize: 4096}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillSegments(t, s, 40)
+	s.Close()
+	s, err = Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Delete half the records, then compact repeatedly: victims are mapped
+	// segments whose mappings must tear down cleanly on retirement.
+	for id := uint64(1); id <= 20; id++ {
+		if err := s.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, id)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		checkAll(t, s, want)
+	}
+}
+
+// BenchmarkSealedReads compares cold block reads from sealed segments via
+// the mmap path against the pread path. CacheBlocks is kept tiny so every
+// read goes to the segment bytes.
+func BenchmarkSealedReads(b *testing.B) {
+	dir := b.TempDir()
+	const records = 512
+	opts := Options{Dir: dir, BlockSize: 4096, SegmentSize: 64 << 10, CacheBlocks: 2}
+	s, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("sealed-segment-read-benchmark-"), 50)
+	for i := 1; i <= records; i++ {
+		if err := s.Append(Record{ID: uint64(i), DB: "db", Key: fmt.Sprintf("k%d", i), Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"mmap", false}, {"pread", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			o := opts
+			o.DisableMmap = mode.disable
+			s, err := Open(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := uint64(i%records) + 1
+				rec, ok, err := s.Get(id)
+				if err != nil || !ok || len(rec.Payload) != len(payload) {
+					b.Fatalf("Get(%d): ok=%v err=%v", id, ok, err)
+				}
+			}
+		})
+	}
+}

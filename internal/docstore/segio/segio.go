@@ -21,11 +21,11 @@
 //
 // The intended retirement sequence, from the store's point of view:
 //
-//	1. move every live record out of the victim segment (writer lock)
-//	2. table.Retire(slot)           — new snapshot; table ref dropped
-//	3. os.Remove(victim path)       — safe: pinned readers keep the fd,
-//	                                  POSIX keeps the inode until close
-//	4. cache.DropSegment(slot)
+//  1. move every live record out of the victim segment (writer lock)
+//  2. table.Retire(slot)           — new snapshot; table ref dropped
+//  3. os.Remove(victim path)       — safe: pinned readers keep the fd,
+//     POSIX keeps the inode until close
+//  4. cache.DropSegment(slot)
 //
 // A reader that loses the race — pins after the refcount drained — gets a
 // pin failure and re-resolves through the index, which no longer references
@@ -61,9 +61,21 @@ type Reader struct {
 	mem  atomic.Pointer[[]byte] // memory mode: grow-only published buffer
 	size atomic.Int64           // published (sealed, durable) byte count
 
+	// mapped is an optional zero-copy view over the segment's sealed
+	// prefix (a memory mapping installed by the store once the segment can
+	// no longer be written). Installed at most once; torn down when the
+	// refcount drains, so a pin is what keeps mapped bytes alive.
+	mapped atomic.Pointer[mapView]
+
 	refs    atomic.Int64
 	release func() // user hook: close the file (may be nil)
 	onDrain func() // table bookkeeping, set once at Install
+}
+
+// mapView pairs mapped bytes with their teardown hook.
+type mapView struct {
+	data  []byte
+	unmap func()
 }
 
 // NewFileReader wraps an open segment file. size is the initially published
@@ -128,6 +140,37 @@ func (r *Reader) ReadAt(p []byte, off int64) error {
 	return nil
 }
 
+// InstallMapping publishes data as a zero-copy view of the segment's first
+// len(data) bytes, with unmap as its teardown. It pins the reader around the
+// publish so a concurrent retirement can never drain past a half-installed
+// mapping; once the reader has drained (or a mapping is already installed)
+// it returns false and the caller keeps ownership of the mapping. unmap runs
+// exactly once, when the refcount drains — strictly before the release hook,
+// so the file is still open while its pages unmap.
+func (r *Reader) InstallMapping(data []byte, unmap func()) bool {
+	if !r.tryPin() {
+		return false
+	}
+	defer r.unref()
+	return r.mapped.CompareAndSwap(nil, &mapView{data: data, unmap: unmap})
+}
+
+// Mapped reports whether a mapping is installed.
+func (r *Reader) Mapped() bool { return r.mapped.Load() != nil }
+
+// MappedRange returns the zero-copy bytes [off, off+n) when that whole range
+// lies inside both the mapping and the published size, (nil, false)
+// otherwise. The caller must hold a pin on r for as long as it touches the
+// returned slice: the mapping is torn down when the refcount drains, and a
+// pin is what holds the refcount up.
+func (r *Reader) MappedRange(off, n int64) ([]byte, bool) {
+	mv := r.mapped.Load()
+	if mv == nil || off < 0 || n < 0 || off+n > int64(len(mv.data)) || off+n > r.size.Load() {
+		return nil, false
+	}
+	return mv.data[off : off+n], true
+}
+
 // tryPin atomically takes a reference unless the reader already drained.
 func (r *Reader) tryPin() bool {
 	for {
@@ -144,6 +187,9 @@ func (r *Reader) tryPin() bool {
 // unref drops one reference, running the release hook on the final drop.
 func (r *Reader) unref() {
 	if r.refs.Add(-1) == 0 {
+		if mv := r.mapped.Load(); mv != nil && mv.unmap != nil {
+			mv.unmap()
+		}
 		if r.release != nil {
 			r.release()
 		}

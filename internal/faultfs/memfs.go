@@ -170,6 +170,29 @@ func (f *memFile) Sync() error  { return nil }
 func (f *memFile) Close() error { return nil }
 func (f *memFile) Name() string { return f.name }
 
+// Mmap emulates a file mapping with a copy of the first length bytes. The
+// snapshot semantics match what callers are allowed to rely on: only
+// never-rewritten prefixes may be mapped, and for those a copy and a real
+// MAP_SHARED mapping are indistinguishable.
+func (f *memFile) Mmap(length int64) (Mapping, error) {
+	if length <= 0 {
+		return nil, ErrMmapUnsupported
+	}
+	f.node.mu.RLock()
+	defer f.node.mu.RUnlock()
+	if length > int64(len(f.node.data)) {
+		return nil, ErrMmapUnsupported
+	}
+	return &memMapping{data: append([]byte(nil), f.node.data[:length]...)}, nil
+}
+
+type memMapping struct {
+	data []byte
+}
+
+func (m *memMapping) Bytes() []byte { return m.data }
+func (m *memMapping) Close() error  { m.data = nil; return nil }
+
 func (f *memFile) Truncate(size int64) error {
 	f.node.mu.Lock()
 	defer f.node.mu.Unlock()

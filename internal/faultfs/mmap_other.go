@@ -1,0 +1,8 @@
+//go:build !unix
+
+package faultfs
+
+// Mmap is unavailable on this platform; callers fall back to ReadAt.
+func (f *osFile) Mmap(length int64) (Mapping, error) {
+	return nil, ErrMmapUnsupported
+}

@@ -1,0 +1,98 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSMmap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg")
+	f, err := OS{}.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	content := bytes.Repeat([]byte("abcdefgh"), 512)
+	if _, err := f.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := f.(Mapper)
+	if !ok {
+		t.Fatal("os-backed File does not implement Mapper")
+	}
+	mp, err := m.Mmap(int64(len(content)))
+	if err != nil {
+		t.Fatalf("Mmap: %v", err)
+	}
+	if !bytes.Equal(mp.Bytes(), content) {
+		t.Fatal("mapped bytes differ from written bytes")
+	}
+	// MAP_SHARED: later writes to already-written ranges are coherent.
+	if _, err := f.WriteAt([]byte("XXXX"), 8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mp.Bytes()[8:12], []byte("XXXX")) {
+		t.Fatal("os mapping not coherent with a later WriteAt")
+	}
+	if err := mp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if _, err := m.Mmap(0); !errors.Is(err, ErrMmapUnsupported) {
+		t.Fatalf("Mmap(0) = %v, want ErrMmapUnsupported", err)
+	}
+}
+
+func TestMemMmapSnapshots(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.OpenFile("seg", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("12345678"), 16)
+	if _, err := f.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := f.(Mapper).Mmap(int64(len(content)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mp.Bytes(), content) {
+		t.Fatal("mapped bytes differ")
+	}
+	if _, err := f.(Mapper).Mmap(int64(len(content)) + 1); !errors.Is(err, ErrMmapUnsupported) {
+		t.Fatal("mapping past EOF must be refused")
+	}
+	mp.Close()
+}
+
+func TestInjectorMmap(t *testing.T) {
+	fs := NewMemFS()
+	inj := NewInjector(fs, 1, FailMmap(1))
+	f, err := inj.OpenFile("seg", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(bytes.Repeat([]byte("x"), 128), 0); err != nil {
+		t.Fatal(err)
+	}
+	m := f.(Mapper)
+	if _, err := m.Mmap(128); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first Mmap = %v, want ErrInjected", err)
+	}
+	mp, err := m.Mmap(128)
+	if err != nil {
+		t.Fatalf("second Mmap should delegate cleanly: %v", err)
+	}
+	if len(mp.Bytes()) != 128 {
+		t.Fatalf("mapped %d bytes, want 128", len(mp.Bytes()))
+	}
+	mp.Close()
+	if got := inj.Count(OpMmap); got != 2 {
+		t.Fatalf("Count(OpMmap) = %d, want 2", got)
+	}
+}

@@ -75,14 +75,17 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 
 // metricsView is the /metrics response shape: the encode-pipeline snapshot
 // plus the encoder-pool geometry, the secondary-side apply-pipeline snapshot
-// (all zeros on a node that is not replicating), and the read-path snapshot
-// (latency, per-shard block cache, segment-reader gauges).
+// (all zeros on a node that is not replicating), the read-path snapshot
+// (latency, per-shard block cache, segment-reader gauges), the compaction /
+// re-dedup snapshot, and the similarity-index occupancy snapshot.
 type metricsView struct {
 	EncodeWorkers int
 	Encode        metrics.EncodeSnapshot
 	Apply         metrics.ApplySnapshot
 	Read          metrics.ReadSnapshot
 	Repl          metrics.ReplSnapshot
+	Compaction    metrics.CompactionSnapshot
+	FeatIdx       metrics.FeatIdxSnapshot
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -92,6 +95,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Apply:         s.node.ApplyMetrics().Snapshot(),
 		Read:          s.node.ReadSnapshot(),
 		Repl:          s.node.ReplMetrics().Snapshot(),
+		Compaction:    s.node.CompactionSnapshot(),
+		FeatIdx:       s.node.FeatIdxSnapshot(),
 	})
 }
 
@@ -129,6 +134,16 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	rp := s.node.ReplMetrics().Snapshot()
 	fmt.Fprintf(w, "repl:     %d reconnects (%d dial failures), %d corrupt frames, %d seq violations, %d idle timeouts\n",
 		rp.Reconnects, rp.DialFailures, rp.CorruptFrames, rp.FrameSeqViolations, rp.IdleTimeouts)
+	cs := s.node.CompactionSnapshot()
+	fmt.Fprintf(w, "compact:  %d passes, %d resketched, %d conversions (%d skipped), saved %s logical / %s physical\n",
+		cs.Passes, cs.Resketched, cs.Conversions, cs.ConversionsSkipped,
+		metrics.FormatBytes(cs.LogicalBytesSaved), metrics.FormatBytes(cs.PhysicalBytesReclaimed))
+	fmt.Fprintf(w, "blocks:   %d mmap reads / %d pread reads (%d map failures)\n",
+		cs.MmapBlockReads, cs.PreadBlockReads, cs.MmapFailures)
+	fi := s.node.FeatIdxSnapshot()
+	fmt.Fprintf(w, "featidx:  %d entries (%s of %s), %d lookups, %d matches, %d evictions\n",
+		fi.Entries, metrics.FormatBytes(fi.MemoryBytes), metrics.FormatBytes(fi.CapacityBytes),
+		fi.Lookups, fi.Matches, fi.Evictions)
 	fmt.Fprintf(w, "\ndatabases:\n")
 	for _, d := range s.node.DBStats() {
 		verdict := "active"

@@ -554,3 +554,80 @@ func Percentiles(samples []time.Duration, qs ...float64) []time.Duration {
 	}
 	return out
 }
+
+// CompactionMetrics bundles the compaction re-dedup pass counters: how much
+// work each pass did (records re-sketched against the feature index, raw →
+// delta conversions won) and what it bought (logical bytes saved by the
+// conversions, physical bytes reclaimed by retiring victim segments).
+type CompactionMetrics struct {
+	// Passes counts completed compaction passes; PassLatency is their
+	// wall-clock distribution.
+	Passes Meter
+	// Resketched counts live raw records whose features were recomputed
+	// and probed against the similarity index during compaction.
+	Resketched Meter
+	// Conversions counts raw records rewritten as deltas; Skipped counts
+	// conversions abandoned at commit time (superseded record, failed
+	// grounding check, or an append error).
+	Conversions        Meter
+	ConversionsSkipped Meter
+	// LogicalBytesSaved is Σ(raw payload − encoded delta) over committed
+	// conversions; PhysicalBytesReclaimed is segment bytes freed on disk.
+	LogicalBytesSaved      Meter
+	PhysicalBytesReclaimed Meter
+
+	latency *Histogram
+}
+
+// NewCompactionMetrics returns a zeroed bundle.
+func NewCompactionMetrics() *CompactionMetrics {
+	return &CompactionMetrics{latency: NewHistogram()}
+}
+
+// ObservePass records one completed pass and its duration.
+func (m *CompactionMetrics) ObservePass(d time.Duration) {
+	m.Passes.Add(1)
+	m.latency.Observe(d)
+}
+
+// CompactionSnapshot is a point-in-time view of a CompactionMetrics bundle
+// plus the store's mmap/pread read-path split, shaped for the admin endpoint.
+type CompactionSnapshot struct {
+	Passes                 int64
+	Resketched             int64
+	Conversions            int64
+	ConversionsSkipped     int64
+	LogicalBytesSaved      int64
+	PhysicalBytesReclaimed int64
+	PassLatency            HistogramSummary
+	// MmapBlockReads/PreadBlockReads split sealed-segment block reads by
+	// path; MmapFailures counts mappings that failed and fell back.
+	MmapBlockReads  uint64
+	PreadBlockReads uint64
+	MmapFailures    uint64
+}
+
+// Snapshot summarises the bundle. The mmap counters are store-owned; the
+// caller fills them in.
+func (m *CompactionMetrics) Snapshot() CompactionSnapshot {
+	return CompactionSnapshot{
+		Passes:                 m.Passes.Total(),
+		Resketched:             m.Resketched.Total(),
+		Conversions:            m.Conversions.Total(),
+		ConversionsSkipped:     m.ConversionsSkipped.Total(),
+		LogicalBytesSaved:      m.LogicalBytesSaved.Total(),
+		PhysicalBytesReclaimed: m.PhysicalBytesReclaimed.Total(),
+		PassLatency:            SummarizeHistogram(m.latency),
+	}
+}
+
+// FeatIdxSnapshot is a point-in-time view of the similarity index: occupancy
+// against its configured bound, plus lifetime lookup/match/eviction counts.
+type FeatIdxSnapshot struct {
+	Entries       int
+	MemoryBytes   int64
+	CapacityBytes int64
+	Lookups       uint64
+	Matches       uint64
+	Evictions     uint64
+}

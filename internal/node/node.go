@@ -140,8 +140,8 @@ type Node struct {
 	// client path, by the applier's per-database FIFO on the replica path
 	// — and publish a key only after its record is appended.
 	keys    keyDir
-	refcnt  map[uint64]int // decode-base reference counts
-	version map[uint64]uint32            // bumped on client update/delete
+	refcnt  map[uint64]int    // decode-base reference counts
+	version map[uint64]uint32 // bumped on client update/delete
 	nextID  uint64
 	stats   Stats
 	latIns  *metrics.Histogram
@@ -170,9 +170,10 @@ type Node struct {
 	shards    []*encodeShard
 	asyncMode bool
 	encClosed atomic.Bool
-	encm      *metrics.EncodeMetrics // queue gauges; engine's bundle when dedup is on
-	applym    *metrics.ApplyMetrics  // replication apply-path instrumentation
-	replm     *metrics.ReplMetrics   // replication transport hardening counters
+	encm      *metrics.EncodeMetrics     // queue gauges; engine's bundle when dedup is on
+	applym    *metrics.ApplyMetrics      // replication apply-path instrumentation
+	replm     *metrics.ReplMetrics       // replication transport hardening counters
+	compm     *metrics.CompactionMetrics // compaction pass / re-dedup counters
 
 	wg     sync.WaitGroup
 	stopCh chan struct{}
@@ -254,6 +255,7 @@ func Open(opts Options) (*Node, error) {
 		n.encm = metrics.NewEncodeMetrics()
 	}
 	n.applym = metrics.NewApplyMetrics()
+	n.compm = metrics.NewCompactionMetrics()
 	n.replm = &metrics.ReplMetrics{}
 	if opts.WritebackCacheBytes >= 0 {
 		n.wb = dedupcache.NewWritebackCache(opts.WritebackCacheBytes)
@@ -953,6 +955,20 @@ func (n *Node) applyWriteback(id uint64, payload []byte) bool {
 		n.mu.Unlock()
 		return false
 	}
+	// The chain this re-encoding creates must still ground in a raw record.
+	// Write-backs alone cannot cycle (they re-encode an older record
+	// against a newer one and the newest stays raw), but a compaction-time
+	// re-dedup conversion can point a newer record at an older one — a
+	// queued write-back in the opposite direction would then close a
+	// cycle, which recovery refuses to ground, losing the whole chain.
+	// Both writers walk under applyMu, so whichever commits second sees
+	// the other's committed form and skips (lossy is fine).
+	if !n.rededupStillSafe(id, base, int(n.store.Stats().LiveRecords)+1) {
+		n.mu.Lock()
+		n.stats.WritebacksSkipped++
+		n.mu.Unlock()
+		return false
+	}
 	oldForm, oldBase := rec.Form, rec.BaseID
 
 	// End-to-end guard: the re-encoding must reproduce exactly the
@@ -1404,6 +1420,38 @@ func (n *Node) ApplyMetrics() *metrics.ApplyMetrics { return n.applym }
 // (reconnects, backoff, corrupt-frame rejections, idle timeouts) — populated
 // when this node replicates over repl without an explicit metrics bundle.
 func (n *Node) ReplMetrics() *metrics.ReplMetrics { return n.replm }
+
+// CompactionMetrics exposes the compaction pass / re-dedup counter bundle.
+func (n *Node) CompactionMetrics() *metrics.CompactionMetrics { return n.compm }
+
+// CompactionSnapshot summarises compaction and the re-dedup pass for the
+// admin endpoint, including the store's mmap/pread read-path split.
+func (n *Node) CompactionSnapshot() metrics.CompactionSnapshot {
+	snap := n.compm.Snapshot()
+	st := n.store.Stats()
+	snap.MmapBlockReads = st.MmapBlockReads
+	snap.PreadBlockReads = st.PreadBlockReads
+	snap.MmapFailures = st.MmapFailures
+	return snap
+}
+
+// FeatIdxSnapshot summarises the similarity index (occupancy against its
+// bound, lookup/match/eviction counts) for the admin endpoint. Zero-valued
+// when dedup is disabled.
+func (n *Node) FeatIdxSnapshot() metrics.FeatIdxSnapshot {
+	if n.eng == nil {
+		return metrics.FeatIdxSnapshot{}
+	}
+	es := n.eng.Stats()
+	return metrics.FeatIdxSnapshot{
+		Entries:       es.IndexEntries,
+		MemoryBytes:   es.IndexMemoryBytes,
+		CapacityBytes: es.IndexCapacityBytes,
+		Lookups:       es.IndexLookups,
+		Matches:       es.IndexMatches,
+		Evictions:     es.IndexEvictions,
+	}
+}
 
 // Stats returns a node snapshot.
 func (n *Node) Stats() Stats {
