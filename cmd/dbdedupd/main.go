@@ -21,6 +21,7 @@ import (
 
 	"dbdedup/internal/apiserver"
 	"dbdedup/internal/chain"
+	"dbdedup/internal/chunker"
 	"dbdedup/internal/core"
 	"dbdedup/internal/httpadmin"
 	"dbdedup/internal/metrics"
@@ -37,6 +38,7 @@ func main() {
 		noDedup    = flag.Bool("no-dedup", false, "disable deduplication")
 		compress   = flag.Bool("compress", false, "enable block-level compression")
 		chunkSize  = flag.Int("chunk", 64, "sketching chunk size in bytes (power of two)")
+		chunkAlg   = flag.String("chunker", "", "content-defined chunking algorithm: rabin | gear (default: DBDEDUP_CHUNKER or rabin; must match across a replica set)")
 		scheme     = flag.String("scheme", "hop", "chain encoding scheme: hop | backward | version-jump")
 		hop        = flag.Int("hop", 16, "hop distance / cluster size")
 		statsEvery = flag.Duration("stats-every", 0, "periodically log store stats (0 = off)")
@@ -47,6 +49,11 @@ func main() {
 		admin      = flag.String("admin", "", "HTTP admin endpoint address (e.g. :7090; empty = off)")
 	)
 	flag.Parse()
+
+	alg, err := chunker.ParseAlgorithm(*chunkAlg)
+	if err != nil {
+		log.Fatalf("-chunker: %v", err)
+	}
 
 	var sch chain.Scheme
 	switch *scheme {
@@ -64,6 +71,7 @@ func main() {
 		Dir:          *dir,
 		DisableDedup: *noDedup,
 		Engine: core.Config{
+			Chunker:      alg,
 			ChunkAvgSize: *chunkSize,
 			Scheme:       sch,
 			HopDistance:  *hop,

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dbdedup/internal/chain"
+	"dbdedup/internal/chunker"
 	"dbdedup/internal/core"
 	"dbdedup/internal/metrics"
 	"dbdedup/internal/node"
@@ -81,6 +82,12 @@ type Options struct {
 	// Default 64 — the paper's headline configuration; 1024 trades a
 	// little compression for faster sketching.
 	ChunkSize int
+	// Chunker selects the content-defined chunking algorithm: "rabin"
+	// (rolling-polynomial fingerprints, the default) or "gear" (Gear-hash
+	// chunking with skip-ahead — several times faster at equivalent dedup
+	// ratios). Empty honours the DBDEDUP_CHUNKER environment variable.
+	// All nodes of a replica set must agree.
+	Chunker string
 	// SketchFeatures caps features per record (default 8).
 	SketchFeatures int
 	// AnchorInterval tunes delta compression speed vs ratio (default 64).
@@ -130,12 +137,17 @@ type Options struct {
 	AutoCompact bool
 }
 
-func (o Options) nodeOptions() node.Options {
+func (o Options) nodeOptions() (node.Options, error) {
+	alg, err := chunker.ParseAlgorithm(o.Chunker)
+	if err != nil {
+		return node.Options{}, err
+	}
 	return node.Options{
 		Dir:              o.Dir,
 		DisableDedup:     o.DisableDedup,
 		BlockCompression: o.BlockCompression,
 		Engine: core.Config{
+			Chunker:           alg,
 			ChunkAvgSize:      o.ChunkSize,
 			SketchK:           o.SketchFeatures,
 			AnchorInterval:    o.AnchorInterval,
@@ -154,7 +166,7 @@ func (o Options) nodeOptions() node.Options {
 		DisableAutoFlush:    o.ManualFlush,
 		FlushInterval:       o.FlushInterval,
 		Compaction:          node.CompactionOptions{Enabled: o.AutoCompact},
-	}
+	}, nil
 }
 
 // Store is a deduplicating document store node.
@@ -164,7 +176,11 @@ type Store struct {
 
 // Open creates or reopens a Store.
 func Open(opts Options) (*Store, error) {
-	n, err := node.Open(opts.nodeOptions())
+	nopts, err := opts.nodeOptions()
+	if err != nil {
+		return nil, err
+	}
+	n, err := node.Open(nopts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,39 @@
+package chunker
+
+import (
+	"fmt"
+	"testing"
+
+	"dbdedup/internal/murmur"
+)
+
+// BenchmarkChunkers is the chunking-throughput shootout recorded in
+// EXPERIMENTS.md: rabin vs gear at 64 B and 1 KiB average chunks, with and
+// without per-chunk Murmur hashing (hash=on approximates the full sketch
+// feature-generation cost per byte).
+func BenchmarkChunkers(b *testing.B) {
+	data := xorshift(8 << 20)
+	for _, alg := range []Algorithm{Rabin, Gear} {
+		for _, avg := range []int{64, 1024} {
+			for _, hash := range []bool{false, true} {
+				name := fmt.Sprintf("%s/avg=%d/hash=%v", alg, avg, hash)
+				b.Run(name, func(b *testing.B) {
+					c := New(Config{Algorithm: alg, AvgSize: avg})
+					var chunks []Chunk
+					var sink uint64
+					b.SetBytes(int64(len(data)))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						chunks = c.Chunks(data, chunks[:0])
+						if hash {
+							for _, ch := range chunks {
+								sink += murmur.Sum64(data[ch.Offset:ch.Offset+ch.Length], 0)
+							}
+						}
+					}
+					_ = sink
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package chunker is the content-defined chunking seam of the sketch stage:
+// a Chunker turns byte buffers into contiguous, non-empty chunk streams that
+// cover the input exactly, and every implementation is interchangeable
+// behind that contract. Two implementations exist:
+//
+//   - Rabin: the classic rolling-polynomial fingerprint chunker
+//     (internal/rabin), the reproduction's original algorithm. A boundary is
+//     declared wherever the low bits of a sliding-window fingerprint match a
+//     fixed pattern.
+//
+//   - Gear: a Gear-hash chunker in the FastCDC/SeqCDC style. The rolling
+//     hash is one shift and one byte-indexed table add per byte — no
+//     sliding-window bookkeeping — the sub-MinSize region of every chunk is
+//     skipped entirely (no boundary can fire there), and two normalized
+//     masks steer the chunk-size distribution toward the configured average.
+//     Several times faster than Rabin at equal average chunk size.
+//
+// Chunk boundaries differ between algorithms (each defines its own notion of
+// "content-defined"), but both are deterministic, both respect the same
+// Min/Avg/Max size bounds, and both yield statistically equivalent dedup
+// ratios — verified by the ratio-parity tests in internal/experiments.
+package chunker
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Chunk describes one content-defined chunk of an input buffer.
+type Chunk struct {
+	// Offset is the byte offset of the chunk within the input.
+	Offset int
+	// Length is the chunk length in bytes.
+	Length int
+}
+
+// Algorithm selects a chunking algorithm.
+type Algorithm int
+
+const (
+	// Auto resolves to the DBDEDUP_CHUNKER environment variable ("rabin"
+	// or "gear"), falling back to Rabin. It is the zero value so existing
+	// configurations keep their behaviour unless the operator opts in.
+	Auto Algorithm = iota
+	// Rabin is rolling-polynomial fingerprint chunking (internal/rabin).
+	Rabin
+	// Gear is Gear-hash chunking with skip-ahead and normalized masks.
+	Gear
+)
+
+// String names the algorithm (Auto shows what it resolves to).
+func (a Algorithm) String() string {
+	switch a.resolve() {
+	case Gear:
+		return "gear"
+	default:
+		return "rabin"
+	}
+}
+
+// ParseAlgorithm maps a flag/config string to an Algorithm. Empty and
+// "auto" return Auto.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "auto":
+		return Auto, nil
+	case "rabin":
+		return Rabin, nil
+	case "gear":
+		return Gear, nil
+	default:
+		return Auto, fmt.Errorf("chunker: unknown algorithm %q (want rabin or gear)", s)
+	}
+}
+
+// envDefault resolves the DBDEDUP_CHUNKER environment override once. An
+// unset or unparseable value keeps the Rabin default.
+var envDefault = sync.OnceValue(func() Algorithm {
+	a, err := ParseAlgorithm(os.Getenv("DBDEDUP_CHUNKER"))
+	if err != nil || a == Auto {
+		return Rabin
+	}
+	return a
+})
+
+// resolve maps Auto to the effective algorithm.
+func (a Algorithm) resolve() Algorithm {
+	if a == Auto {
+		return envDefault()
+	}
+	return a
+}
+
+// Chunker splits byte buffers into content-defined chunks. Implementations
+// are immutable after construction and safe for concurrent use.
+type Chunker interface {
+	// Algorithm identifies the implementation.
+	Algorithm() Algorithm
+	// Chunks appends the chunks of data to dst and returns the extended
+	// slice (append semantics, so callers can reuse scratch buffers).
+	// The appended chunks are contiguous, non-empty, and cover data
+	// exactly; an empty input appends nothing.
+	Chunks(data []byte, dst []Chunk) []Chunk
+}
+
+// Config controls content-defined chunking, independent of algorithm.
+type Config struct {
+	// Algorithm picks the implementation; Auto honours DBDEDUP_CHUNKER
+	// and defaults to Rabin.
+	Algorithm Algorithm
+	// AvgSize is the target average chunk size in bytes. It must be a
+	// power of two >= 2. Defaults to 1024.
+	AvgSize int
+	// MinSize suppresses boundaries that would create chunks smaller
+	// than this. Defaults to AvgSize/4 when zero.
+	MinSize int
+	// MaxSize forces a boundary when a chunk reaches this length.
+	// Defaults to AvgSize*4 when zero.
+	MaxSize int
+}
+
+// withDefaults validates cfg and fills in defaults. It panics on invalid
+// sizes; configuration is programmer input, not runtime data.
+func (cfg Config) withDefaults() Config {
+	if cfg.AvgSize == 0 {
+		cfg.AvgSize = 1024
+	}
+	if cfg.AvgSize < 2 || cfg.AvgSize&(cfg.AvgSize-1) != 0 {
+		panic("chunker: AvgSize must be a power of two >= 2")
+	}
+	if cfg.MinSize == 0 {
+		cfg.MinSize = cfg.AvgSize / 4
+	}
+	if cfg.MinSize < 1 {
+		cfg.MinSize = 1
+	}
+	if cfg.MaxSize == 0 {
+		cfg.MaxSize = cfg.AvgSize * 4
+	}
+	if cfg.MinSize > cfg.MaxSize {
+		panic("chunker: MinSize > MaxSize")
+	}
+	return cfg
+}
+
+// New builds the configured chunker.
+func New(cfg Config) Chunker {
+	cfg = cfg.withDefaults()
+	switch cfg.Algorithm.resolve() {
+	case Gear:
+		return newGearChunker(cfg)
+	default:
+		return newRabinChunker(cfg)
+	}
+}
+
+// Split is a convenience wrapper allocating a fresh chunk slice.
+func Split(c Chunker, data []byte) []Chunk {
+	if len(data) == 0 {
+		return nil
+	}
+	return c.Chunks(data, nil)
+}

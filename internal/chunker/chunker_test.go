@@ -1,0 +1,239 @@
+package chunker
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// xorshift fills n bytes from a fixed xorshift64 stream — deterministic
+// across Go versions, unlike math/rand's generator contract.
+func xorshift(n int) []byte {
+	var s uint64 = 0x9e3779b97f4a7c15
+	b := make([]byte, n)
+	for i := range b {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		b[i] = byte(s)
+	}
+	return b
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Algorithm
+		err  bool
+	}{
+		{"", Auto, false},
+		{"auto", Auto, false},
+		{"rabin", Rabin, false},
+		{"gear", Gear, false},
+		{"GEAR", Auto, true},
+		{"fastcdc", Auto, true},
+	}
+	for _, c := range cases {
+		got, err := ParseAlgorithm(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v, err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+}
+
+func TestAutoHonoursEnv(t *testing.T) {
+	// The CI chunker-matrix lane runs the whole suite with
+	// DBDEDUP_CHUNKER=gear, so compute the expectation from the
+	// environment rather than assuming the default.
+	want := Rabin
+	if env, err := ParseAlgorithm(os.Getenv("DBDEDUP_CHUNKER")); err == nil && env != Auto {
+		want = env
+	}
+	if got := New(Config{AvgSize: 64}).Algorithm(); got != want {
+		t.Errorf("New(Auto) resolved to %v, want %v (DBDEDUP_CHUNKER=%q)",
+			got, want, os.Getenv("DBDEDUP_CHUNKER"))
+	}
+	if got := Algorithm(Auto).String(); got != want.String() {
+		t.Errorf("Auto.String() = %q, want %q", got, want.String())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mustPanic := func(name string, cfg Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: New did not panic", name)
+			}
+		}()
+		New(cfg)
+	}
+	mustPanic("non-power-of-two", Config{AvgSize: 100})
+	mustPanic("avg too small", Config{AvgSize: 1})
+	mustPanic("min > max", Config{AvgSize: 64, MinSize: 300, MaxSize: 200})
+	for _, alg := range []Algorithm{Rabin, Gear} {
+		if c := New(Config{Algorithm: alg}); c.Algorithm() != alg {
+			t.Errorf("Algorithm() = %v, want %v", c.Algorithm(), alg)
+		}
+	}
+}
+
+// checkCover asserts the chunk-stream contract every implementation must
+// honour: chunks are contiguous, non-empty, cover data exactly, never exceed
+// MaxSize, and only the final chunk may be shorter than MinSize.
+func checkCover(t *testing.T, chunks []Chunk, n, min, max int) {
+	t.Helper()
+	if n == 0 {
+		if len(chunks) != 0 {
+			t.Fatalf("empty input produced %d chunks", len(chunks))
+		}
+		return
+	}
+	off := 0
+	for i, c := range chunks {
+		if c.Offset != off {
+			t.Fatalf("chunk %d: offset %d, want %d", i, c.Offset, off)
+		}
+		if c.Length <= 0 {
+			t.Fatalf("chunk %d: empty", i)
+		}
+		if c.Length > max {
+			t.Fatalf("chunk %d: length %d > max %d", i, c.Length, max)
+		}
+		if c.Length < min && i != len(chunks)-1 {
+			t.Fatalf("chunk %d: length %d < min %d and not final", i, c.Length, min)
+		}
+		off += c.Length
+	}
+	if off != n {
+		t.Fatalf("chunks cover %d bytes, input has %d", off, n)
+	}
+}
+
+func TestChunkStreamInvariants(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		{0x42},
+		xorshift(10),
+		xorshift(255),
+		xorshift(256),
+		xorshift(257),
+		make([]byte, 5000),           // zero run
+		xorshift(64 * 1024),          // bulk random
+		[]byte("abcabcabcabcabcabc"), // short period
+	}
+	for _, alg := range []Algorithm{Rabin, Gear} {
+		for _, avg := range []int{64, 1024} {
+			cfg := Config{Algorithm: alg, AvgSize: avg}.withDefaults()
+			c := New(cfg)
+			for i, in := range inputs {
+				chunks := c.Chunks(in, nil)
+				checkCover(t, chunks, len(in), cfg.MinSize, cfg.MaxSize)
+				if t.Failed() {
+					t.Fatalf("alg=%v avg=%d input %d", alg, avg, i)
+				}
+			}
+		}
+	}
+}
+
+func TestChunksAppendSemantics(t *testing.T) {
+	c := New(Config{Algorithm: Gear, AvgSize: 64})
+	data := xorshift(4096)
+	scratch := make([]Chunk, 0, 128)
+	a := c.Chunks(data, scratch)
+	b := c.Chunks(data, nil)
+	if len(a) != len(b) {
+		t.Fatalf("scratch reuse changed chunk count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d differs with scratch reuse: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Appending after a prefix preserves the prefix.
+	pre := []Chunk{{Offset: -1, Length: -1}}
+	out := c.Chunks(data, pre)
+	if out[0] != pre[0] {
+		t.Fatal("Chunks overwrote existing dst elements")
+	}
+}
+
+func TestMeanChunkSizeNearTarget(t *testing.T) {
+	data := xorshift(4 << 20)
+	for _, alg := range []Algorithm{Rabin, Gear} {
+		for _, avg := range []int{64, 1024} {
+			c := New(Config{Algorithm: alg, AvgSize: avg})
+			chunks := c.Chunks(data, nil)
+			mean := float64(len(data)) / float64(len(chunks))
+			if mean < float64(avg)/2 || mean > 2*float64(avg) {
+				t.Errorf("alg=%v avg=%d: mean chunk size %.1f outside [avg/2, 2avg]",
+					alg, avg, mean)
+			}
+		}
+	}
+}
+
+// TestShiftResilience pins the property content-defined chunking exists for:
+// inserting bytes near the front must leave most downstream chunk content
+// unchanged, for both algorithms.
+func TestShiftResilience(t *testing.T) {
+	base := xorshift(256 << 10)
+	edited := append([]byte(nil), base[:1000]...)
+	edited = append(edited, []byte("INSERTED-SEQUENCE")...)
+	edited = append(edited, base[1000:]...)
+
+	for _, alg := range []Algorithm{Rabin, Gear} {
+		c := New(Config{Algorithm: alg, AvgSize: 1024})
+		contents := func(data []byte) map[string]struct{} {
+			m := make(map[string]struct{})
+			for _, ch := range c.Chunks(data, nil) {
+				m[string(data[ch.Offset:ch.Offset+ch.Length])] = struct{}{}
+			}
+			return m
+		}
+		a, b := contents(base), contents(edited)
+		shared := 0
+		for k := range a {
+			if _, ok := b[k]; ok {
+				shared++
+			}
+		}
+		if frac := float64(shared) / float64(len(a)); frac < 0.80 {
+			t.Errorf("alg=%v: only %.0f%% of chunks survive a 17-byte insertion; want >= 80%%",
+				alg, frac*100)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	for _, alg := range []Algorithm{Rabin, Gear} {
+		c1 := New(Config{Algorithm: alg, AvgSize: 64})
+		c2 := New(Config{Algorithm: alg, AvgSize: 64})
+		a := c1.Chunks(data, nil)
+		b := c2.Chunks(data, nil)
+		if len(a) != len(b) {
+			t.Fatalf("alg=%v: chunk count differs across instances", alg)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("alg=%v: chunk %d differs across instances", alg, i)
+			}
+		}
+	}
+}
+
+func TestSplitHelper(t *testing.T) {
+	c := New(Config{Algorithm: Gear, AvgSize: 64})
+	if got := Split(c, nil); got != nil {
+		t.Errorf("Split(empty) = %v, want nil", got)
+	}
+	data := xorshift(1024)
+	if got := Split(c, data); len(got) == 0 {
+		t.Error("Split(data) returned no chunks")
+	}
+}

@@ -1,0 +1,29 @@
+package chunker
+
+import "dbdedup/internal/rabin"
+
+// rabinChunker adapts the rolling-polynomial chunker in internal/rabin to
+// the Chunker seam. The underlying rabin.Chunker keeps all algorithm state
+// (lookup tables, mask, window); this wrapper only tracks offsets.
+type rabinChunker struct {
+	rc *rabin.Chunker
+}
+
+func newRabinChunker(cfg Config) *rabinChunker {
+	return &rabinChunker{rc: rabin.NewChunker(rabin.ChunkerConfig{
+		AvgSize: cfg.AvgSize,
+		MinSize: cfg.MinSize,
+		MaxSize: cfg.MaxSize,
+	})}
+}
+
+func (c *rabinChunker) Algorithm() Algorithm { return Rabin }
+
+func (c *rabinChunker) Chunks(data []byte, dst []Chunk) []Chunk {
+	off := 0
+	c.rc.SplitFunc(data, func(chunk []byte) {
+		dst = append(dst, Chunk{Offset: off, Length: len(chunk)})
+		off += len(chunk)
+	})
+	return dst
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"dbdedup/internal/chain"
+	"dbdedup/internal/chunker"
 	"dbdedup/internal/dedupcache"
 	"dbdedup/internal/delta"
 	"dbdedup/internal/featidx"
@@ -61,6 +62,12 @@ type Config struct {
 	// ChunkAvgSize is the sketching chunk size (paper: 1 KiB or 64 B;
 	// 64 B is the headline configuration). Defaults to 64.
 	ChunkAvgSize int
+	// Chunker selects the content-defined chunking algorithm behind the
+	// sketch seam (chunker.Rabin or chunker.Gear). The zero value honours
+	// the DBDEDUP_CHUNKER environment variable and defaults to Rabin.
+	// Primary and secondaries must agree: sketches — and therefore chain
+	// layouts — differ between algorithms.
+	Chunker chunker.Algorithm
 	// SketchK is the features-per-record bound. Defaults to 8.
 	SketchK int
 	// AnchorInterval tunes delta compression (paper default 64).
@@ -237,6 +244,10 @@ type Engine struct {
 	dbsMu sync.RWMutex
 	dbs   map[string]*dbState
 
+	// sketchBufs recycles sketch result buffers (*sketch.Sketch) so the
+	// encode and probe paths extract without allocating.
+	sketchBufs sync.Pool
+
 	stats counters
 }
 
@@ -277,10 +288,11 @@ func NewEngine(cfg Config, fetcher Fetcher) *Engine {
 	if cfg.SourceCacheBytes > 0 {
 		cache = dedupcache.NewSourceCache(cfg.SourceCacheBytes)
 	}
-	return &Engine{
+	e := &Engine{
 		cfg: cfg,
 		extractor: sketch.NewExtractor(sketch.Config{
 			K:              cfg.SketchK,
+			Chunker:        cfg.Chunker,
 			ChunkAvgSize:   cfg.ChunkAvgSize,
 			SampleRandomly: cfg.SampleRandomly,
 		}),
@@ -290,6 +302,25 @@ func NewEngine(cfg Config, fetcher Fetcher) *Engine {
 		enc:     metrics.NewEncodeMetrics(),
 		dbs:     make(map[string]*dbState),
 	}
+	e.extractor.SetMetrics(e.enc)
+	k := cfg.SketchK
+	e.sketchBufs.New = func() interface{} {
+		s := make(sketch.Sketch, 0, k)
+		return &s
+	}
+	return e
+}
+
+// getSketchBuf / putSketchBuf recycle sketch buffers around extraction.
+func (e *Engine) getSketchBuf() *sketch.Sketch {
+	return e.sketchBufs.Get().(*sketch.Sketch)
+}
+
+func (e *Engine) putSketchBuf(buf *sketch.Sketch, sk sketch.Sketch) {
+	if sk != nil {
+		*buf = sk // keep any grown capacity
+	}
+	e.sketchBufs.Put(buf)
 }
 
 // Layout returns the engine's encoding layout.
@@ -361,9 +392,11 @@ func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error
 	e.enc.Encoded.Add(1)
 	e.enc.EncodedBytes.Add(int64(len(payload)))
 
-	// Step 1: feature extraction — CPU-heavy, lock-free.
+	// Step 1: feature extraction — CPU-heavy, lock-free, allocation-free
+	// (pooled sketch buffer + pooled extractor scratch).
 	t := time.Now()
-	sk := e.extractor.Extract(payload)
+	skb := e.getSketchBuf()
+	sk := e.extractor.ExtractInto(*skb, payload)
 	e.enc.ObserveStage(metrics.StageSketch, time.Since(t))
 
 	// Step 2: index lookup — also registers the new record's features.
@@ -374,6 +407,7 @@ func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error
 		// like any post-verdict insert.
 		st.codeBytes += int64(len(payload))
 		st.mu.Unlock()
+		e.putSketchBuf(skb, sk)
 		e.stats.governorSkipped.Add(1)
 		return Result{GovernorDisabled: true}, nil
 	}
@@ -387,6 +421,7 @@ func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error
 			}
 		}
 	}
+	e.putSketchBuf(skb, sk)
 
 	if len(counts) == 0 {
 		st.codeBytes += int64(len(payload))
@@ -540,10 +575,12 @@ func (e *Engine) ProbeSimilar(dbName string, id uint64, payload []byte) (srcID u
 	if disabled {
 		return 0, false
 	}
-	sk := e.extractor.Extract(payload) // CPU-heavy, lock-free
+	skb := e.getSketchBuf()
+	sk := e.extractor.ExtractInto(*skb, payload) // CPU-heavy, lock-free
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.disabled || st.index == nil {
+		e.putSketchBuf(skb, sk)
 		return 0, false
 	}
 	ref := uint32(len(st.refs))
@@ -558,6 +595,7 @@ func (e *Engine) ProbeSimilar(dbName string, id uint64, payload []byte) (srcID u
 			}
 		}
 	}
+	e.putSketchBuf(skb, sk)
 	if len(counts) == 0 {
 		return 0, false
 	}

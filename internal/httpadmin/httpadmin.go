@@ -128,6 +128,13 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "wb:       %d applied, %d skipped\n", st.WritebacksApplied, st.WritebacksSkipped)
 	fmt.Fprintf(w, "encoder:  %d workers, queue depth %d, %d backpressure stalls\n",
 		st.EncodeWorkers, st.EncodeQueueDepth, st.EncodeOverflows)
+	es := s.node.EncodeMetrics().Snapshot()
+	avgChunk := int64(0)
+	if es.Chunks > 0 {
+		avgChunk = es.ChunkedBytes / es.Chunks
+	}
+	fmt.Fprintf(w, "chunking: %d chunks over %s (avg %d B)\n",
+		es.Chunks, metrics.FormatBytes(es.ChunkedBytes), avgChunk)
 	fmt.Fprintf(w, "read:     %d cache hits / %d misses, %d segments (%d pinned handles, %d retiring)\n",
 		st.Store.CacheHits, st.Store.CacheMisses, st.Store.LiveSegments,
 		st.Store.PinnedReaders, st.Store.RetiredPending)

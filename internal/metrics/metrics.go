@@ -194,9 +194,15 @@ func (g *Gauge) Value() int64 { return g.n.Load() }
 type EncodeStage int
 
 const (
-	// StageSketch is feature extraction: Rabin chunking + Murmur hashing +
-	// consistent sampling. Lock-free.
-	StageSketch EncodeStage = iota
+	// StageChunk is content-defined chunking alone (Rabin or Gear,
+	// whichever the chunker seam selected) — the inner loop of feature
+	// extraction, timed separately so chunker regressions are visible
+	// without a benchmark run. It is a sub-interval of StageSketch.
+	// Lock-free.
+	StageChunk EncodeStage = iota
+	// StageSketch is feature extraction end to end: content-defined
+	// chunking + batched Murmur hashing + consistent sampling. Lock-free.
+	StageSketch
 	// StageIndex is the cuckoo feature-index lookup/insert. Runs under the
 	// owning database's lock.
 	StageIndex
@@ -217,6 +223,8 @@ const (
 // String names the stage for display and JSON.
 func (s EncodeStage) String() string {
 	switch s {
+	case StageChunk:
+		return "chunk"
 	case StageSketch:
 		return "sketch"
 	case StageIndex:
@@ -242,6 +250,12 @@ type EncodeMetrics struct {
 	// filtered, not governor-skipped); EncodedBytes sums their payloads.
 	Encoded      Meter
 	EncodedBytes Meter
+
+	// Chunks counts content-defined chunks produced by sketch extraction;
+	// ChunkedBytes sums the bytes scanned to produce them. Their ratio is
+	// the observed average chunk size of the live workload.
+	Chunks       Meter
+	ChunkedBytes Meter
 
 	// QueueDepth is the number of encode jobs queued or in flight across
 	// all encoder shards. QueueOverflows counts enqueues that found their
@@ -282,6 +296,8 @@ type EncodeSnapshot struct {
 	Stages         []EncodeStageSnapshot
 	EncodedRecords int64
 	EncodedBytes   int64
+	Chunks         int64
+	ChunkedBytes   int64
 	QueueDepth     int64
 	QueueOverflows int64
 }
@@ -291,6 +307,8 @@ func (m *EncodeMetrics) Snapshot() EncodeSnapshot {
 	snap := EncodeSnapshot{
 		EncodedRecords: m.Encoded.Total(),
 		EncodedBytes:   m.EncodedBytes.Total(),
+		Chunks:         m.Chunks.Total(),
+		ChunkedBytes:   m.ChunkedBytes.Total(),
 		QueueDepth:     m.QueueDepth.Value(),
 		QueueOverflows: m.QueueOverflows.Total(),
 	}

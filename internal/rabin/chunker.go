@@ -1,5 +1,7 @@
 package rabin
 
+import "sync"
+
 // Chunk describes one content-defined chunk of an input buffer.
 type Chunk struct {
 	// Offset is the byte offset of the chunk within the input.
@@ -43,6 +45,10 @@ type Chunker struct {
 	pattern uint64
 	min     int
 	max     int
+	// hashers recycles rolling-hash state across Split calls: the hasher
+	// and its window buffer are the only per-call heap state, and the
+	// sketch hot path splits one record per insert.
+	hashers sync.Pool
 }
 
 // NewChunker validates cfg, fills in defaults, and returns a Chunker.
@@ -74,14 +80,25 @@ func NewChunker(cfg ChunkerConfig) *Chunker {
 		cfg.Polynomial = DefaultPolynomial
 	}
 	mask := uint64(cfg.AvgSize - 1)
-	return &Chunker{
+	c := &Chunker{
 		table:   NewTable(cfg.Polynomial, cfg.Window),
 		mask:    mask,
 		pattern: magicPattern & mask,
 		min:     cfg.MinSize,
 		max:     cfg.MaxSize,
 	}
+	c.hashers.New = func() interface{} { return c.table.NewHasher() }
+	return c
 }
+
+// getHasher returns a reset Hasher from the pool; putHasher recycles it.
+func (c *Chunker) getHasher() *Hasher {
+	h := c.hashers.Get().(*Hasher)
+	h.Reset()
+	return h
+}
+
+func (c *Chunker) putHasher(h *Hasher) { c.hashers.Put(h) }
 
 // Split divides data into content-defined chunks. The returned chunks are
 // contiguous, non-empty, and cover data exactly. An empty input yields nil.
@@ -91,7 +108,8 @@ func (c *Chunker) Split(data []byte) []Chunk {
 	}
 	// Preallocate for the expected chunk count.
 	chunks := make([]Chunk, 0, len(data)/int(c.mask+1)+1)
-	h := c.table.NewHasher()
+	h := c.getHasher()
+	defer c.putHasher(h)
 	start := 0
 	for i := 0; i < len(data); i++ {
 		fp := h.Roll(data[i])
@@ -114,7 +132,8 @@ func (c *Chunker) SplitFunc(data []byte, fn func(chunk []byte)) {
 	if len(data) == 0 {
 		return
 	}
-	h := c.table.NewHasher()
+	h := c.getHasher()
+	defer c.putHasher(h)
 	start := 0
 	for i := 0; i < len(data); i++ {
 		fp := h.Roll(data[i])

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sketch
+
+const raceEnabled = false

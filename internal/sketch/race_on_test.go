@@ -1,0 +1,8 @@
+//go:build race
+
+package sketch
+
+// raceEnabled reports whether the race detector is active. The detector
+// intercepts sync.Pool and defeats allocation reuse, so allocation-count
+// regression tests skip themselves under -race.
+const raceEnabled = true

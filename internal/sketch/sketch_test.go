@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"dbdedup/internal/chunker"
 )
 
 func testExtractor() *Extractor {
@@ -151,8 +153,13 @@ func TestRandomSamplingModeDiffers(t *testing.T) {
 // design choice the paper adopts from DOT/sDedup.
 func TestConsistentBeatsRandomSampling(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	consE := NewExtractor(Config{K: 4, ChunkAvgSize: 64})
-	randE := NewExtractor(Config{K: 4, ChunkAvgSize: 64, SampleRandomly: true})
+	// The chunker is pinned so the comparison isolates the sampling mode:
+	// the aggregate margin is thin (a few percent), and letting the
+	// DBDEDUP_CHUNKER lane change the chunk stream under this test turns
+	// it into a coin flip on boundary placement rather than a statement
+	// about consistent sampling.
+	consE := NewExtractor(Config{K: 4, ChunkAvgSize: 64, Chunker: chunker.Rabin})
+	randE := NewExtractor(Config{K: 4, ChunkAvgSize: 64, Chunker: chunker.Rabin, SampleRandomly: true})
 
 	consTotal, randTotal := 0, 0
 	for trial := 0; trial < 30; trial++ {
@@ -186,5 +193,20 @@ func BenchmarkExtract4KB(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Extract(data)
+	}
+}
+
+// BenchmarkExtractInto4KB is the steady-state encode-pipeline shape: the
+// engine reuses a pooled sketch buffer, so the whole stage runs at 0
+// allocs/op.
+func BenchmarkExtractInto4KB(b *testing.B) {
+	e := testExtractor()
+	rng := rand.New(rand.NewSource(1))
+	data := randText(rng, 4096)
+	dst := make(Sketch, 0, e.K())
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = e.ExtractInto(dst, data)
 	}
 }
