@@ -23,6 +23,7 @@ import (
 	"dbdedup/internal/chain"
 	"dbdedup/internal/chunker"
 	"dbdedup/internal/core"
+	"dbdedup/internal/featidx/tiered"
 	"dbdedup/internal/httpadmin"
 	"dbdedup/internal/metrics"
 	"dbdedup/internal/node"
@@ -47,8 +48,18 @@ func main() {
 		rdMaxChain = flag.Int("rededup-max-chain", 8, "max delta-chain depth a compaction conversion may create")
 		rdBudget   = flag.Duration("rededup-budget", 0, "wall-clock budget per compaction pass for re-sketching (0 = unlimited)")
 		admin      = flag.String("admin", "", "HTTP admin endpoint address (e.g. :7090; empty = off)")
+		idxBudget  = flag.String("index-memory-budget", "", "similarity-index memory budget, e.g. 24MiB (empty: DBDEDUP_INDEX_BUDGET or unbounded; enables the tiered hot/cold index)")
 	)
 	flag.Parse()
+
+	var idxBudgetBytes int64
+	if *idxBudget != "" {
+		b, err := tiered.ParseSize(*idxBudget)
+		if err != nil {
+			log.Fatalf("-index-memory-budget: %v", err)
+		}
+		idxBudgetBytes = b
+	}
 
 	alg, err := chunker.ParseAlgorithm(*chunkAlg)
 	if err != nil {
@@ -71,10 +82,11 @@ func main() {
 		Dir:          *dir,
 		DisableDedup: *noDedup,
 		Engine: core.Config{
-			Chunker:      alg,
-			ChunkAvgSize: *chunkSize,
-			Scheme:       sch,
-			HopDistance:  *hop,
+			Chunker:          alg,
+			ChunkAvgSize:     *chunkSize,
+			Scheme:           sch,
+			HopDistance:      *hop,
+			IndexBudgetBytes: idxBudgetBytes,
 		},
 		BlockCompression: *compress,
 		Compaction: node.CompactionOptions{

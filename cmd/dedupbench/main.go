@@ -93,13 +93,18 @@ func main() {
 			fmt.Println(res)
 		case "table2":
 			fmt.Println(experiments.RunTable2(200, 16))
+		case "tieredidx":
+			res, err := experiments.RunTieredIdx(sc)
+			check(err)
+			fmt.Println(res)
+			writeCSV(*csvDir, res)
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table2", "fig10", "fig7", "fig11", "fig13a", "fig14", "fig15", "governor", "fig13b", "fig12"} {
+		for _, name := range []string{"table2", "fig10", "fig7", "fig11", "fig13a", "fig14", "fig15", "governor", "fig13b", "fig12", "tieredidx"} {
 			fmt.Printf("==== %s ====\n\n", name)
 			run(name)
 			fmt.Println()

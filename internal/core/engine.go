@@ -37,6 +37,9 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -46,7 +49,9 @@ import (
 	"dbdedup/internal/chunker"
 	"dbdedup/internal/dedupcache"
 	"dbdedup/internal/delta"
+	"dbdedup/internal/faultfs"
 	"dbdedup/internal/featidx"
+	"dbdedup/internal/featidx/tiered"
 	"dbdedup/internal/metrics"
 	"dbdedup/internal/sketch"
 )
@@ -86,6 +91,21 @@ type Config struct {
 	// IndexEntries bounds each database's feature-index partition.
 	// Defaults to 1<<22 entries (24 MiB at 6 B/entry).
 	IndexEntries int
+	// IndexBudgetBytes, when positive, replaces the per-database cuckoo
+	// index with the tiered memory-bounded index (internal/featidx/tiered):
+	// a hot cuckoo partition plus Bloom-gated disk-resident cold runs, all
+	// in-memory state capped at this budget. Zero honours the
+	// DBDEDUP_INDEX_BUDGET environment variable (e.g. "64KiB", "24MB");
+	// negative forces the classic unbounded-by-budget cuckoo index.
+	IndexBudgetBytes int64
+	// IndexDir is where tiered partitions keep their cold runs (one
+	// subdirectory per partition). Empty keeps cold runs on a private
+	// in-memory FS — the tier machinery still runs, which is what diskless
+	// deployments and tests want.
+	IndexDir string
+	// IndexFS overrides the filesystem seam for cold runs (fault injection;
+	// nil selects the OS FS when IndexDir is set).
+	IndexFS faultfs.FS
 	// RewardScore is the cache-aware selection bonus (default 2;
 	// Fig. 13a sweeps it).
 	RewardScore int
@@ -130,6 +150,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IndexEntries == 0 {
 		c.IndexEntries = 1 << 22
+	}
+	if c.IndexBudgetBytes == 0 {
+		if v := os.Getenv("DBDEDUP_INDEX_BUDGET"); v != "" {
+			if b, err := tiered.ParseSize(v); err == nil {
+				c.IndexBudgetBytes = b
+			}
+		}
 	}
 	if c.RewardScore == 0 {
 		c.RewardScore = 2
@@ -210,8 +237,12 @@ type Stats struct {
 	IndexLookups       uint64
 	IndexMatches       uint64
 	IndexEvictions     uint64
-	RawBytes           int64 // total bytes presented
-	ForwardBytes       int64 // total forward-delta bytes for deduped inserts
+	// TieredIdx aggregates tiered-index partitions (zero-valued, with
+	// Enabled false, when the engine runs the classic cuckoo index).
+	TieredIdx tiered.Snapshot
+	RawBytes  int64 // total bytes presented
+	// ForwardBytes is the total forward-delta bytes for deduped inserts.
+	ForwardBytes int64
 }
 
 // counters is the lock-free mirror of Stats: every field is an atomic so the
@@ -240,9 +271,11 @@ type Engine struct {
 	fetcher   Fetcher
 	enc       *metrics.EncodeMetrics
 
-	// dbsMu guards the dbs map only; each dbState guards itself.
-	dbsMu sync.RWMutex
-	dbs   map[string]*dbState
+	// dbsMu guards the dbs map (and partSeq) only; each dbState guards
+	// itself.
+	dbsMu   sync.RWMutex
+	dbs     map[string]*dbState
+	partSeq int // tiered-index partition directory sequence
 
 	// sketchBufs recycles sketch result buffers (*sketch.Sketch) so the
 	// encode and probe paths extract without allocating.
@@ -258,7 +291,7 @@ type Engine struct {
 type dbState struct {
 	mu sync.Mutex
 
-	index *featidx.Index
+	index featidx.Similarity
 	refs  []uint64 // featidx ref -> record ID
 
 	disabled  bool // governor verdict
@@ -346,12 +379,31 @@ func (e *Engine) db(name string) *dbState {
 		return st
 	}
 	st = &dbState{
-		index:    featidx.New(featidx.Config{CapacityEntries: e.cfg.IndexEntries}),
+		index:    e.newIndexPartition(),
 		sizeRing: make([]int, 0, e.cfg.FilterUpdateEvery),
 		chains:   make(map[uint64]*chainState),
 	}
 	e.dbs[name] = st
 	return st
+}
+
+// newIndexPartition builds one database's similarity-index partition: the
+// tiered memory-bounded index when a budget is configured, the classic
+// cuckoo index otherwise. Caller holds dbsMu (write).
+func (e *Engine) newIndexPartition() featidx.Similarity {
+	if e.cfg.IndexBudgetBytes <= 0 {
+		return featidx.New(featidx.Config{CapacityEntries: e.cfg.IndexEntries})
+	}
+	var dir string
+	if e.cfg.IndexDir != "" {
+		dir = filepath.Join(e.cfg.IndexDir, fmt.Sprintf("part-%06d", e.partSeq))
+		e.partSeq++
+	}
+	return tiered.New(tiered.Config{
+		BudgetBytes: e.cfg.IndexBudgetBytes,
+		Dir:         dir,
+		FS:          e.cfg.IndexFS,
+	})
 }
 
 // hopJob is a hop-base re-encoding decided under the database lock but
@@ -368,6 +420,18 @@ func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error
 	st := e.db(dbName)
 	e.stats.inserts.Add(1)
 	e.stats.rawBytes.Add(int64(len(payload)))
+
+	// Deferred index maintenance (tiered cold-tier writes and merges).
+	// The maintainer is captured under st.mu but runs here, at return, with
+	// no engine lock held — its I/O must never stall encodes (see the
+	// tiered package's concurrency contract). Failures are soft (recall
+	// loss only) and surface through Stats().TieredIdx.
+	var maint featidx.Maintainer
+	defer func() {
+		if maint != nil {
+			maint.Maintain()
+		}
+	}()
 
 	// Cheap policy gate under the database lock: governor verdict and
 	// adaptive size filter.
@@ -411,6 +475,7 @@ func (e *Engine) Encode(dbName string, id uint64, payload []byte) (Result, error
 		e.stats.governorSkipped.Add(1)
 		return Result{GovernorDisabled: true}, nil
 	}
+	maint, _ = st.index.(featidx.Maintainer)
 	ref := uint32(len(st.refs))
 	st.refs = append(st.refs, id)
 	counts := make(map[uint64]int)
@@ -577,12 +642,21 @@ func (e *Engine) ProbeSimilar(dbName string, id uint64, payload []byte) (srcID u
 	}
 	skb := e.getSketchBuf()
 	sk := e.extractor.ExtractInto(*skb, payload) // CPU-heavy, lock-free
+	// Registered before the unlock defer (LIFO) so tiered maintenance runs
+	// after st.mu is released — its disk I/O must not hold the database lock.
+	var maint featidx.Maintainer
+	defer func() {
+		if maint != nil {
+			maint.Maintain()
+		}
+	}()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.disabled || st.index == nil {
 		e.putSketchBuf(skb, sk)
 		return 0, false
 	}
+	maint, _ = st.index.(featidx.Maintainer)
 	ref := uint32(len(st.refs))
 	st.refs = append(st.refs, id)
 	counts := make(map[uint64]int)
@@ -816,7 +890,14 @@ func (e *Engine) governorTickLocked(st *dbState) {
 	if ratio < e.cfg.GovernorThreshold {
 		// Not enough benefit: disable dedup for this database and free
 		// its index partition (paper §3.4.1). Dedup is never
-		// re-enabled — workload dedupability rarely changes.
+		// re-enabled — workload dedupability rarely changes. A tiered
+		// partition owns disk runs: Close retires them (unlinking the
+		// files) before the reference is dropped. This runs under st.mu,
+		// but Close takes only the tiered index's internal locks (below
+		// st.mu in the hierarchy) and fires at most once per database.
+		if c, ok := st.index.(io.Closer); ok {
+			c.Close()
+		}
 		st.disabled = true
 		st.index = nil
 		st.refs = nil
@@ -963,8 +1044,32 @@ func (e *Engine) Stats() Stats {
 			s.IndexLookups += lk
 			s.IndexMatches += mt
 			s.IndexEvictions += ev
+			if ti, ok := st.index.(*tiered.TieredIndex); ok {
+				s.TieredIdx.Accumulate(ti.Snapshot())
+			}
 		}
 		st.mu.Unlock()
 	}
 	return s
+}
+
+// Close releases every index partition's external resources (tiered cold
+// runs on disk). Callers must have quiesced encodes — the node calls this
+// after its encoder pool has drained. Safe to call more than once.
+func (e *Engine) Close() error {
+	var closers []io.Closer
+	for _, st := range e.snapshotDBs() {
+		st.mu.Lock()
+		if c, ok := st.index.(io.Closer); ok {
+			closers = append(closers, c)
+		}
+		st.mu.Unlock()
+	}
+	var firstErr error
+	for _, c := range closers {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

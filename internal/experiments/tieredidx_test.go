@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+// TestTieredIdxCurve runs the budget sweep at test scale and checks the
+// subsystem's acceptance claim: at 1/8 of the unbounded index footprint the
+// tiered index recovers at least 80% of the unbounded dedup ratio, stays
+// within its memory budget, and actually exercises the freeze path.
+func TestTieredIdxCurve(t *testing.T) {
+	// Larger than smallScale: the 1/8 and 1/16 budget points must sit
+	// above the tiered index's 64-entry minimum hot tier, or the sweep
+	// measures the clamp instead of the budget.
+	res, err := RunTieredIdx(Scale{InsertBytes: 6 << 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnboundedRatio < 1.5 {
+		t.Fatalf("workload not dedup-bound: unbounded ratio %.2f", res.UnboundedRatio)
+	}
+	var eighth *TieredIdxRow
+	prev := 2.0
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		if row.Label == "1/8" {
+			eighth = row
+		}
+		if row.MemoryBytes > row.BudgetBytes+row.BudgetBytes/4 {
+			t.Errorf("%s: memory %d exceeds budget %d by more than 25%%",
+				row.Label, row.MemoryBytes, row.BudgetBytes)
+		}
+		if row.Freezes == 0 || row.ColdEntries == 0 {
+			t.Errorf("%s: cold tier never exercised: %+v", row.Label, row)
+		}
+		// The curve should degrade (weakly) as the budget shrinks, never
+		// collapse: each point keeps most of the previous one's ratio.
+		if row.RecoveredFrac > prev+0.05 {
+			t.Errorf("%s: recovered fraction %.2f jumped above previous %.2f",
+				row.Label, row.RecoveredFrac, prev)
+		}
+		prev = row.RecoveredFrac
+	}
+	if eighth == nil {
+		t.Fatal("missing 1/8 budget row")
+	}
+	if eighth.RecoveredFrac < 0.8 {
+		t.Errorf("1/8 budget recovers %.0f%% of unbounded ratio, want >= 80%%",
+			eighth.RecoveredFrac*100)
+	}
+	// The cuckoo control falls off a cliff once its capacity drops below
+	// the working set; the tiered index degrades gracefully. At the
+	// tightest budget the gap must be wide.
+	last := res.Rows[len(res.Rows)-1]
+	if last.TieredRatio < last.CuckooRatio*1.5 {
+		t.Errorf("%s: tiered %.2fx not well above budget-equal cuckoo %.2fx",
+			last.Label, last.TieredRatio, last.CuckooRatio)
+	}
+	// CSV export round-trips.
+	if err := res.WriteCSV(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,36 @@ import (
 // back to a database location).
 type Ref = uint32
 
+// Similarity is the per-database similarity-index surface the engine programs
+// against: the single-partition cuckoo Index implements it, and so does the
+// memory-bounded tiered wrapper (package featidx/tiered). Implementations
+// carry the same external-synchronisation contract as Index: every call
+// happens with the owning database's lock held.
+type Similarity interface {
+	// LookupInsert returns records sharing feature f (possibly including
+	// checksum false positives) and registers (f, ref) for future lookups.
+	LookupInsert(f sketch.Feature, ref Ref) []Ref
+	// Len is the number of entries resident in memory.
+	Len() int
+	// MemoryBytes is the design-size memory footprint of the in-memory
+	// state (entries, pending logs, Bloom filters — not disk runs).
+	MemoryBytes() int64
+	// CapacityBytes is the configured memory bound (allocation size for
+	// the unbounded cuckoo index, the budget for the tiered index).
+	CapacityBytes() int64
+	// Stats reports lifetime lookup/match/eviction counters.
+	Stats() (lookups, matches, evictions uint64)
+}
+
+// Maintainer is the optional background-work capability of a Similarity
+// implementation. Unlike the methods above, Maintain must be safe to call
+// WITHOUT the database lock (it synchronises internally): the engine invokes
+// it after releasing the per-database mutex so freeze/merge I/O never stalls
+// the encode hot path.
+type Maintainer interface {
+	Maintain() error
+}
+
 // EntryBytes is the design size of one index entry: a 2-byte feature
 // checksum plus a 4-byte record reference. Memory accounting is in units of
 // this size, matching the paper's index-memory measurements.
@@ -180,10 +210,15 @@ scan:
 				lruTick, lruB, lruE = e.tick, int(bi), ei
 			}
 			if e.checksum == sum {
+				// Compare the pre-refresh tick: refreshing first would
+				// make every match look equally recent and the truncated
+				// path below would always evict the first match scanned
+				// instead of the least-recently-used one.
+				prev := e.tick
 				e.tick = ix.clock
 				out = append(out, e.ref)
-				if e.tick < lruMatchTick || lruMatchB < 0 {
-					lruMatchTick, lruMatchB, lruMatchE = e.tick, int(bi), ei
+				if lruMatchB < 0 || prev < lruMatchTick {
+					lruMatchTick, lruMatchB, lruMatchE = prev, int(bi), ei
 				}
 				if len(out) >= ix.maxCand {
 					truncated = true
@@ -256,3 +291,5 @@ func (ix *Index) CapacityBytes() int64 {
 func (ix *Index) Stats() (lookups, matches, evictions uint64) {
 	return ix.lookups, ix.matches, ix.evictions
 }
+
+var _ Similarity = (*Index)(nil)

@@ -146,6 +146,169 @@ func TestDefaults(t *testing.T) {
 	}
 }
 
+// TestTruncatedEvictionPicksLRUMatch is the fail-on-old regression test for
+// the LRU-match eviction bug: LookupInsert refreshed e.tick to the current
+// clock *before* comparing it against lruMatchTick, so every match looked
+// equally recent and the truncated path always evicted the first match
+// scanned — even when a later-scanned match was strictly colder.
+//
+// The scenario engineers a tick skew between two checksum-equal entries in
+// different buckets of the same feature's candidate list:
+//
+//	h            → bucket A (different checksum; occupies A slot 0)
+//	f            → buckets A, B
+//	g (sum == f) → buckets A, D
+//
+// Inserting f twice lands its entries at A1 and B0; an insert of g then
+// refreshes only A1 (g never scans B). The next insert of f truncates at
+// MaxCandidates=2 and must evict the colder B0 entry — the old code evicted
+// the freshly-touched A1 entry instead.
+func TestTruncatedEvictionPicksLRUMatch(t *testing.T) {
+	cfg := Config{CapacityEntries: 64, BucketEntries: 2, NumHashes: 2, MaxCandidates: 2}
+	ix := New(cfg)
+	rng := rand.New(rand.NewSource(11))
+
+	var f sketch.Feature
+	for {
+		f = sketch.Feature(rng.Uint64())
+		if ix.hash(f, 0) != ix.hash(f, 1) {
+			break
+		}
+	}
+	bktA, bktB := ix.hash(f, 0), ix.hash(f, 1)
+	sum := checksumOf(f)
+
+	// g: same 16-bit checksum as f (fold the low word to force it), first
+	// bucket A, second bucket distinct from both of f's.
+	var g sketch.Feature
+	for i := 0; ; i++ {
+		if i > 1<<22 {
+			t.Fatal("no suitable colliding feature g found")
+		}
+		hi := rng.Uint64() &^ 0xffff
+		w := uint16(hi>>16) ^ uint16(hi>>32) ^ uint16(hi>>48)
+		g = sketch.Feature(hi | uint64(w^sum))
+		if g == f || checksumOf(g) != sum || ix.hash(g, 0) != bktA {
+			continue
+		}
+		if d := ix.hash(g, 1); d != bktA && d != bktB {
+			break
+		}
+	}
+
+	// h: lands in bucket A first, without matching f's checksum.
+	var h sketch.Feature
+	for {
+		h = sketch.Feature(rng.Uint64())
+		if h != f && h != g && ix.hash(h, 0) == bktA && checksumOf(h) != sum {
+			break
+		}
+	}
+
+	ix.LookupInsert(h, 100) // A0 = filler
+	ix.LookupInsert(f, 1)   // A1 = ref 1
+	ix.LookupInsert(f, 2)   // B0 = ref 2 (A full)
+	ix.LookupInsert(g, 50)  // refreshes A1 only, lands in D
+
+	// Truncated insert: scans A1 (fresh) then B0 (cold) and must evict B0.
+	got := ix.LookupInsert(f, 3)
+	if len(got) != 2 {
+		t.Fatalf("truncated insert returned %v, want 2 candidates", got)
+	}
+	after := ix.Lookup(f)
+	seen := map[Ref]bool{}
+	for _, r := range after {
+		seen[r] = true
+	}
+	if !seen[1] {
+		t.Errorf("recently-touched ref 1 was evicted; Lookup = %v (LRU-match eviction regressed)", after)
+	}
+	if seen[2] {
+		t.Errorf("least-recently-used ref 2 survived eviction; Lookup = %v", after)
+	}
+}
+
+// TestOccupancyAcrossTruncatedEviction pins Len/MemoryBytes through the
+// truncated-eviction path: the evicting insert overwrites a matching slot, so
+// occupancy must not move while the eviction counter does.
+func TestOccupancyAcrossTruncatedEviction(t *testing.T) {
+	ix := New(Config{CapacityEntries: 1 << 10, BucketEntries: 8, MaxCandidates: 2})
+	f := sketch.Feature(0xfeedface)
+	ix.LookupInsert(f, 1)
+	ix.LookupInsert(f, 2)
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d after two inserts, want 2", ix.Len())
+	}
+	got := ix.LookupInsert(f, 3) // truncates: 2 matches = MaxCandidates
+	if len(got) != 2 {
+		t.Fatalf("third insert returned %v, want 2 candidates", got)
+	}
+	if ix.Len() != 2 {
+		t.Errorf("Len = %d after truncated eviction, want 2 (overwrite, not growth)", ix.Len())
+	}
+	if got := ix.MemoryBytes(); got != int64(ix.Len())*EntryBytes {
+		t.Errorf("MemoryBytes = %d, want Len*EntryBytes = %d", got, ix.Len()*EntryBytes)
+	}
+	if _, _, ev := ix.Stats(); ev != 1 {
+		t.Errorf("evictions = %d after one truncated eviction, want 1", ev)
+	}
+}
+
+// TestOccupancyAcrossFullBucketEviction drives a tiny index far past
+// capacity with distinct features (the full-bucket LRU-eviction path) and
+// checks the accounting invariant occupied + evictions == inserts, which
+// holds because every LookupInsert writes its entry exactly one way: into a
+// free slot (occupancy grows) or over a victim (an eviction).
+func TestOccupancyAcrossFullBucketEviction(t *testing.T) {
+	ix := New(Config{CapacityEntries: 32, BucketEntries: 2, NumHashes: 2})
+	rng := rand.New(rand.NewSource(12))
+	inserts := uint64(0)
+	for i := 0; i < 4000; i++ {
+		ix.LookupInsert(sketch.Feature(rng.Uint64()), Ref(i))
+		inserts++
+		if got := ix.MemoryBytes(); got != int64(ix.Len())*EntryBytes {
+			t.Fatalf("insert %d: MemoryBytes = %d, want %d", i, got, ix.Len()*EntryBytes)
+		}
+	}
+	if ix.Len() > 32 {
+		t.Errorf("Len = %d exceeds capacity 32", ix.Len())
+	}
+	_, _, ev := ix.Stats()
+	if uint64(ix.Len())+ev != inserts {
+		t.Errorf("occupied(%d) + evictions(%d) != inserts(%d)", ix.Len(), ev, inserts)
+	}
+	if ev == 0 {
+		t.Error("expected full-bucket evictions at 125x capacity pressure")
+	}
+}
+
+// TestStatsCountersMatchObserved replays a mixed workload and checks Stats()
+// against externally tallied lookups and matches.
+func TestStatsCountersMatchObserved(t *testing.T) {
+	ix := New(Config{CapacityEntries: 1 << 10})
+	rng := rand.New(rand.NewSource(13))
+	var lookups, matches uint64
+	for i := 0; i < 500; i++ {
+		f := sketch.Feature(rng.Uint64() % 50) // 50 hot features → plenty of matches
+		got := ix.LookupInsert(f, Ref(i))
+		lookups++
+		matches += uint64(len(got))
+	}
+	lk, mt, ev := ix.Stats()
+	if lk != lookups {
+		t.Errorf("Stats lookups = %d, observed %d", lk, lookups)
+	}
+	if mt != matches {
+		t.Errorf("Stats matches = %d, observed %d", mt, matches)
+	}
+	if uint64(ix.Len())+ev != lookups {
+		t.Errorf("occupied(%d) + evictions(%d) != inserts(%d)", ix.Len(), ev, lookups)
+	}
+	if mt == 0 {
+		t.Error("workload produced no matches; test is vacuous")
+	}
+}
+
 func BenchmarkLookupInsert(b *testing.B) {
 	ix := New(Config{CapacityEntries: 1 << 20})
 	rng := rand.New(rand.NewSource(1))

@@ -1,0 +1,84 @@
+package tiered
+
+import "dbdedup/internal/murmur"
+
+// bloom is a plain blocked-free Bloom filter over 32-bit run keys. One filter
+// fronts each disk-resident run so a negative probe — the overwhelmingly
+// common case once the corpus outgrows the hot tier — costs a few cache
+// lines instead of a disk read (LSHBloom's memory trick; the classic LSM
+// negative-lookup pattern).
+//
+// Filters are built in one pass when a run is written and are immutable
+// afterwards; they are never persisted (runs are soft state and are discarded
+// on restart, so there is nothing to reopen them for).
+type bloom struct {
+	words []uint64
+	nbits uint64
+	k     int
+	seed  uint64
+}
+
+// newBloom sizes a filter for n keys at bitsPerEntry bits each, clamped to
+// maxBits total (the tiered index's bloom budget: as the cold tier grows the
+// per-entry allowance shrinks, degrading the false-positive rate gracefully
+// instead of the memory bound).
+func newBloom(n, bitsPerEntry int, maxBits int64, seed uint64) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	bits := int64(n) * int64(bitsPerEntry)
+	if maxBits > 0 && bits > maxBits {
+		bits = maxBits
+	}
+	if bits < 64 {
+		bits = 64
+	}
+	// k ≈ 0.7·(bits/entry) is the standard optimum; recompute from the
+	// clamped size so a squeezed filter also sheds hash passes.
+	k := int(float64(bits) / float64(n) * 0.7)
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return &bloom{
+		words: make([]uint64, (bits+63)/64),
+		nbits: uint64(bits),
+		k:     k,
+		seed:  seed,
+	}
+}
+
+// hash2 derives the double-hashing pair for key.
+func (b *bloom) hash2(key uint32) (uint64, uint64) {
+	var buf [4]byte
+	buf[0] = byte(key)
+	buf[1] = byte(key >> 8)
+	buf[2] = byte(key >> 16)
+	buf[3] = byte(key >> 24)
+	h1 := murmur.Sum64(buf[:], b.seed)
+	h2 := murmur.Sum64(buf[:], b.seed^0x9e3779b97f4a7c15) | 1
+	return h1, h2
+}
+
+func (b *bloom) add(key uint32) {
+	h1, h2 := b.hash2(key)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % b.nbits
+		b.words[bit>>6] |= 1 << (bit & 63)
+	}
+}
+
+func (b *bloom) maybe(key uint32) bool {
+	h1, h2 := b.hash2(key)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % b.nbits
+		if b.words[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *bloom) memoryBytes() int64 { return int64(len(b.words)) * 8 }

@@ -1,0 +1,261 @@
+package tiered
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"dbdedup/internal/faultfs"
+	"dbdedup/internal/featidx"
+)
+
+// rec is one cold-tier posting: a 32-bit fold of the 64-bit feature plus the
+// 4-byte record reference. The fold costs some precision versus the full
+// feature, but — like the hot tier's 16-bit checksums — a collision only
+// manufactures a false-positive candidate; the delta stage is byte-exact, so
+// correctness never depends on the index.
+type rec struct {
+	key uint32
+	ref featidx.Ref
+}
+
+const (
+	recBytes      = 8
+	runHeaderSize = 16
+	runMagic      = "FIDXRUN1"
+)
+
+// run is one immutable sorted (key → ref) table in the cold tier, either
+// still memory-resident (mem != nil: just frozen, or its disk write failed)
+// or disk-backed (f != nil) behind a Bloom filter, read through an mmap
+// window when the FS grants one and positional reads otherwise.
+//
+// Runs are refcounted exactly like segio segment readers: the published run
+// table holds one reference, probes pin/unpin around each search, and the
+// last unpin after retirement closes the file and unlinks it. All fields are
+// immutable after the run is published; only the refcount moves.
+type run struct {
+	count int
+	mem   []rec // resident form; nil once disk-backed
+
+	filter  *bloom // nil for resident runs
+	f       faultfs.File
+	data    []byte // mmap'd view of the whole file; nil → pread via f
+	mapping faultfs.Mapping
+	path    string
+	fs      faultfs.FS
+
+	refs    atomic.Int32
+	retired atomic.Bool
+}
+
+func newResidentRun(recs []rec) *run {
+	r := &run{count: len(recs), mem: recs}
+	r.refs.Store(1)
+	return r
+}
+
+// pin takes a read reference; it fails only when the run has already drained
+// after retirement.
+func (r *run) pin() bool {
+	for {
+		c := r.refs.Load()
+		if c <= 0 {
+			return false
+		}
+		if r.refs.CompareAndSwap(c, c+1) {
+			return true
+		}
+	}
+}
+
+func (r *run) unpin() {
+	if r.refs.Add(-1) == 0 {
+		r.release()
+	}
+}
+
+// retire drops the run table's reference; resources free once the last
+// pinned probe finishes.
+func (r *run) retire() {
+	if r.retired.CompareAndSwap(false, true) {
+		r.unpin()
+	}
+}
+
+func (r *run) release() {
+	if r.mapping != nil {
+		r.mapping.Close()
+	}
+	if r.f != nil {
+		r.f.Close()
+	}
+	if r.path != "" && r.fs != nil {
+		r.fs.Remove(r.path) // best-effort: runs are soft state
+	}
+}
+
+func (r *run) diskBytes() int64 {
+	if r.f == nil {
+		return 0
+	}
+	return runHeaderSize + int64(r.count)*recBytes
+}
+
+func (r *run) memoryBytes() int64 {
+	if r.mem != nil {
+		return int64(r.count) * recBytes
+	}
+	if r.filter != nil {
+		return r.filter.memoryBytes()
+	}
+	return 0
+}
+
+// recAt reads record i. ok is false only on a positional-read error (fault
+// injection or a dying disk), which aborts the search — a pure recall loss.
+func (r *run) recAt(i int) (rec, bool) {
+	if r.mem != nil {
+		return r.mem[i], true
+	}
+	off := runHeaderSize + i*recBytes
+	var raw []byte
+	if r.data != nil {
+		raw = r.data[off : off+recBytes]
+	} else {
+		var buf [recBytes]byte
+		if _, err := r.f.ReadAt(buf[:], int64(off)); err != nil {
+			return rec{}, false
+		}
+		raw = buf[:]
+	}
+	return rec{
+		key: binary.LittleEndian.Uint32(raw[0:4]),
+		ref: binary.LittleEndian.Uint32(raw[4:8]),
+	}, true
+}
+
+// search binary-searches the run for key and emits its refs newest-first
+// (descending ref order — recent records are the better dedup sources, with
+// the smaller deltas) until emit returns false. found reports whether any
+// record with the key exists (the Bloom false-positive signal); ok is false
+// on an I/O error.
+func (r *run) search(key uint32, emit func(featidx.Ref) bool) (found, ok bool) {
+	ioErr := false
+	first := sort.Search(r.count, func(i int) bool {
+		rc, rok := r.recAt(i)
+		if !rok {
+			ioErr = true
+			return true
+		}
+		return rc.key >= key
+	})
+	if ioErr {
+		return false, false
+	}
+	last := first
+	for ; last < r.count; last++ {
+		rc, rok := r.recAt(last)
+		if !rok {
+			return false, false
+		}
+		if rc.key != key {
+			break
+		}
+	}
+	for i := last - 1; i >= first; i-- {
+		rc, rok := r.recAt(i)
+		if !rok {
+			return found, false
+		}
+		found = true
+		if !emit(rc.ref) {
+			break
+		}
+	}
+	return found, true
+}
+
+// sortRecs orders by (key, ref) and drops exact duplicates in place.
+func sortRecs(recs []rec) []rec {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].key != recs[j].key {
+			return recs[i].key < recs[j].key
+		}
+		return recs[i].ref < recs[j].ref
+	})
+	out := recs[:0]
+	for i, rc := range recs {
+		if i > 0 && rc == recs[i-1] {
+			continue
+		}
+		out = append(out, rc)
+	}
+	return out
+}
+
+// encodeRun serialises sorted records into the on-disk run format:
+// an 8-byte magic, a LE uint32 record count, 4 reserved bytes, then the
+// packed 8-byte records. No checksum: the index is soft state, never
+// reopened after restart, and a flipped bit merely yields a bogus candidate
+// that the byte-exact delta stage discards.
+func encodeRun(recs []rec) []byte {
+	buf := make([]byte, runHeaderSize+len(recs)*recBytes)
+	copy(buf[0:8], runMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(recs)))
+	for i, rc := range recs {
+		off := runHeaderSize + i*recBytes
+		binary.LittleEndian.PutUint32(buf[off:off+4], rc.key)
+		binary.LittleEndian.PutUint32(buf[off+4:off+8], rc.ref)
+	}
+	return buf
+}
+
+// writeRunFile writes, syncs, and (best-effort) maps one run file through the
+// fault seam. On any error the partial file is removed and nothing leaks.
+func writeRunFile(fs faultfs.FS, path string, recs []rec) (faultfs.File, []byte, faultfs.Mapping, error) {
+	buf := encodeRun(recs)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		f.Close()
+		fs.Remove(path)
+		return nil, nil, nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(path)
+		return nil, nil, nil, err
+	}
+	// mmap is an optimisation, not a requirement: on failure (or an FS
+	// without the Mapper capability) the run is served by pread.
+	var data []byte
+	var mapping faultfs.Mapping
+	if m, okM := f.(faultfs.Mapper); okM {
+		if mp, err := m.Mmap(int64(len(buf))); err == nil {
+			mapping = mp
+			data = mp.Bytes()
+		}
+	}
+	return f, data, mapping, nil
+}
+
+// loadRecs reads every record of a disk run back for merging.
+func (r *run) loadRecs() ([]rec, error) {
+	if r.mem != nil {
+		return r.mem, nil
+	}
+	out := make([]rec, 0, r.count)
+	for i := 0; i < r.count; i++ {
+		rc, ok := r.recAt(i)
+		if !ok {
+			return nil, fmt.Errorf("tiered: read error in %s at rec %d", r.path, i)
+		}
+		out = append(out, rc)
+	}
+	return out, nil
+}

@@ -151,6 +151,20 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "featidx:  %d entries (%s of %s), %d lookups, %d matches, %d evictions\n",
 		fi.Entries, metrics.FormatBytes(fi.MemoryBytes), metrics.FormatBytes(fi.CapacityBytes),
 		fi.Lookups, fi.Matches, fi.Evictions)
+	if fi.TieredEnabled {
+		fpr := 0.0
+		if fi.TieredBloomChecks > 0 {
+			fpr = float64(fi.TieredBloomFalsePositives) / float64(fi.TieredBloomChecks)
+		}
+		fmt.Fprintf(w, "tiered:   %s budget, hot %d + pending %d, cold %d runs / %d entries (%s disk, %d resident), %d freezes (%d failed), %d merges, %d dropped\n",
+			metrics.FormatBytes(fi.TieredBudgetBytes), fi.TieredHotEntries,
+			fi.TieredPendingEntries, fi.TieredColdRuns, fi.TieredColdEntries,
+			metrics.FormatBytes(fi.TieredColdDiskBytes), fi.TieredResidentRuns,
+			fi.TieredFreezes, fi.TieredFreezeFailures, fi.TieredMerges, fi.TieredDroppedRuns)
+		fmt.Fprintf(w, "bloom:    %s, %d checks -> %d disk probes (%.2f%% false positive), %d hits, %d read errors\n",
+			metrics.FormatBytes(fi.TieredBloomMemoryBytes), fi.TieredBloomChecks,
+			fi.TieredDiskProbes, fpr*100, fi.TieredDiskProbeHits, fi.TieredDiskReadErrors)
+	}
 	fmt.Fprintf(w, "\ndatabases:\n")
 	for _, d := range s.node.DBStats() {
 		verdict := "active"

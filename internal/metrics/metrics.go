@@ -641,6 +641,9 @@ func (m *CompactionMetrics) Snapshot() CompactionSnapshot {
 
 // FeatIdxSnapshot is a point-in-time view of the similarity index: occupancy
 // against its configured bound, plus lifetime lookup/match/eviction counts.
+// The Tiered* fields describe the memory-bounded tiered index (hot cuckoo
+// partition + Bloom-gated disk-resident cold runs) and are zero — with
+// TieredEnabled false — when the classic unbounded cuckoo index runs.
 type FeatIdxSnapshot struct {
 	Entries       int
 	MemoryBytes   int64
@@ -648,4 +651,31 @@ type FeatIdxSnapshot struct {
 	Lookups       uint64
 	Matches       uint64
 	Evictions     uint64
+
+	TieredEnabled bool
+	// TieredBudgetBytes is the configured in-memory bound (summed across
+	// partitions); MemoryBytes above is the actual use.
+	TieredBudgetBytes int64
+	// Hot/pending occupancy and the cold-tier geometry.
+	TieredHotEntries     int
+	TieredPendingEntries int
+	TieredColdRuns       int
+	TieredResidentRuns   int
+	TieredColdEntries    int64
+	TieredColdDiskBytes  int64
+	// Bloom-filter effectiveness: checks gate disk probes; a false
+	// positive is a passed check whose run search found nothing.
+	TieredBloomMemoryBytes    int64
+	TieredBloomChecks         uint64
+	TieredBloomHits           uint64
+	TieredBloomFalsePositives uint64
+	TieredDiskProbes          uint64
+	TieredDiskProbeHits       uint64
+	TieredDiskReadErrors      uint64
+	// Maintenance lifecycle counters.
+	TieredFreezes        uint64
+	TieredFreezeFailures uint64
+	TieredMerges         uint64
+	TieredMergeFailures  uint64
+	TieredDroppedRuns    uint64
 }

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -249,7 +250,16 @@ func Open(opts Options) (*Node, error) {
 		stopCh:  make(chan struct{}),
 	}
 	if !opts.DisableDedup {
-		n.eng = core.NewEngine(opts.Engine, fetcher{n})
+		ecfg := opts.Engine
+		// Tiered-index cold runs live next to the store (under the same
+		// fault seam) unless the caller picked a directory explicitly.
+		if ecfg.IndexDir == "" && opts.Dir != "" {
+			ecfg.IndexDir = filepath.Join(opts.Dir, "featidx")
+		}
+		if ecfg.IndexFS == nil {
+			ecfg.IndexFS = opts.FS
+		}
+		n.eng = core.NewEngine(ecfg, fetcher{n})
 		n.encm = n.eng.EncodeMetrics()
 	} else {
 		n.encm = metrics.NewEncodeMetrics()
@@ -374,6 +384,9 @@ func (n *Node) Close() error {
 	n.wg.Wait()
 	if n.wb != nil {
 		n.FlushWritebacks(-1)
+	}
+	if n.eng != nil {
+		n.eng.Close() // encoders drained above; releases tiered cold runs
 	}
 	return n.store.Close()
 }
@@ -1443,6 +1456,7 @@ func (n *Node) FeatIdxSnapshot() metrics.FeatIdxSnapshot {
 		return metrics.FeatIdxSnapshot{}
 	}
 	es := n.eng.Stats()
+	ti := es.TieredIdx
 	return metrics.FeatIdxSnapshot{
 		Entries:       es.IndexEntries,
 		MemoryBytes:   es.IndexMemoryBytes,
@@ -1450,6 +1464,27 @@ func (n *Node) FeatIdxSnapshot() metrics.FeatIdxSnapshot {
 		Lookups:       es.IndexLookups,
 		Matches:       es.IndexMatches,
 		Evictions:     es.IndexEvictions,
+
+		TieredEnabled:             ti.Enabled,
+		TieredBudgetBytes:         ti.BudgetBytes,
+		TieredHotEntries:          ti.HotEntries,
+		TieredPendingEntries:      ti.PendingEntries,
+		TieredColdRuns:            ti.ColdRuns,
+		TieredResidentRuns:        ti.ResidentRuns,
+		TieredColdEntries:         ti.ColdEntries,
+		TieredColdDiskBytes:       ti.ColdDiskBytes,
+		TieredBloomMemoryBytes:    ti.BloomMemoryBytes,
+		TieredBloomChecks:         ti.BloomChecks,
+		TieredBloomHits:           ti.BloomHits,
+		TieredBloomFalsePositives: ti.BloomFalsePositives,
+		TieredDiskProbes:          ti.DiskProbes,
+		TieredDiskProbeHits:       ti.DiskProbeHits,
+		TieredDiskReadErrors:      ti.DiskReadErrors,
+		TieredFreezes:             ti.Freezes,
+		TieredFreezeFailures:      ti.FreezeFailures,
+		TieredMerges:              ti.Merges,
+		TieredMergeFailures:       ti.MergeFailures,
+		TieredDroppedRuns:         ti.DroppedRuns,
 	}
 }
 

@@ -1,0 +1,137 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbdedup/internal/core"
+)
+
+// tieredCorpus drives an eviction-bound workload: `families` templates whose
+// members are inserted round-robin, so by the time a family's next member
+// arrives, `families-1` other documents' features have passed through the
+// index — far more than a small hot tier holds. An unbounded index dedups
+// every member against the previous one; a budget-sized cuckoo index has
+// evicted it and stores raw; the tiered index recovers it from the cold runs.
+func tieredCorpus(t *testing.T, n *Node, families, rounds int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	templates := make([][]byte, families)
+	for i := range templates {
+		templates[i] = prose(rng, 1600)
+	}
+	for r := 0; r < rounds; r++ {
+		for f := range templates {
+			doc := editText(rng, templates[f], 4)
+			if err := n.Insert("db", fmt.Sprintf("d%03d-%03d", f, r), doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	n.FlushWritebacks(-1)
+}
+
+func dedupRatio(n *Node) float64 {
+	st := n.Stats()
+	if st.Store.LogicalBytes <= 0 {
+		return 0
+	}
+	return float64(st.RawInsertBytes) / float64(st.Store.LogicalBytes)
+}
+
+// TestTieredIndexRecoversDedupAtFractionalBudget is the PR's acceptance
+// claim: at 1/8 of the unbounded cuckoo index's measured footprint, the
+// tiered index recovers >= 80% of the unbounded dedup ratio on an
+// eviction-bound corpus — while a cuckoo index squeezed to the same budget
+// loses most of it.
+func TestTieredIndexRecoversDedupAtFractionalBudget(t *testing.T) {
+	// Geometry note: the 1/8-budget cuckoo holds ~distinct/8 entries while
+	// the per-family recurrence distance is ~distinct/rounds features, so
+	// rounds must stay well under 8 for the control to be eviction-bound.
+	const families, rounds = 60, 4
+
+	// Baseline: unbounded index (budget pinned negative so a
+	// DBDEDUP_INDEX_BUDGET lane can't interfere with the measurement).
+	unbounded := testNode(t, Options{Engine: core.Config{IndexBudgetBytes: -1}})
+	tieredCorpus(t, unbounded, families, rounds)
+	ratioFull := dedupRatio(unbounded)
+	footprint := unbounded.FeatIdxSnapshot().MemoryBytes
+	if ratioFull < 2 {
+		t.Fatalf("corpus not dedup-bound: unbounded ratio %.2f", ratioFull)
+	}
+
+	budget := footprint / 8
+
+	// Tiered index at 1/8 the footprint (cold runs on its private MemFS).
+	tieredNode := testNode(t, Options{Engine: core.Config{IndexBudgetBytes: budget}})
+	tieredCorpus(t, tieredNode, families, rounds)
+	ratioTiered := dedupRatio(tieredNode)
+
+	// Control: classic cuckoo squeezed into the same budget.
+	squeezed := testNode(t, Options{Engine: core.Config{
+		IndexBudgetBytes: -1,
+		IndexEntries:     maxInt(int(budget/6), 16), // featidx.EntryBytes
+	}})
+	tieredCorpus(t, squeezed, families, rounds)
+	ratioSqueezed := dedupRatio(squeezed)
+
+	t.Logf("unbounded %.2fx (%d B index), tiered %.2fx at %d B budget, squeezed cuckoo %.2fx",
+		ratioFull, footprint, ratioTiered, budget, ratioSqueezed)
+
+	if ratioTiered < 0.8*ratioFull {
+		t.Errorf("tiered ratio %.2fx below 80%% of unbounded %.2fx at 1/8 budget",
+			ratioTiered, ratioFull)
+	}
+	if ratioTiered <= ratioSqueezed {
+		t.Errorf("tiered ratio %.2fx not better than budget-equal cuckoo %.2fx",
+			ratioTiered, ratioSqueezed)
+	}
+
+	fi := tieredNode.FeatIdxSnapshot()
+	if !fi.TieredEnabled {
+		t.Fatal("tiered index not enabled under a positive budget")
+	}
+	if fi.TieredFreezes == 0 || fi.TieredColdEntries == 0 {
+		t.Errorf("cold tier never exercised: %+v", fi)
+	}
+	if fi.TieredBloomChecks == 0 {
+		t.Errorf("bloom filters never consulted: %+v", fi)
+	}
+	if fi.MemoryBytes > budget+budget/4 {
+		t.Errorf("tiered index memory %d exceeds budget %d by more than 25%%",
+			fi.MemoryBytes, budget)
+	}
+}
+
+// TestTieredIndexViaEnv covers the deployment path the CI budget lane uses:
+// the DBDEDUP_INDEX_BUDGET environment variable turns the tiered index on,
+// and a node with a storage directory keeps cold runs under it.
+func TestTieredIndexViaEnv(t *testing.T) {
+	t.Setenv("DBDEDUP_INDEX_BUDGET", "64KiB")
+	n := testNode(t, Options{Dir: t.TempDir()})
+	rng := rand.New(rand.NewSource(3))
+	template := prose(rng, 1600)
+	for i := 0; i < 400; i++ {
+		if err := n.Insert("db", fmt.Sprintf("k%03d", i), editText(rng, template, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi := n.FeatIdxSnapshot()
+	if !fi.TieredEnabled {
+		t.Fatalf("env budget did not enable the tiered index: %+v", fi)
+	}
+	if fi.TieredBudgetBytes != 64<<10 {
+		t.Errorf("budget = %d, want 64KiB", fi.TieredBudgetBytes)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
