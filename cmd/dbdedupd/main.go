@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"dbdedup/internal/admission"
 	"dbdedup/internal/apiserver"
 	"dbdedup/internal/chain"
 	"dbdedup/internal/chunker"
@@ -48,6 +49,10 @@ func main() {
 		rdMaxChain = flag.Int("rededup-max-chain", 8, "max delta-chain depth a compaction conversion may create")
 		rdBudget   = flag.Duration("rededup-budget", 0, "wall-clock budget per compaction pass for re-sketching (0 = unlimited)")
 		admin      = flag.String("admin", "", "HTTP admin endpoint address (e.g. :7090; empty = off)")
+		admEnable  = flag.Bool("admission", false, "enable admission control: reject over-fair-share inserts during overload")
+		shedRaw    = flag.Bool("shed-raw", false, "degrade inserts to raw (no dedup encode) during overload; pair with -compact-rededup to recover the ratio")
+		admRate    = flag.Float64("admission-tenant-rate", 0, "per-tenant fair-share inserts/second enforced during overload (0 = shedding only)")
+		admDwell   = flag.Duration("overload-dwell", 250*time.Millisecond, "minimum time the overload latch stays engaged once entered")
 		idxBudget  = flag.String("index-memory-budget", "", "similarity-index memory budget, e.g. 24MiB (empty: DBDEDUP_INDEX_BUDGET or unbounded; enables the tiered hot/cold index)")
 	)
 	flag.Parse()
@@ -94,6 +99,12 @@ func main() {
 			Rededup:              *rededup,
 			RededupMaxChainDepth: *rdMaxChain,
 			RededupBudget:        *rdBudget,
+		},
+		Admission: admission.Options{
+			Enabled:       *admEnable,
+			ShedRaw:       *shedRaw,
+			TenantRate:    *admRate,
+			OverloadDwell: *admDwell,
 		},
 	})
 	if err != nil {

@@ -1,0 +1,156 @@
+// Command dedupstorm is the open-loop, heavy-tailed, multi-tenant load
+// generator behind the storm experiments (EXPERIMENTS.md): arrivals follow a
+// compound Poisson process (exponential gaps between bursts, Pareto burst
+// sizes, Zipf tenant choice) scheduled from a pinned seed, and every
+// operation's latency is measured from its *scheduled* arrival time — so
+// when the server falls behind the offered rate, the backlog shows up in the
+// tail instead of being hidden by a closed feedback loop (the way
+// dedupload's measurements are).
+//
+// Against a running server:
+//
+//	dbdedupd -listen :7070 &
+//	dedupstorm -addr 127.0.0.1:7070 -rate 4000 -duration 10s -tenants 1000
+//
+// Self-hosted (empty -addr): the storm runs against an in-process node whose
+// encoder capacity and admission control are set by the -encode-*,
+// -admission and -shed-* flags, which is how the with/without-admission
+// baselines in results_csv/storm_*.csv are produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dbdedup/internal/admission"
+	"dbdedup/internal/apiserver"
+	"dbdedup/internal/node"
+	"dbdedup/internal/stormtest"
+	"dbdedup/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "node API address (empty: self-host an in-process node)")
+		rate     = flag.Float64("rate", 2000, "offered arrival rate, ops/second")
+		duration = flag.Duration("duration", 5*time.Second, "storm duration")
+		tenants  = flag.Int("tenants", 1000, "tenant databases (Zipf-skewed)")
+		conns    = flag.Int("conns", 8, "concurrent client connections")
+		seed     = flag.Int64("seed", 1, "schedule/trace seed (same seed = same offered load)")
+		blend    = flag.String("blend", "wikipedia,enron,stackexchange,messageboards", "comma-separated datasets tenants draw from")
+		reads    = flag.Bool("reads", false, "include the datasets' read mixes")
+		sampling = flag.Int("read-sampling", 20, "take every Nth read of the mix")
+		burst    = flag.Float64("mean-burst", 4, "mean ops per arrival burst (Pareto-tailed)")
+		label    = flag.String("label", "storm", "row label for output and CSV")
+		csvPath  = flag.String("csv", "", "append the run's row to this CSV file")
+		doVerify = flag.Bool("verify", false, "after the storm, re-read every acked write and check payload hashes")
+
+		// Self-host flags (-addr ""): the served node's shape.
+		encWorkers = flag.Int("encode-workers", 0, "self-host: encoder pool size (0 = node default)")
+		encDelay   = flag.Duration("encode-delay", 0, "self-host: simulated per-insert encode cost, pinning capacity host-independently")
+		admEnable  = flag.Bool("admission", false, "self-host: enable admission control (per-tenant fair share)")
+		shedRaw    = flag.Bool("shed-raw", false, "self-host: degrade to raw inserts under overload")
+		tenantRate = flag.Float64("admission-tenant-rate", 0, "self-host: per-tenant fair-share inserts/second during overload")
+		dwell      = flag.Duration("overload-dwell", 250*time.Millisecond, "self-host: minimum time the overload latch stays engaged")
+	)
+	flag.Parse()
+
+	kinds, err := parseBlend(*blend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := stormtest.Config{
+		Addr:         *addr,
+		Rate:         *rate,
+		Duration:     *duration,
+		Tenants:      *tenants,
+		Conns:        *conns,
+		Seed:         *seed,
+		Blend:        kinds,
+		Reads:        *reads,
+		ReadSampling: *sampling,
+		MeanBurst:    *burst,
+	}
+
+	var local *stormtest.LocalNode
+	if *addr == "" {
+		local, err = stormtest.StartLocal(node.Options{
+			EncodeWorkers:        *encWorkers,
+			SimulatedEncodeDelay: *encDelay,
+			Admission: admission.Options{
+				Enabled:       *admEnable,
+				ShedRaw:       *shedRaw,
+				TenantRate:    *tenantRate,
+				OverloadDwell: *dwell,
+			},
+		}, apiserver.Options{})
+		if err != nil {
+			log.Fatalf("self-host node: %v", err)
+		}
+		defer local.Close()
+		cfg.Addr = local.Addr()
+		log.Printf("self-hosted node on %s", cfg.Addr)
+	}
+
+	rep, err := stormtest.Run(*label, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+
+	if *doVerify {
+		lost, corrupt, err := rep.VerifyAckedWrites(cfg.Addr)
+		if err != nil {
+			log.Fatalf("verify: %v", err)
+		}
+		fmt.Printf("verify: %d acked writes re-read — %d lost, %d corrupt\n",
+			rep.AckedWriteCount(), lost, corrupt)
+		if lost != 0 || corrupt != 0 {
+			log.Fatal("SLO violated: acknowledged writes were lost or corrupted")
+		}
+	}
+
+	if local != nil {
+		st := local.Node.Stats()
+		fmt.Printf("server: inserts %d (shed raw %d, rejected %d), engine encodes %d, dedup hits %d\n",
+			st.Inserts, st.InsertsShedRaw, st.InsertsRejected, st.Engine.Inserts, st.Engine.Deduped)
+		a := st.Admission
+		if a.Enabled || a.ShedRawEnabled {
+			fmt.Printf("admission: admitted %d, shed %d, rejected %d (tenant throttles %d), overload enters/exits %d/%d\n",
+				a.Admitted, a.Shed, a.Rejected, a.TenantThrottles, a.OverloadEnters, a.OverloadExits)
+		}
+	}
+
+	if *csvPath != "" {
+		if err := rep.AppendCSV(*csvPath); err != nil {
+			log.Fatalf("csv: %v", err)
+		}
+		fmt.Printf("appended row to %s\n", *csvPath)
+	}
+}
+
+func parseBlend(s string) ([]workload.Kind, error) {
+	var kinds []workload.Kind
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "":
+		case "wikipedia", "wiki":
+			kinds = append(kinds, workload.Wikipedia)
+		case "enron", "mail", "email":
+			kinds = append(kinds, workload.Enron)
+		case "stackexchange", "qa":
+			kinds = append(kinds, workload.StackExchange)
+		case "messageboards", "forum":
+			kinds = append(kinds, workload.MessageBoards)
+		default:
+			return nil, fmt.Errorf("unknown dataset %q in -blend", part)
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("-blend selects no datasets")
+	}
+	return kinds, nil
+}

@@ -10,7 +10,16 @@
 //	response := uint32(len) byte(status) payload
 //
 // op: 'I' insert, 'G' get, 'U' update, 'D' delete, 'S' stats, 'P' per-db stats.
-// status: 0 ok, 1 not found, 2 error (payload = message).
+// status: 0 ok, 1 not found, 2 error (payload = message), 3 overloaded
+// (admission control rejected the request, or the server is at its
+// connection limit).
+//
+// The server bounds what one client — or all clients together — can make it
+// hold in memory (Options): a per-request size cap checked before the body
+// is allocated, a shared budget for in-flight request bodies, a body read
+// deadline so a stalled client cannot pin its allocation, and a connection
+// cap. None of these can wedge the accept loop: every enforcement path
+// closes only the offending connection.
 package apiserver
 
 import (
@@ -22,6 +31,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"dbdedup/internal/core"
 	"dbdedup/internal/node"
@@ -36,17 +46,59 @@ const (
 	opDBStats = 'P'
 	opVerify  = 'Y'
 
-	statusOK       = 0
-	statusNotFound = 1
-	statusError    = 2
+	statusOK         = 0
+	statusNotFound   = 1
+	statusError      = 2
+	statusOverloaded = 3
 
 	maxFrame = 64 << 20
 )
+
+// Options bounds the server's per-client and aggregate resource use. The
+// zero value of any field selects its default.
+type Options struct {
+	// MaxRequestBytes caps one request frame (default 8 MiB, hard ceiling
+	// 64 MiB). An oversized request is answered with an error and the
+	// connection closed — before the body is read or allocated.
+	MaxRequestBytes int
+	// MaxConns caps concurrent client connections (default 1024; < 0 =
+	// unlimited). A connection over the cap is answered with status 3 and
+	// closed.
+	MaxConns int
+	// MemoryBudget caps the total bytes of request bodies held in memory
+	// across all connections (default 256 MiB). A request that cannot
+	// reserve its size waits for in-flight requests to release theirs —
+	// backpressure, not failure.
+	MemoryBudget int64
+	// BodyTimeout is how long the server waits for a request body after
+	// its header arrived (default 30s). A client that stalls mid-frame is
+	// disconnected, releasing its memory reservation, instead of pinning
+	// it forever.
+	BodyTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRequestBytes <= 0 || o.MaxRequestBytes > maxFrame {
+		o.MaxRequestBytes = 8 << 20
+	}
+	if o.MaxConns == 0 {
+		o.MaxConns = 1024
+	}
+	if o.MemoryBudget <= 0 {
+		o.MemoryBudget = 256 << 20
+	}
+	if o.BodyTimeout <= 0 {
+		o.BodyTimeout = 30 * time.Second
+	}
+	return o
+}
 
 // Server serves client operations for a node.
 type Server struct {
 	node *node.Node
 	ln   net.Listener
+	opts Options
+	mem  *byteBudget
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -54,13 +106,21 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// ListenAndServe starts serving n's client API on addr.
+// ListenAndServe starts serving n's client API on addr with default limits.
 func ListenAndServe(n *node.Node, addr string) (*Server, error) {
+	return ListenAndServeOptions(n, addr, Options{})
+}
+
+// ListenAndServeOptions starts serving n's client API on addr.
+func ListenAndServeOptions(n *node.Node, addr string, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("apiserver: %w", err)
 	}
-	s := &Server{node: n, ln: ln, conns: make(map[net.Conn]struct{})}
+	opts = opts.withDefaults()
+	s := &Server{node: n, ln: ln, opts: opts,
+		mem:   newByteBudget(opts.MemoryBudget),
+		conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -81,9 +141,61 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.mem.close()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
+}
+
+// byteBudget is a counting semaphore over bytes: the aggregate in-flight
+// request-body bound. Waiters block until in-flight requests release their
+// reservations (or the server closes). A single request larger than the
+// whole budget reserves the whole budget rather than deadlocking.
+type byteBudget struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	avail  int64
+	total  int64
+	closed bool
+}
+
+func newByteBudget(total int64) *byteBudget {
+	b := &byteBudget{avail: total, total: total}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *byteBudget) acquire(n int64) error {
+	if n > b.total {
+		n = b.total
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.avail < n && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed {
+		return errors.New("apiserver: server closed")
+	}
+	b.avail -= n
+	return nil
+}
+
+func (b *byteBudget) release(n int64) {
+	if n > b.total {
+		n = b.total
+	}
+	b.mu.Lock()
+	b.avail += n
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *byteBudget) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
 }
 
 func (s *Server) acceptLoop() {
@@ -99,11 +211,27 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+			s.mu.Unlock()
+			// Over the connection cap: tell the client why, then drop it.
+			// Only this connection pays; the accept loop keeps going.
+			go refuseConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
+}
+
+// refuseConn answers an over-cap connection with an overload frame and
+// closes it. Run on its own goroutine with a write deadline so a client
+// that never reads cannot stall anything.
+func refuseConn(conn net.Conn) {
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	writeFrame(conn, statusOverloaded, []byte("connection limit reached"))
+	conn.Close()
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -117,11 +245,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
-		frame, err := readFrame(r)
+		frame, release, err := s.readRequest(conn, r, w)
 		if err != nil {
 			return
 		}
 		status, payload := s.handle(frame)
+		release()
 		if err := writeFrame(w, status, payload); err != nil {
 			return
 		}
@@ -129,6 +258,44 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// readRequest reads one request frame under the server's limits: the size
+// cap is checked before the body is allocated, the allocation is reserved
+// against the shared memory budget, and the body read runs under a deadline
+// so a stalled client is cut instead of pinning its reservation. The
+// returned release must be called once the frame is no longer referenced.
+// A non-nil error means the connection is done (a limit violation has
+// already been answered on w where possible).
+func (s *Server) readRequest(conn net.Conn, r *bufio.Reader, w *bufio.Writer) ([]byte, func(), error) {
+	noop := func() {}
+	var hdr [4]byte
+	// The header read has no deadline: an idle connection is fine and
+	// holds no reservation.
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, noop, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > uint32(s.opts.MaxRequestBytes) {
+		// Answer before closing so the client sees why, and never
+		// allocate the claimed size.
+		if writeFrame(w, statusError, []byte("request exceeds size limit")) == nil {
+			w.Flush()
+		}
+		return nil, noop, errors.New("apiserver: oversized request")
+	}
+	if err := s.mem.acquire(int64(n)); err != nil {
+		return nil, noop, err
+	}
+	release := func() { s.mem.release(int64(n)) }
+	conn.SetReadDeadline(time.Now().Add(s.opts.BodyTimeout))
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		release()
+		return nil, noop, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	return body, release, nil
 }
 
 func (s *Server) handle(frame []byte) (byte, []byte) {
@@ -191,6 +358,9 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 		} else {
 			err = s.node.Update(db, key, []byte(payload))
 		}
+		if errors.Is(err, node.ErrOverloaded) {
+			return statusOverloaded, nil
+		}
 		if errors.Is(err, node.ErrNotFound) {
 			return statusNotFound, nil
 		}
@@ -226,13 +396,27 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 // ErrNotFound mirrors node.ErrNotFound across the wire.
 var ErrNotFound = errors.New("apiserver: not found")
 
+// ErrOverloaded mirrors node.ErrOverloaded across the wire: admission
+// control rejected the request (or the server refused the connection at its
+// limit). The operation did not happen; retry with backoff.
+var ErrOverloaded = errors.New("apiserver: server overloaded")
+
 // Client is a synchronous API client. Safe for concurrent use (requests are
 // serialised on one connection).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
+}
+
+// SetTimeout bounds each subsequent round trip (0 = none). After a timeout
+// the connection is desynchronised; the caller should Close and redial.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
 }
 
 // Dial connects to a server.
@@ -250,6 +434,10 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) roundTrip(req []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeRaw(c.w, req); err != nil {
 		return 0, nil, err
 	}
@@ -283,6 +471,8 @@ func statusErr(status byte, payload []byte) error {
 		return nil
 	case statusNotFound:
 		return ErrNotFound
+	case statusOverloaded:
+		return ErrOverloaded
 	default:
 		return fmt.Errorf("apiserver: server error: %s", payload)
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"dbdedup/internal/admission"
 	"dbdedup/internal/apiserver"
 	"dbdedup/internal/core"
 	"dbdedup/internal/node"
@@ -29,6 +30,13 @@ type cluster struct {
 }
 
 func startCluster(t *testing.T) *cluster {
+	return startClusterOpts(t, nil)
+}
+
+// startClusterOpts is startCluster with a hook to mutate the primary's
+// options before it opens (the secondary keeps the stock configuration, as a
+// real replica would — overload is a per-node condition, not a cluster one).
+func startClusterOpts(t *testing.T, primMut func(*node.Options)) *cluster {
 	t.Helper()
 	c := &cluster{primDir: t.TempDir(), secDir: t.TempDir()}
 	opts := func(dir string) node.Options {
@@ -40,7 +48,11 @@ func startCluster(t *testing.T) *cluster {
 		}
 	}
 	var err error
-	if c.prim, err = node.Open(opts(c.primDir)); err != nil {
+	popts := opts(c.primDir)
+	if primMut != nil {
+		primMut(&popts)
+	}
+	if c.prim, err = node.Open(popts); err != nil {
 		t.Fatal(err)
 	}
 	if c.sec, err = node.Open(opts(c.secDir)); err != nil {
@@ -289,5 +301,68 @@ func TestClusterSecondaryCatchUpViaSnapshot(t *testing.T) {
 	got, err := sec.Read("qa", "tail-record")
 	if err != nil || string(got) != "written after the snapshot" {
 		t.Fatal("live streaming after snapshot failed")
+	}
+}
+
+// TestClusterShedRawReplicates is the graceful-degradation contract over the
+// wire (DESIGN.md §12): a primary shedding to raw under overload still
+// acknowledges every insert durably, and those raw oplog entries replicate to
+// a healthy secondary byte-exactly — degraded dedup ratio, not degraded
+// correctness. Overload is forced deterministically: a 1-slot encoder with a
+// simulated delay trips the latch on the second insert, and a one-hour dwell
+// keeps the primary shedding for the rest of the test.
+func TestClusterShedRawReplicates(t *testing.T) {
+	c := startClusterOpts(t, func(o *node.Options) {
+		o.EncodeWorkers = 1
+		o.EncodeQueue = 1
+		o.SimulatedEncodeDelay = 5 * time.Millisecond
+		o.Admission = admission.Options{
+			ShedRaw: true, ShedThreshold: 0.5, ResumeThreshold: 0.25,
+			OverloadDwell: time.Hour,
+		}
+	})
+
+	// A family of mutually similar documents a healthy node would dedup;
+	// the shedding primary stores them raw instead.
+	base := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 40)
+	inserted := map[string][]byte{}
+	for i := 0; i < 40; i++ {
+		doc := append([]byte(fmt.Sprintf("rev %03d | ", i)), base...)
+		key := fmt.Sprintf("doc%03d", i)
+		if err := c.client.Insert("shed", key, doc); err != nil {
+			t.Fatalf("insert %s during overload: %v", key, err)
+		}
+		// The ack contract holds even while shedding: readable immediately.
+		if got, err := c.client.Get("shed", key); err != nil || !bytes.Equal(got, doc) {
+			t.Fatalf("%s not readable right after ack: %v", key, err)
+		}
+		inserted[key] = doc
+	}
+
+	st := c.prim.Stats()
+	if st.InsertsShedRaw == 0 {
+		t.Fatal("overload never engaged; nothing was shed")
+	}
+	if st.Inserts != uint64(len(inserted)) {
+		t.Fatalf("Stats.Inserts = %d, want %d", st.Inserts, len(inserted))
+	}
+
+	c.prim.Barrier()
+	if err := c.replSub.WaitForSeq(c.prim.Oplog().LastSeq(), 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every shed insert made it to the secondary intact.
+	for k, want := range inserted {
+		got, err := c.sec.Read("shed", k)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("secondary %s after shed replication: %v", k, err)
+		}
+	}
+	if rep := c.sec.VerifyAll(); !rep.Ok() {
+		t.Fatalf("secondary VerifyAll after shed replication: %s", rep)
+	}
+	if rep := c.prim.VerifyAll(); !rep.Ok() {
+		t.Fatalf("primary VerifyAll while shedding: %s", rep)
 	}
 }

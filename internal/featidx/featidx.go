@@ -12,6 +12,16 @@
 // the final delta-compression step is byte-exact, so correctness never
 // depends on the index (unlike exact dedup, which must store full
 // collision-resistant hashes).
+//
+// The table is sized on demand: it starts at InitialEntries and doubles —
+// rehashing in place — whenever occupancy approaches the allocation, up to
+// CapacityEntries. Entries keep the feature value alongside the 2-byte
+// checksum so their candidate buckets can be recomputed under the wider
+// mask, which is what makes rehashing possible at any table size and is why
+// a node serving thousands of mostly-small tenant databases does not pay
+// thousands of full-size index allocations up front. (The feature is Go
+// struct overhead, not design size: EntryBytes accounting stays at the
+// paper's 6 bytes.)
 package featidx
 
 import (
@@ -66,13 +76,17 @@ type Config struct {
 	// least-recently-used entry among an insert's candidate buckets is
 	// evicted. Defaults to 1<<20.
 	CapacityEntries int
+	// InitialEntries is the allocation the index starts at; the table
+	// doubles (rehashing its entries) whenever occupancy crosses
+	// growFraction of the allocation, until it reaches CapacityEntries.
+	// Defaults to min(CapacityEntries, 1<<13), so small indexes are fully
+	// allocated up front and behave exactly like the pre-growth design.
+	InitialEntries int
 	// BucketEntries is the number of entries per bucket. Defaults to 4.
 	BucketEntries int
-	// NumHashes is the number of cuckoo hash functions. Because entries
-	// store only a checksum of the feature, displaced entries cannot be
-	// relocated to their alternate buckets (their other positions are not
-	// recoverable); the index instead relies on several hash functions
-	// and LRU eviction. Defaults to 8.
+	// NumHashes is the number of cuckoo hash functions. Displaced entries
+	// are never relocated cuckoo-style; the index instead relies on
+	// several hash functions and LRU eviction. Defaults to 8.
 	NumHashes int
 	// MaxCandidates caps how many matching records a single feature
 	// lookup may return; past it the search terminates and the
@@ -83,11 +97,21 @@ type Config struct {
 	Seed uint64
 }
 
+// growFraction is the occupancy/allocation ratio at which the table doubles.
+// High enough that allocation never exceeds ~1.5× occupancy, low enough that
+// the candidate buckets essentially never all fill before the table grows:
+// with 8 hashes × 4 slots, the chance of an insert finding all 32 candidate
+// slots taken at 11/16 load is ~6e-6, so pre-capacity LRU evictions (which
+// would preferentially drop the index's *coldest* — oldest — similarity
+// state) stay negligible until the table parks at CapacityEntries.
+const growFraction = 11.0 / 16
+
 type entry struct {
 	used     bool
 	checksum uint16
 	ref      Ref
-	tick     uint32 // LRU clock value at last touch
+	tick     uint32         // LRU clock value at last touch
+	feat     sketch.Feature // kept so entries can be re-placed when the table grows
 }
 
 // Index is a single-partition feature index. It is NOT safe for concurrent
@@ -103,13 +127,17 @@ type entry struct {
 // encode in parallel. Callers embedding the index elsewhere must provide an
 // equivalent single-writer discipline.
 type Index struct {
-	buckets    [][]entry
-	bucketMask uint32
-	numHashes  int
-	maxCand    int
-	seed       uint64
-	clock      uint32
-	occupied   int
+	buckets     [][]entry
+	bucketMask  uint32
+	bucketEnts  int
+	maxBuckets  int
+	capEntries  int
+	growAt      int // occupancy that triggers the next doubling
+	numHashes   int
+	maxCand     int
+	seed        uint64
+	clock       uint32
+	occupied    int
 	// stats
 	lookups   uint64
 	matches   uint64
@@ -130,21 +158,48 @@ func New(cfg Config) *Index {
 	if cfg.MaxCandidates <= 0 {
 		cfg.MaxCandidates = 8
 	}
-	nb := nextPow2(cfg.CapacityEntries / cfg.BucketEntries)
+	if cfg.InitialEntries <= 0 {
+		cfg.InitialEntries = 1 << 13
+	}
+	if cfg.InitialEntries > cfg.CapacityEntries {
+		cfg.InitialEntries = cfg.CapacityEntries
+	}
+	nb := nextPow2(cfg.InitialEntries / cfg.BucketEntries)
 	if nb < 2 {
 		nb = 2
 	}
-	buckets := make([][]entry, nb)
-	backing := make([]entry, nb*cfg.BucketEntries)
-	for i := range buckets {
-		buckets[i], backing = backing[:cfg.BucketEntries:cfg.BucketEntries], backing[cfg.BucketEntries:]
+	maxBuckets := nextPow2(cfg.CapacityEntries / cfg.BucketEntries)
+	if maxBuckets < nb {
+		maxBuckets = nb
 	}
-	return &Index{
-		buckets:    buckets,
-		bucketMask: uint32(nb - 1),
+	ix := &Index{
+		bucketEnts: cfg.BucketEntries,
+		maxBuckets: maxBuckets,
+		capEntries: cfg.CapacityEntries,
 		numHashes:  cfg.NumHashes,
 		maxCand:    cfg.MaxCandidates,
 		seed:       cfg.Seed,
+	}
+	ix.setTable(ix.newTable(nb), nb)
+	return ix
+}
+
+func (ix *Index) newTable(nb int) [][]entry {
+	buckets := make([][]entry, nb)
+	backing := make([]entry, nb*ix.bucketEnts)
+	for i := range buckets {
+		buckets[i], backing = backing[:ix.bucketEnts:ix.bucketEnts], backing[ix.bucketEnts:]
+	}
+	return buckets
+}
+
+func (ix *Index) setTable(buckets [][]entry, nb int) {
+	ix.buckets = buckets
+	ix.bucketMask = uint32(nb - 1)
+	if nb < ix.maxBuckets {
+		ix.growAt = int(growFraction * float64(nb*ix.bucketEnts))
+	} else {
+		ix.growAt = int(^uint(0) >> 1) // at capacity: never grow again
 	}
 }
 
@@ -156,6 +211,9 @@ func nextPow2(n int) int {
 	return p
 }
 
+// hash returns the i-th candidate bucket for feature f under the current
+// mask: one Murmur per probe, seeded per hash function. Because the mask only
+// truncates, the same function re-derives an entry's buckets after a grow.
 func (ix *Index) hash(f sketch.Feature, i int) uint32 {
 	var b [8]byte
 	v := uint64(f)
@@ -163,6 +221,50 @@ func (ix *Index) hash(f sketch.Feature, i int) uint32 {
 		b[j] = byte(v >> (8 * j))
 	}
 	return uint32(murmur.Sum64(b[:], ix.seed+uint64(i)*0x9e3779b97f4a7c15)) & ix.bucketMask
+}
+
+// grow doubles the bucket count and re-places every entry under the wider
+// mask, preserving LRU ticks. Placement follows the same first-free-else-LRU
+// walk as LookupInsert, so the scan invariant (an empty slot ends a
+// feature's possible placements) holds in the new table too. At ~40%
+// post-doubling load the chance of any re-placed entry finding all its
+// candidate slots taken is negligible, so growth effectively never evicts.
+func (ix *Index) grow() {
+	old := ix.buckets
+	nb := (int(ix.bucketMask) + 1) * 2
+	ix.setTable(ix.newTable(nb), nb)
+	ix.occupied = 0
+	for _, bucket := range old {
+		for _, e := range bucket {
+			if e.used {
+				ix.place(e)
+			}
+		}
+	}
+}
+
+// place writes e into the first free slot of its candidate walk, or over the
+// least-recently-used candidate when every slot is taken.
+func (ix *Index) place(e entry) {
+	var lruB, lruE int
+	lruTick := uint32(1<<32 - 1)
+	for i := 0; i < ix.numHashes; i++ {
+		bi := ix.hash(e.feat, i)
+		bucket := ix.buckets[bi]
+		for ei := range bucket {
+			s := &bucket[ei]
+			if !s.used {
+				*s = e
+				ix.occupied++
+				return
+			}
+			if s.tick < lruTick {
+				lruTick, lruB, lruE = s.tick, int(bi), ei
+			}
+		}
+	}
+	ix.buckets[lruB][lruE] = e
+	ix.evictions++
 }
 
 func checksumOf(f sketch.Feature) uint16 {
@@ -180,6 +282,9 @@ func checksumOf(f sketch.Feature) uint16 {
 // The returned refs may contain false positives (checksum collisions) and
 // never contain ref itself more than the index already held it.
 func (ix *Index) LookupInsert(f sketch.Feature, ref Ref) []Ref {
+	if ix.occupied >= ix.growAt {
+		ix.grow()
+	}
 	ix.clock++
 	ix.lookups++
 	sum := checksumOf(f)
@@ -231,18 +336,18 @@ scan:
 	if truncated && lruMatchB >= 0 {
 		// Too many similar records for this feature: drop the
 		// least-recently-used one to bound future lookup cost.
-		ix.buckets[lruMatchB][lruMatchE] = entry{used: true, checksum: sum, ref: ref, tick: ix.clock}
+		ix.buckets[lruMatchB][lruMatchE] = entry{used: true, checksum: sum, ref: ref, tick: ix.clock, feat: f}
 		ix.evictions++
 		ix.matches += uint64(len(out))
 		return out
 	}
 
 	if freeB >= 0 {
-		ix.buckets[freeB][freeE] = entry{used: true, checksum: sum, ref: ref, tick: ix.clock}
+		ix.buckets[freeB][freeE] = entry{used: true, checksum: sum, ref: ref, tick: ix.clock, feat: f}
 		ix.occupied++
 	} else {
 		// All candidate slots full: evict the LRU entry among them.
-		ix.buckets[lruB][lruE] = entry{used: true, checksum: sum, ref: ref, tick: ix.clock}
+		ix.buckets[lruB][lruE] = entry{used: true, checksum: sum, ref: ref, tick: ix.clock, feat: f}
 		ix.evictions++
 	}
 	ix.matches += uint64(len(out))
@@ -282,9 +387,16 @@ func (ix *Index) Len() int { return ix.occupied }
 // "index memory usage".
 func (ix *Index) MemoryBytes() int64 { return int64(ix.occupied) * EntryBytes }
 
-// CapacityBytes returns the design-size memory of the fully allocated table.
+// CapacityBytes returns the design-size memory of the fully *grown* table —
+// the configured bound, not the current (possibly smaller) allocation.
 func (ix *Index) CapacityBytes() int64 {
-	return int64(len(ix.buckets)*len(ix.buckets[0])) * EntryBytes
+	return int64(ix.maxBuckets*ix.bucketEnts) * EntryBytes
+}
+
+// AllocatedEntries reports the current table allocation in entries; it starts
+// at InitialEntries and doubles toward CapacityEntries as occupancy rises.
+func (ix *Index) AllocatedEntries() int {
+	return (int(ix.bucketMask) + 1) * ix.bucketEnts
 }
 
 // Stats reports lookup counters since construction.

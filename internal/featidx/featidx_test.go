@@ -309,6 +309,91 @@ func TestStatsCountersMatchObserved(t *testing.T) {
 	}
 }
 
+// TestGrowthStartsSmallAndDoubles pins the demand-grown allocation: a
+// large-capacity index starts at InitialEntries and doubles as occupancy
+// crosses the growth fraction, never exceeding the configured capacity.
+func TestGrowthStartsSmallAndDoubles(t *testing.T) {
+	ix := New(Config{CapacityEntries: 1 << 16, InitialEntries: 1 << 10})
+	if got := ix.AllocatedEntries(); got != 1<<10 {
+		t.Fatalf("initial allocation = %d entries, want %d", got, 1<<10)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 1<<15; i++ {
+		ix.LookupInsert(sketch.Feature(rng.Uint64()), Ref(i))
+	}
+	if got := ix.AllocatedEntries(); got <= 1<<10 {
+		t.Fatalf("allocation stayed at %d entries after %d inserts", got, 1<<15)
+	}
+	if got := ix.AllocatedEntries(); got > 1<<16 {
+		t.Fatalf("allocation %d exceeds capacity %d", got, 1<<16)
+	}
+	// Occupancy always stays below the growth trigger of the allocation.
+	if ix.Len() >= ix.growAt {
+		t.Fatalf("occupied %d >= growAt %d after inserts", ix.Len(), ix.growAt)
+	}
+}
+
+// TestGrowthPreservesEntries proves rehashing keeps the index's accumulated
+// similarity state: features inserted before several doublings are still
+// findable afterwards.
+func TestGrowthPreservesEntries(t *testing.T) {
+	ix := New(Config{CapacityEntries: 1 << 16, InitialEntries: 1 << 10})
+	rng := rand.New(rand.NewSource(22))
+	early := make([]sketch.Feature, 256)
+	for i := range early {
+		early[i] = sketch.Feature(rng.Uint64())
+		ix.LookupInsert(early[i], Ref(i))
+	}
+	grew := 0
+	for i := 0; i < 1<<14; i++ {
+		before := ix.AllocatedEntries()
+		ix.LookupInsert(sketch.Feature(rng.Uint64()), Ref(1000+i))
+		if ix.AllocatedEntries() != before {
+			grew++
+		}
+	}
+	if grew == 0 {
+		t.Fatal("table never grew; test is vacuous")
+	}
+	missing := 0
+	for i, f := range early {
+		found := false
+		for _, r := range ix.Lookup(f) {
+			if r == Ref(i) {
+				found = true
+			}
+		}
+		if !found {
+			missing++
+		}
+	}
+	// Growth re-placement can in principle evict, but at ≤ half load the
+	// odds are negligible; any loss here means rehash dropped entries.
+	if missing > 2 {
+		t.Fatalf("%d of %d pre-growth entries lost across %d doublings", missing, len(early), grew)
+	}
+}
+
+// TestGrowthNeverExceedsCapacity drives an index far past capacity and
+// checks the allocation parks at the configured bound with LRU eviction
+// taking over (the pre-growth behaviour).
+func TestGrowthNeverExceedsCapacity(t *testing.T) {
+	ix := New(Config{CapacityEntries: 1 << 12, InitialEntries: 1 << 8})
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 1<<14; i++ {
+		ix.LookupInsert(sketch.Feature(rng.Uint64()), Ref(i))
+	}
+	if got, want := ix.AllocatedEntries(), 1<<12; got != want {
+		t.Fatalf("allocation = %d, want parked at capacity %d", got, want)
+	}
+	if ix.Len() > 1<<12 {
+		t.Fatalf("occupied %d exceeds capacity", ix.Len())
+	}
+	if _, _, ev := ix.Stats(); ev == 0 {
+		t.Fatal("expected evictions once parked at capacity")
+	}
+}
+
 func BenchmarkLookupInsert(b *testing.B) {
 	ix := New(Config{CapacityEntries: 1 << 20})
 	rng := rand.New(rand.NewSource(1))

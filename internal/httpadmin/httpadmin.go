@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"time"
 
+	"dbdedup/internal/admission"
 	"dbdedup/internal/metrics"
 	"dbdedup/internal/node"
 )
@@ -77,7 +78,8 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 // plus the encoder-pool geometry, the secondary-side apply-pipeline snapshot
 // (all zeros on a node that is not replicating), the read-path snapshot
 // (latency, per-shard block cache, segment-reader gauges), the compaction /
-// re-dedup snapshot, and the similarity-index occupancy snapshot.
+// re-dedup snapshot, the similarity-index occupancy snapshot, and the
+// admission controller's snapshot (zero when no controller is configured).
 type metricsView struct {
 	EncodeWorkers int
 	Encode        metrics.EncodeSnapshot
@@ -86,6 +88,7 @@ type metricsView struct {
 	Repl          metrics.ReplSnapshot
 	Compaction    metrics.CompactionSnapshot
 	FeatIdx       metrics.FeatIdxSnapshot
+	Admission     admission.Snapshot
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -97,6 +100,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Repl:          s.node.ReplMetrics().Snapshot(),
 		Compaction:    s.node.CompactionSnapshot(),
 		FeatIdx:       s.node.FeatIdxSnapshot(),
+		Admission:     s.node.AdmissionSnapshot(),
 	})
 }
 
@@ -128,6 +132,15 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "wb:       %d applied, %d skipped\n", st.WritebacksApplied, st.WritebacksSkipped)
 	fmt.Fprintf(w, "encoder:  %d workers, queue depth %d, %d backpressure stalls\n",
 		st.EncodeWorkers, st.EncodeQueueDepth, st.EncodeOverflows)
+	if a := st.Admission; a.Enabled || a.ShedRawEnabled {
+		mode := "healthy"
+		if a.Overloaded {
+			mode = "OVERLOADED"
+		}
+		fmt.Fprintf(w, "admission: %s — %d admitted, %d shed raw, %d rejected (%d tenant throttles), %d/%d overload enters/exits, %d tenants tracked\n",
+			mode, a.Admitted, a.Shed, a.Rejected, a.TenantThrottles,
+			a.OverloadEnters, a.OverloadExits, a.TrackedTenants)
+	}
 	es := s.node.EncodeMetrics().Snapshot()
 	avgChunk := int64(0)
 	if es.Chunks > 0 {

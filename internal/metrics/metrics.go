@@ -110,6 +110,16 @@ func (h *Histogram) Mean() time.Duration {
 	return h.sum / time.Duration(h.total)
 }
 
+// Max returns the largest observed duration (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1), e.g.
 // Quantile(0.999) is the 99.9th-percentile latency.
 func (h *Histogram) Quantile(q float64) time.Duration {
@@ -406,6 +416,39 @@ func SummarizeHistogram(h *Histogram) HistogramSummary {
 		P50US:  h.Quantile(0.50).Microseconds(),
 		P99US:  h.Quantile(0.99).Microseconds(),
 	}
+}
+
+// LatencySummary is the full percentile view the load tools (dedupload,
+// dedupstorm) report per operation kind — a superset of HistogramSummary
+// with the tail percentiles an open-loop harness exists to measure.
+type LatencySummary struct {
+	Count  uint64
+	MeanUS int64 // microseconds
+	P50US  int64
+	P90US  int64
+	P99US  int64
+	P999US int64
+	MaxUS  int64
+}
+
+// Summary condenses the histogram into the load-tool percentile view.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanUS: h.Mean().Microseconds(),
+		P50US:  h.Quantile(0.50).Microseconds(),
+		P90US:  h.Quantile(0.90).Microseconds(),
+		P99US:  h.Quantile(0.99).Microseconds(),
+		P999US: h.Quantile(0.999).Microseconds(),
+		MaxUS:  h.Max().Microseconds(),
+	}
+}
+
+// String renders the summary the way the load tools print it.
+func (s LatencySummary) String() string {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	return fmt.Sprintf("mean %v  p50 %v  p99 %v  p99.9 %v  max %v (n=%d)",
+		us(s.MeanUS), us(s.P50US), us(s.P99US), us(s.P999US), us(s.MaxUS), s.Count)
 }
 
 // CacheShardSnapshot is one block-cache shard's counters — the per-shard

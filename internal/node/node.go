@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dbdedup/internal/admission"
 	"dbdedup/internal/core"
 	"dbdedup/internal/dedupcache"
 	"dbdedup/internal/delta"
@@ -39,6 +40,12 @@ import (
 
 // ErrNotFound is returned for reads/updates/deletes of absent records.
 var ErrNotFound = errors.New("node: record not found")
+
+// ErrOverloaded is returned for inserts refused by admission control: the
+// server is in overload and the caller's tenant is past its fair share. The
+// insert did not happen; the client may retry with backoff or against
+// another shard.
+var ErrOverloaded = errors.New("node: overloaded, insert rejected by admission control")
 
 // Options configures a node.
 type Options struct {
@@ -92,6 +99,15 @@ type Options struct {
 	// SimulatedAppendDelay injects per-append device latency into the
 	// store (experiments emulating slow disks).
 	SimulatedAppendDelay time.Duration
+	// SimulatedEncodeDelay injects per-insert latency into the dedup
+	// encode stage (the storm harness uses it to pin the encoder pool's
+	// capacity independent of host speed). Shed-raw inserts skip it, like
+	// they skip the real encode work it stands in for.
+	SimulatedEncodeDelay time.Duration
+	// Admission configures overload protection in front of the encoder
+	// pool: admission control, per-tenant fair share, and shed-to-raw
+	// degradation. Zero value = no controller (admit everything).
+	Admission admission.Options
 	// Compaction configures background dead-space reclamation.
 	Compaction CompactionOptions
 }
@@ -125,6 +141,16 @@ type Stats struct {
 	// EncodeOverflows counts client mutations that found their encoder
 	// shard full and had to wait for it to drain.
 	EncodeOverflows int64
+	// InsertsShedRaw counts acknowledged inserts whose dedup encoding was
+	// shed by admission control (stored and replicated raw; recoverable by
+	// compaction-time re-dedup). Included in Inserts.
+	InsertsShedRaw uint64
+	// InsertsRejected counts inserts refused with ErrOverloaded. Not
+	// included in Inserts — the write did not happen.
+	InsertsRejected uint64
+	// Admission is the admission controller's snapshot (zero when no
+	// controller is configured).
+	Admission admission.Snapshot
 }
 
 // Node is a single DBMS node (primary or secondary).
@@ -161,6 +187,12 @@ type Node struct {
 	// applyMu serialises form-changing rewrites (write-back application
 	// and hidden-chain repair) so their refcount updates stay coherent.
 	applyMu sync.Mutex
+
+	// Admission controller (nil = admit everything) and the encoder
+	// pool's total queue capacity, its occupancy denominator.
+	adm         *admission.Controller
+	encQueueCap int64
+	admRejected atomic.Uint64
 
 	// Encoder pool: one shard per worker, jobs hashed by database name.
 	// Shard queues are appended to under n.mu (with the shard's own lock
@@ -205,7 +237,11 @@ type encodeJob struct {
 	version uint32
 	// opSeq orders this job among all client mutations; the encoder uses
 	// it to detect sources mutated after this insert was accepted.
-	opSeq   uint64
+	opSeq uint64
+	// shedRaw marks an insert whose dedup encoding was shed by admission
+	// control: the worker emits the raw oplog entry without touching the
+	// engine.
+	shedRaw bool
 	barrier chan struct{} // non-nil: sentinel, closed when reached
 }
 
@@ -274,8 +310,10 @@ func Open(opts Options) (*Node, error) {
 		store.Close()
 		return nil, err
 	}
+	n.adm = admission.New(opts.Admission)
 	if !opts.SyncEncode {
 		n.asyncMode = true
+		n.encQueueCap = int64(opts.EncodeWorkers) * int64(opts.EncodeQueue)
 		n.shards = make([]*encodeShard, opts.EncodeWorkers)
 		for i := range n.shards {
 			sh := &encodeShard{sem: make(chan struct{}, opts.EncodeQueue)}
@@ -477,8 +515,24 @@ func (n *Node) enqueueLocked(sh *encodeShard, job encodeJob) (encodeJob, bool) {
 
 // Insert stores a new record under (db, key). The record is durable (modulo
 // block buffering) when Insert returns; dedup encoding happens behind it.
+//
+// The admission controller (when configured) is consulted before any
+// resource is reserved: a Reject returns ErrOverloaded without touching the
+// store or the encode queue, and a ShedRaw admits the write but marks its
+// encode job to bypass the dedup workflow — the record is stored, acked,
+// and replicated raw.
 func (n *Node) Insert(db, key string, payload []byte) error {
 	start := time.Now()
+	shed := false
+	if n.adm != nil {
+		switch n.adm.Decide(db, n.encm.QueueDepth.Value(), n.encQueueCap) {
+		case admission.Reject:
+			n.admRejected.Add(1)
+			return ErrOverloaded
+		case admission.ShedRaw:
+			shed = true
+		}
+	}
 	sh := n.reserveEncodeSlot(db)
 	n.mu.Lock()
 	if n.closed {
@@ -495,6 +549,9 @@ func (n *Node) Insert(db, key string, payload []byte) error {
 	id := n.nextID
 	n.nextID++
 	n.stats.Inserts++
+	if shed {
+		n.stats.InsertsShedRaw++
+	}
 	n.stats.RawInsertBytes += int64(len(payload))
 	n.recentOps.Add(1)
 	ver := n.version[id]
@@ -512,13 +569,16 @@ func (n *Node) Insert(db, key string, payload []byte) error {
 		return err
 	}
 	dbm.Store(key, id)
-	job, inline := n.enqueueLocked(sh, encodeJob{kind: oplog.OpInsert, db: db, key: key, id: id, payload: cp, version: ver})
+	job, inline := n.enqueueLocked(sh, encodeJob{kind: oplog.OpInsert, db: db, key: key,
+		id: id, payload: cp, version: ver, shedRaw: shed})
 	n.mu.Unlock()
 
 	if inline {
 		n.process(job)
 	}
-	n.latIns.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	n.adm.ObserveLatency(elapsed)
+	n.latIns.Observe(elapsed)
 	return nil
 }
 
@@ -805,10 +865,22 @@ func (n *Node) processInsert(job encodeJob) {
 	entry := oplog.Entry{TS: time.Now().UnixNano(), Op: oplog.OpInsert,
 		DB: job.db, Key: job.key, Form: oplog.FormRaw, Payload: job.payload}
 
+	// A shed insert ships raw: no sketch, no index probe, no delta — the
+	// whole point of shedding is that the worker's time per job collapses
+	// to an oplog append so the queue drains. The record is already in the
+	// store; compaction-time re-dedup can recover the ratio later.
+	if job.shedRaw {
+		n.appendOplog(entry)
+		return
+	}
+
 	n.mu.RLock()
 	alreadyMutated := n.version[job.id] != job.version || n.lastMut[job.id] > job.opSeq
 	n.mu.RUnlock()
 	if n.eng != nil && !alreadyMutated {
+		if n.opts.SimulatedEncodeDelay > 0 {
+			time.Sleep(n.opts.SimulatedEncodeDelay)
+		}
 		res, err := n.eng.Encode(job.db, job.id, job.payload)
 		// If the record was client-mutated while encoding, the engine
 		// may have cached its stale insert payload as a dedup source;
@@ -1503,8 +1575,14 @@ func (n *Node) Stats() Stats {
 	s.EncodeWorkers = len(n.shards)
 	s.EncodeQueueDepth = n.encm.QueueDepth.Value()
 	s.EncodeOverflows = n.encm.QueueOverflows.Total()
+	s.InsertsRejected = n.admRejected.Load()
+	s.Admission = n.adm.Snapshot()
 	return s
 }
+
+// AdmissionSnapshot summarises the admission controller for the admin
+// endpoint (zero-valued when no controller is configured).
+func (n *Node) AdmissionSnapshot() admission.Snapshot { return n.adm.Snapshot() }
 
 // ReadSnapshot summarises the read path for the admin endpoint: client read
 // latency, block-cache outcomes down to the shard, and the segment-reader

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
+	"dbdedup/internal/admission"
 	"dbdedup/internal/core"
 	"dbdedup/internal/docstore"
 )
@@ -172,6 +174,85 @@ func TestCompactRededupDisabledByDefault(t *testing.T) {
 	}
 	if passes := n.CompactionMetrics().Passes.Total(); passes == 0 {
 		t.Fatal("compaction passes were not counted")
+	}
+}
+
+// TestCompactRededupRecoversShedInserts closes the graceful-degradation
+// loop with admission control (DESIGN.md §12): a node in shed-raw overload
+// stores every insert raw — readable the moment it is acknowledged, but with
+// the dedup ratio given up — and a later -compact-rededup pass recovers the
+// ratio offline. Shedding is forced deterministically: a 1-slot encoder with
+// a simulated delay trips the overload latch on the second insert, and a
+// one-hour dwell pins it for the rest of the test.
+func TestCompactRededupRecoversShedInserts(t *testing.T) {
+	const seed, family, spacers = 21, 20, 4
+	n := asyncNode(t, Options{
+		// Healthy, full-size index: unlike the eviction-bound tests above,
+		// here the ratio is lost to shedding alone.
+		BlockSize:            1 << 10,
+		SegmentSize:          8 << 10,
+		Compaction:           CompactionOptions{Rededup: true, RededupMaxChainDepth: 8},
+		EncodeWorkers:        1,
+		EncodeQueue:          1,
+		SimulatedEncodeDelay: 5 * time.Millisecond,
+		Admission: admission.Options{
+			ShedRaw: true, ShedThreshold: 0.5, ResumeThreshold: 0.25,
+			OverloadDwell: time.Hour,
+		},
+	})
+
+	// The primer is admitted (queue empty); the trigger arrives while the
+	// worker still sleeps on the primer, sees full occupancy, and latches
+	// the controller into overload for the dwell.
+	rng := rand.New(rand.NewSource(99))
+	if err := n.Insert("fam", "primer", prose(rng, 1600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Insert("fam", "latch", prose(rng, 1600)); err != nil {
+		t.Fatal(err)
+	}
+
+	docs := rededupWorkload(t, n, seed, family, spacers)
+	n.Barrier()
+
+	st := n.Stats()
+	if st.InsertsShedRaw < uint64(family) {
+		t.Fatalf("latch did not hold: only %d inserts shed, want ≥ %d", st.InsertsShedRaw, family)
+	}
+	// Shed inserts never reach the engine, so nothing was deduplicated
+	// online — the whole family sits raw.
+	if st.Engine.Deduped != 0 {
+		t.Fatalf("engine deduped %d inserts that should have been shed", st.Engine.Deduped)
+	}
+	// Acknowledged-but-shed writes are immediately readable.
+	for i, want := range docs {
+		got, err := n.Read("fam", fmt.Sprintf("f%03d", i))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("shed doc %d unreadable before compaction: %v", i, err)
+		}
+	}
+
+	logicalBefore := n.Store().Stats().LogicalBytes
+	compactRounds(t, n, 32)
+	snap := n.CompactionSnapshot()
+	if snap.Conversions < int64(family)/2 {
+		t.Fatalf("re-dedup recovered %d of %d shed family members (skipped %d)",
+			snap.Conversions, family, snap.ConversionsSkipped)
+	}
+	if snap.LogicalBytesSaved <= 0 {
+		t.Fatalf("LogicalBytesSaved = %d, want > 0", snap.LogicalBytesSaved)
+	}
+	if after := n.Store().Stats().LogicalBytes; after >= logicalBefore {
+		t.Fatalf("logical bytes %d → %d; shed ratio not recovered", logicalBefore, after)
+	}
+	for i, want := range docs {
+		got, err := n.Read("fam", fmt.Sprintf("f%03d", i))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("doc %d corrupted by recovery: %v", i, err)
+		}
+	}
+	if rep := n.VerifyAll(); !rep.Ok() {
+		t.Fatalf("VerifyAll: %s", rep)
 	}
 }
 

@@ -1,0 +1,71 @@
+package stormtest
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// csvHeader is one row per labelled storm run; results_csv/storm_*.csv files
+// are built from these rows and EXPERIMENTS.md quotes them.
+var csvColumns = []string{
+	"label", "rate_ops", "duration_s", "wall_s", "tenants", "conns", "seed",
+	"offered", "dropped", "acked_inserts", "acked_reads", "insert_mb",
+	"err_overloaded", "err_notfound", "err_timeout", "err_conn", "err_other",
+	"ins_mean_us", "ins_p50_us", "ins_p99_us", "ins_p999_us", "ins_max_us",
+	"read_p50_us", "read_p99_us", "read_p999_us",
+	"goodput_ops", "goodput_mbs",
+}
+
+// CSVRow renders the report as one CSV data row (no newline).
+func (r *Report) CSVRow() string {
+	f := []string{
+		r.Label,
+		fmt.Sprintf("%.0f", r.Config.Rate),
+		fmt.Sprintf("%.2f", r.Config.Duration.Seconds()),
+		fmt.Sprintf("%.2f", r.Wall.Seconds()),
+		fmt.Sprintf("%d", r.Config.Tenants),
+		fmt.Sprintf("%d", r.Config.Conns),
+		fmt.Sprintf("%d", r.Config.Seed),
+		fmt.Sprintf("%d", r.Offered),
+		fmt.Sprintf("%d", r.Dropped),
+		fmt.Sprintf("%d", r.AckedInserts),
+		fmt.Sprintf("%d", r.AckedReads),
+		fmt.Sprintf("%.2f", float64(r.InsertBytes)/(1<<20)),
+		fmt.Sprintf("%d", r.Errors[ErrClassOverloaded]),
+		fmt.Sprintf("%d", r.Errors[ErrClassNotFound]),
+		fmt.Sprintf("%d", r.Errors[ErrClassTimeout]),
+		fmt.Sprintf("%d", r.Errors[ErrClassConn]),
+		fmt.Sprintf("%d", r.Errors[ErrClassOther]),
+		fmt.Sprintf("%d", r.Insert.MeanUS),
+		fmt.Sprintf("%d", r.Insert.P50US),
+		fmt.Sprintf("%d", r.Insert.P99US),
+		fmt.Sprintf("%d", r.Insert.P999US),
+		fmt.Sprintf("%d", r.Insert.MaxUS),
+		fmt.Sprintf("%d", r.Read.P50US),
+		fmt.Sprintf("%d", r.Read.P99US),
+		fmt.Sprintf("%d", r.Read.P999US),
+		fmt.Sprintf("%.0f", r.GoodputOps),
+		fmt.Sprintf("%.2f", r.GoodputMB),
+	}
+	return strings.Join(f, ",")
+}
+
+// AppendCSV appends the report to path, writing the header first when the
+// file is new or empty.
+func (r *Report) AppendCSV(path string) error {
+	fi, err := os.Stat(path)
+	writeHeader := err != nil || fi.Size() == 0
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if writeHeader {
+		if _, err := fmt.Fprintln(f, strings.Join(csvColumns, ",")); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintln(f, r.CSVRow())
+	return err
+}

@@ -1,0 +1,540 @@
+// Package stormtest is the open-loop, heavy-tailed, multi-tenant load
+// harness ("dedupstorm") and the SLO assertions built on it.
+//
+// Open loop matters: a closed-loop generator (like dedupload) waits for each
+// reply before sending the next request, so when the server slows down the
+// generator slows down with it and the tail latencies of an overloaded
+// server are never observed. Here arrivals follow a schedule that does not
+// care how the server is doing — a compound Poisson process (exponential
+// gaps between bursts, Pareto-distributed burst sizes, Zipf tenant choice) —
+// and every operation's latency is measured from its *scheduled arrival
+// time*, so queueing collapse shows up as the multi-second p99 it really is.
+//
+// The harness drives the real apiserver TCP surface with thousands of
+// tenant databases running mixed workload blends, classifies every outcome
+// into an error taxonomy, tracks each acknowledged insert (key + payload
+// hash) so lost acked writes are provable, and renders reports as text and
+// CSV rows for results_csv/storm_*.csv.
+package stormtest
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbdedup/internal/apiserver"
+	"dbdedup/internal/metrics"
+	"dbdedup/internal/node"
+	"dbdedup/internal/workload"
+)
+
+// Config parameterises one storm.
+type Config struct {
+	// Addr is the apiserver TCP address to drive.
+	Addr string
+	// Rate is the offered load in operations/second.
+	Rate float64
+	// Duration is how long arrivals are generated. The storm then drains:
+	// every scheduled operation is completed (or fails) before Run returns,
+	// so an overloaded server shows up as wall time and tail latency, not
+	// as silently abandoned work.
+	Duration time.Duration
+	// Tenants is the number of tenant databases (default 100). Tenant
+	// popularity is Zipf-skewed: low tenant ids are hot.
+	Tenants int
+	// Conns is the number of client connections / workers (default 8).
+	Conns int
+	// Seed pins the arrival schedule and every tenant trace.
+	Seed int64
+	// Blend lists the workload families tenants cycle through (default all
+	// four: wiki, mail, qa, forum).
+	Blend []workload.Kind
+	// Reads interleaves each family's read mix (sampled by ReadSampling,
+	// default every 20th read) into the storm.
+	Reads        bool
+	ReadSampling int
+	// MeanBurst is the mean operations per arrival burst (default 4);
+	// ParetoAlpha is the burst-size tail index (default 1.5 — infinite
+	// variance, the heavy tail that makes p999 interesting). Burst sizes
+	// are capped at 64×MeanBurst so one draw cannot be the whole storm.
+	MeanBurst   float64
+	ParetoAlpha float64
+	// Timeout is the per-request client deadline (default 30s). A timed-out
+	// connection is redialled.
+	Timeout time.Duration
+	// QueueCap bounds the dispatch queue between the arrival scheduler and
+	// the connection workers (default: the storm's full expected arrival
+	// count, so nothing is dropped and compared runs see identical offered
+	// load). Arrivals that find it full are counted as dropped.
+	QueueCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tenants <= 0 {
+		c.Tenants = 100
+	}
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+	if len(c.Blend) == 0 {
+		c.Blend = workload.Kinds
+	}
+	if c.MeanBurst < 1 {
+		c.MeanBurst = 4
+	}
+	if c.ParetoAlpha <= 1 {
+		c.ParetoAlpha = 1.5
+	}
+	if c.ReadSampling <= 0 {
+		c.ReadSampling = 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = int(c.Rate*c.Duration.Seconds()) + 1024
+	}
+	return c
+}
+
+// Error-taxonomy classes.
+const (
+	ErrClassOverloaded = "overloaded" // rejected by admission control
+	ErrClassNotFound   = "notfound"   // read of a key that is not there
+	ErrClassTimeout    = "timeout"    // request deadline exceeded
+	ErrClassConn       = "conn"       // dial/transport failure
+	ErrClassOther      = "other"      // anything else the server said
+)
+
+// Report is the outcome of one storm.
+type Report struct {
+	Label  string
+	Config Config
+
+	// Offered counts scheduled arrivals; Dropped the subset that found the
+	// dispatch queue full (0 with the default QueueCap). Wall is start to
+	// full drain — under overload it exceeds Config.Duration.
+	Offered int64
+	Dropped int64
+	Wall    time.Duration
+
+	// AckedInserts/AckedReads count operations the server acknowledged;
+	// InsertBytes sums acked insert payloads.
+	AckedInserts int64
+	AckedReads   int64
+	InsertBytes  int64
+
+	// Errors is the taxonomy: class → count.
+	Errors map[string]int64
+
+	// Insert/Read are open-loop latency summaries (measured from scheduled
+	// arrival, not from send).
+	Insert metrics.LatencySummary
+	Read   metrics.LatencySummary
+
+	// GoodputOps/GoodputMB are acked operations and acked insert megabytes
+	// per wall-clock second.
+	GoodputOps float64
+	GoodputMB  float64
+
+	acked *ackedSet
+}
+
+// ErrorTotal sums the taxonomy.
+func (r *Report) ErrorTotal() int64 {
+	var n int64
+	for _, c := range r.Errors {
+		n += c
+	}
+	return n
+}
+
+// String renders the report the way cmd/dedupstorm prints it.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "storm %q: offered %d ops at %.0f ops/s over %v (wall %v)\n",
+		r.Label, r.Offered, r.Config.Rate, r.Config.Duration.Round(time.Millisecond), r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  acked: %d inserts (%s), %d reads — goodput %.0f ops/s, %.1f MB/s\n",
+		r.AckedInserts, metrics.FormatBytes(r.InsertBytes), r.AckedReads, r.GoodputOps, r.GoodputMB)
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "  dropped at dispatch: %d\n", r.Dropped)
+	}
+	if len(r.Errors) > 0 {
+		classes := make([]string, 0, len(r.Errors))
+		for c := range r.Errors {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(&b, "  errors:")
+		for _, c := range classes {
+			fmt.Fprintf(&b, " %s=%d", c, r.Errors[c])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "  insert latency (open loop): %s\n", r.Insert)
+	if r.Read.Count > 0 {
+		fmt.Fprintf(&b, "  read latency (open loop):   %s\n", r.Read)
+	}
+	return b.String()
+}
+
+// job is one scheduled operation in flight between scheduler and workers.
+type job struct {
+	op        workload.Op
+	scheduled time.Time
+}
+
+// ackedSet records every acknowledged insert's payload hash, striped to keep
+// the hot path cheap.
+type ackedSet struct {
+	stripes [16]struct {
+		mu sync.Mutex
+		m  map[string]uint64
+	}
+}
+
+func ackKey(db, key string) string { return db + "\x00" + key }
+
+func payloadHash(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+func (s *ackedSet) add(db, key string, hash uint64) {
+	k := ackKey(db, key)
+	st := &s.stripes[fnvStripe(k)]
+	st.mu.Lock()
+	if st.m == nil {
+		st.m = make(map[string]uint64)
+	}
+	st.m[k] = hash
+	st.mu.Unlock()
+}
+
+func (s *ackedSet) len() int {
+	n := 0
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		n += len(s.stripes[i].m)
+		s.stripes[i].mu.Unlock()
+	}
+	return n
+}
+
+func fnvStripe(k string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return int(h % 16)
+}
+
+// tenant owns one deterministic trace; only the scheduler touches it.
+type tenant struct {
+	prefix string
+	trace  *workload.Trace
+	cfg    workload.Config
+}
+
+func (t *tenant) next() workload.Op {
+	op, ok := t.trace.Next()
+	if !ok {
+		// Traces are sized effectively infinite, but if one does run dry,
+		// restart it on a shifted seed so the storm never starves.
+		t.cfg.Seed++
+		t.trace = workload.New(t.cfg)
+		op, _ = t.trace.Next()
+	}
+	op.DB = t.prefix + op.DB
+	return op
+}
+
+// Run executes one storm against cfg.Addr and returns its report.
+func Run(label string, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("stormtest: Rate and Duration must be positive")
+	}
+
+	rep := &Report{
+		Label:  label,
+		Config: cfg,
+		Errors: make(map[string]int64),
+		acked:  &ackedSet{},
+	}
+
+	tenants := make([]*tenant, cfg.Tenants)
+	for i := range tenants {
+		wcfg := workload.Config{
+			Kind:         cfg.Blend[i%len(cfg.Blend)],
+			Seed:         cfg.Seed + int64(i)*7919,
+			InsertBytes:  1 << 40, // effectively unbounded
+			Reads:        cfg.Reads,
+			ReadSampling: cfg.ReadSampling,
+		}
+		tenants[i] = &tenant{
+			prefix: fmt.Sprintf("t%04d_", i),
+			trace:  workload.New(wcfg),
+			cfg:    wcfg,
+		}
+	}
+
+	dispatch := make(chan job, cfg.QueueCap)
+	latIns := metrics.NewHistogram()
+	latRead := metrics.NewHistogram()
+	var (
+		offered, dropped    atomic.Int64
+		ackedIns, ackedRead atomic.Int64
+		insBytes            atomic.Int64
+		errMu               sync.Mutex
+		errCounts           = make(map[string]int64)
+	)
+	countErr := func(class string) {
+		errMu.Lock()
+		errCounts[class]++
+		errMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var client *apiserver.Client
+			redial := func() bool {
+				if client != nil {
+					client.Close()
+					client = nil
+				}
+				c, err := apiserver.Dial(cfg.Addr)
+				if err != nil {
+					return false
+				}
+				c.SetTimeout(cfg.Timeout)
+				client = c
+				return true
+			}
+			defer func() {
+				if client != nil {
+					client.Close()
+				}
+			}()
+			for j := range dispatch {
+				if client == nil && !redial() {
+					countErr(ErrClassConn)
+					continue
+				}
+				switch j.op.Kind {
+				case workload.OpInsert:
+					err := client.Insert(j.op.DB, j.op.Key, j.op.Payload)
+					if err == nil {
+						latIns.Observe(time.Since(j.scheduled))
+						ackedIns.Add(1)
+						insBytes.Add(int64(len(j.op.Payload)))
+						rep.acked.add(j.op.DB, j.op.Key, payloadHash(j.op.Payload))
+						continue
+					}
+					countErr(classify(err))
+					if isTransport(err) {
+						redial()
+					}
+				case workload.OpRead:
+					_, err := client.Get(j.op.DB, j.op.Key)
+					if err == nil {
+						latRead.Observe(time.Since(j.scheduled))
+						ackedRead.Add(1)
+						continue
+					}
+					countErr(classify(err))
+					if isTransport(err) {
+						redial()
+					}
+				}
+			}
+		}()
+	}
+
+	// Arrival scheduler: compound Poisson. Bursts arrive with exponential
+	// gaps at Rate/MeanBurst bursts per second; each burst's size is Pareto
+	// with mean MeanBurst; all operations of a burst hit one Zipf-chosen
+	// tenant (tenant traffic is bursty, which is what stresses fair share).
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))
+	burstRate := cfg.Rate / cfg.MeanBurst
+	paretoXm := cfg.MeanBurst * (cfg.ParetoAlpha - 1) / cfg.ParetoAlpha
+	maxBurst := int(64 * cfg.MeanBurst)
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	next := start
+	for {
+		gap := time.Duration(rng.ExpFloat64() / burstRate * float64(time.Second))
+		next = next.Add(gap)
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		// Pareto burst size via inverse transform; u in (0,1].
+		u := 1 - rng.Float64()
+		size := int(math.Round(paretoXm / math.Pow(u, 1/cfg.ParetoAlpha)))
+		if size < 1 {
+			size = 1
+		}
+		if size > maxBurst {
+			size = maxBurst
+		}
+		tn := tenants[zipfTenant(rng, cfg.Tenants)]
+		for i := 0; i < size; i++ {
+			op := tn.next()
+			offered.Add(1)
+			select {
+			case dispatch <- job{op: op, scheduled: next}:
+			default:
+				dropped.Add(1)
+			}
+		}
+	}
+	close(dispatch)
+	wg.Wait()
+	rep.Wall = time.Since(start)
+
+	rep.Offered = offered.Load()
+	rep.Dropped = dropped.Load()
+	rep.AckedInserts = ackedIns.Load()
+	rep.AckedReads = ackedRead.Load()
+	rep.InsertBytes = insBytes.Load()
+	rep.Errors = errCounts
+	rep.Insert = latIns.Summary()
+	rep.Read = latRead.Summary()
+	secs := rep.Wall.Seconds()
+	if secs > 0 {
+		rep.GoodputOps = float64(rep.AckedInserts+rep.AckedReads) / secs
+		rep.GoodputMB = float64(rep.InsertBytes) / (1 << 20) / secs
+	}
+	return rep, nil
+}
+
+// zipfTenant skews tenant choice toward low ids (same shape the workload
+// generators use for hot articles/threads).
+func zipfTenant(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	return int(float64(n) * u * u * u)
+}
+
+func classify(err error) string {
+	switch {
+	case errors.Is(err, apiserver.ErrOverloaded):
+		return ErrClassOverloaded
+	case errors.Is(err, apiserver.ErrNotFound):
+		return ErrClassNotFound
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return ErrClassTimeout
+		}
+		if isTransport(err) {
+			return ErrClassConn
+		}
+		return ErrClassOther
+	}
+}
+
+// isTransport reports whether the error poisoned the connection (the next
+// request would read this one's leftovers), so the worker must redial.
+func isTransport(err error) bool {
+	if errors.Is(err, apiserver.ErrNotFound) || errors.Is(err, apiserver.ErrOverloaded) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	s := err.Error()
+	return strings.Contains(s, "EOF") || strings.Contains(s, "closed") ||
+		strings.Contains(s, "reset") || strings.Contains(s, "broken pipe")
+}
+
+// VerifyAckedWrites re-reads every acknowledged insert through a fresh
+// connection and returns how many are lost (unreadable) or corrupt (payload
+// hash mismatch). Zero/zero is the harness's primary SLO: an acknowledged
+// write is never lost, shed or not.
+func (r *Report) VerifyAckedWrites(addr string) (lost, corrupt int, err error) {
+	client, err := apiserver.Dial(addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer client.Close()
+	for i := range r.acked.stripes {
+		st := &r.acked.stripes[i]
+		st.mu.Lock()
+		keys := make([]string, 0, len(st.m))
+		for k := range st.m {
+			keys = append(keys, k)
+		}
+		st.mu.Unlock()
+		sort.Strings(keys)
+		for _, k := range keys {
+			st.mu.Lock()
+			want := st.m[k]
+			st.mu.Unlock()
+			sep := strings.IndexByte(k, 0)
+			got, gerr := client.Get(k[:sep], k[sep+1:])
+			if gerr != nil {
+				lost++
+				continue
+			}
+			if payloadHash(got) != want {
+				corrupt++
+			}
+		}
+	}
+	return lost, corrupt, nil
+}
+
+// AckedWriteCount returns the number of distinct acknowledged inserts the
+// report tracks.
+func (r *Report) AckedWriteCount() int { return r.acked.len() }
+
+// LocalNode is an in-process node + apiserver bundle for self-hosted storms
+// (tests and dedupstorm's -addr="" mode).
+type LocalNode struct {
+	Node *node.Node
+	Srv  *apiserver.Server
+}
+
+// StartLocal opens a node with nopts and serves it on a loopback port.
+func StartLocal(nopts node.Options, sopts apiserver.Options) (*LocalNode, error) {
+	n, err := node.Open(nopts)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := apiserver.ListenAndServeOptions(n, "127.0.0.1:0", sopts)
+	if err != nil {
+		n.Close()
+		return nil, err
+	}
+	return &LocalNode{Node: n, Srv: srv}, nil
+}
+
+// Addr returns the bundle's TCP address.
+func (l *LocalNode) Addr() string { return l.Srv.Addr() }
+
+// Close tears the bundle down.
+func (l *LocalNode) Close() {
+	l.Srv.Close()
+	l.Node.Close()
+}
