@@ -7,7 +7,14 @@
 //	dbdedupd -listen :7070 -repl-listen :7071 -dir /var/lib/dbdedup/primary
 //	dbdedupd -listen :7080 -follow 127.0.0.1:7071 -dir /var/lib/dbdedup/secondary
 //
-// Use dedupcli to talk to the API port.
+// A 3-primary sharded cluster, each member owning the databases the ring
+// places on it (see DESIGN.md "Sharded cluster"):
+//
+//	dbdedupd -listen :7070 -cluster-self host1:7070 -cluster-peers host1:7070,host2:7070,host3:7070
+//	dbdedupd -listen :7070 -cluster-self host2:7070 -cluster-peers host1:7070,host2:7070,host3:7070
+//	dbdedupd -listen :7070 -cluster-self host3:7070 -cluster-peers host1:7070,host2:7070,host3:7070
+//
+// Use dedupcli to talk to the API port (-addrs for cluster routing).
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -23,6 +31,7 @@ import (
 	"dbdedup/internal/apiserver"
 	"dbdedup/internal/chain"
 	"dbdedup/internal/chunker"
+	"dbdedup/internal/cluster"
 	"dbdedup/internal/core"
 	"dbdedup/internal/featidx/tiered"
 	"dbdedup/internal/httpadmin"
@@ -54,6 +63,10 @@ func main() {
 		admRate    = flag.Float64("admission-tenant-rate", 0, "per-tenant fair-share inserts/second enforced during overload (0 = shedding only)")
 		admDwell   = flag.Duration("overload-dwell", 250*time.Millisecond, "minimum time the overload latch stays engaged once entered")
 		idxBudget  = flag.String("index-memory-budget", "", "similarity-index memory budget, e.g. 24MiB (empty: DBDEDUP_INDEX_BUDGET or unbounded; enables the tiered hot/cold index)")
+
+		clusterSelf  = flag.String("cluster-self", "", "this member's advertised client address in the ring (enables cluster mode)")
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated initial cluster membership including self (empty: start ring-less and join via `dedupcli rebalance`)")
+		clusterFwd   = flag.Bool("cluster-forward", false, "proxy wrong-shard requests to their owner server-side instead of redirecting the client")
 	)
 	flag.Parse()
 
@@ -112,15 +125,59 @@ func main() {
 	}
 	defer n.Close()
 
-	api, err := apiserver.ListenAndServe(n, *listen)
+	// In cluster mode the node is served behind a shard wrapper: the ring
+	// routes each database to one member, everything else is answered with
+	// the routing taxonomy (wrong-shard redirect / moving retry-later) or,
+	// with -cluster-forward, proxied to the owner.
+	var sh *cluster.Shard
+	var apiOpts apiserver.Options
+	if *clusterSelf != "" {
+		cm := &metrics.ClusterMetrics{}
+		initial := cluster.NewRing(0, nil)
+		if *clusterPeers != "" {
+			peers := splitAddrs(*clusterPeers)
+			found := false
+			for _, p := range peers {
+				if p == *clusterSelf {
+					found = true
+				}
+			}
+			if !found {
+				log.Fatalf("-cluster-peers %v does not include -cluster-self %s", peers, *clusterSelf)
+			}
+			initial = cluster.NewRing(1, peers)
+		}
+		sh = cluster.NewShard(n, *clusterSelf, initial, nil, cm)
+		apiOpts.ForwardWrongShard = *clusterFwd
+		apiOpts.OnForward = func(ok bool) {
+			if ok {
+				cm.ForwardedOps.Add(1)
+			} else {
+				cm.ForwardFailures.Add(1)
+			}
+		}
+	} else if *clusterPeers != "" || *clusterFwd {
+		log.Fatal("-cluster-peers/-cluster-forward require -cluster-self")
+	}
+
+	var api *apiserver.Server
+	if sh != nil {
+		api, err = apiserver.ListenAndServeBackend(sh, *listen, apiOpts)
+	} else {
+		api, err = apiserver.ListenAndServe(n, *listen)
+	}
 	if err != nil {
 		log.Fatalf("API listener: %v", err)
 	}
 	defer api.Close()
 	log.Printf("client API on %s", api.Addr())
+	if sh != nil {
+		r := sh.Ring()
+		log.Printf("cluster member %s, ring epoch %d (%d members)", sh.Self(), r.Epoch, len(r.Members))
+	}
 
 	if *admin != "" {
-		adm, err := httpadmin.ListenAndServe(n, *admin)
+		adm, err := httpadmin.ListenAndServeCluster(n, *admin, sh)
 		if err != nil {
 			log.Fatalf("admin listener: %v", err)
 		}
@@ -176,4 +233,15 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "shutting down")
+}
+
+// splitAddrs parses a comma-separated address list, dropping blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

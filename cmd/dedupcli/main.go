@@ -6,6 +6,14 @@
 //	dedupcli -addr 127.0.0.1:7070 delete wiki article/1
 //	dedupcli -addr 127.0.0.1:7070 stats
 //
+// Against a sharded cluster, -addrs routes each operation to the owning
+// member (following redirects and rebalance windows), fans the admin verbs
+// out to every member, and adds the ring/rebalance control verbs:
+//
+//	dedupcli -addrs host1:7070,host2:7070 insert wiki article/1 "first revision"
+//	dedupcli -addrs host1:7070,host2:7070 ring
+//	dedupcli -addrs host1:7070,host2:7070 rebalance host1:7070,host2:7070,host3:7070
+//
 // Payloads may also be piped on stdin by passing "-" as the payload.
 package main
 
@@ -14,15 +22,34 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"dbdedup/internal/apiserver"
+	"dbdedup/internal/cluster"
 	"dbdedup/internal/metrics"
 )
 
+// dataClient is the record-operation surface shared by a direct node
+// connection and the ring-routing cluster client.
+type dataClient interface {
+	Insert(db, key string, payload []byte) error
+	Update(db, key string, payload []byte) error
+	Delete(db, key string) error
+	Get(db, key string) ([]byte, error)
+}
+
+// member is one admin-verb target: a direct connection labelled with the
+// member address (so fanned-out output stays attributable).
+type member struct {
+	name string
+	c    *apiserver.Client
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "node API address")
+	addrs := flag.String("addrs", "", "comma-separated cluster member addresses (enables ring routing; overrides -addr)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dedupcli [-addr host:port] <insert|get|update|delete|stats|dbs|verify> [db key [payload|-]]\n")
+		fmt.Fprintf(os.Stderr, "usage: dedupcli [-addr host:port | -addrs host:port,...] <insert|get|update|delete|stats|dbs|verify|ring|rebalance> [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -31,80 +58,155 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	c, err := apiserver.Dial(*addr)
-	if err != nil {
-		fail("connecting: %v", err)
-	}
-	defer c.Close()
-
 	cmd := args[0]
+
+	var (
+		data    dataClient
+		members []member
+		cc      *cluster.Client
+	)
+	if *addrs != "" {
+		seeds := splitAddrs(*addrs)
+		var err error
+		cc, err = cluster.DialCluster(seeds, cluster.ClientOptions{})
+		if err != nil {
+			fail("connecting: %v", err)
+		}
+		defer cc.Close()
+		data = cc
+		for _, m := range cc.Members() {
+			conn, err := cc.Member(m)
+			if err != nil {
+				fail("connecting to member %s: %v", m, err)
+			}
+			members = append(members, member{name: m, c: conn})
+		}
+	} else {
+		if cmd == "ring" || cmd == "rebalance" {
+			fail("%s requires -addrs", cmd)
+		}
+		c, err := apiserver.Dial(*addr)
+		if err != nil {
+			fail("connecting: %v", err)
+		}
+		defer c.Close()
+		data = c
+		members = []member{{name: *addr, c: c}}
+	}
+
 	switch cmd {
 	case "verify":
-		rep, err := c.Verify()
-		if err != nil {
-			fail("verify: %v", err)
+		bad := false
+		for _, m := range members {
+			rep, err := m.c.Verify()
+			if err != nil {
+				fail("verify %s: %v", m.name, err)
+			}
+			if len(members) > 1 {
+				fmt.Printf("== %s ==\n", m.name)
+			}
+			fmt.Println(rep)
+			for _, e := range rep.Errors {
+				fmt.Printf("  error: %s\n", e)
+			}
+			if !rep.Ok() {
+				bad = true
+			}
 		}
-		fmt.Println(rep)
-		for _, e := range rep.Errors {
-			fmt.Printf("  error: %s\n", e)
-		}
-		if !rep.Ok() {
+		if bad {
 			os.Exit(1)
 		}
-		return
 	case "dbs":
-		dbs, err := c.DBStats()
-		if err != nil {
-			fail("dbs: %v", err)
-		}
-		if len(dbs) == 0 {
-			fmt.Println("no databases (or dedup disabled)")
-			return
-		}
-		for _, d := range dbs {
-			status := "active"
-			if d.Disabled {
-				status = "disabled by governor"
+		for _, m := range members {
+			dbs, err := m.c.DBStats()
+			if err != nil {
+				fail("dbs %s: %v", m.name, err)
 			}
-			fmt.Printf("%s: %s; window %d inserts, ratio %.2fx; size cutoff %d B; index %s; %d chains\n",
-				d.Name, status, d.WindowInserts, d.WindowRatio(), d.SizeThreshold,
-				metrics.FormatBytes(d.IndexMemoryBytes), d.Chains)
+			if len(members) > 1 {
+				fmt.Printf("== %s ==\n", m.name)
+			}
+			if len(dbs) == 0 {
+				fmt.Println("no databases (or dedup disabled)")
+				continue
+			}
+			for _, d := range dbs {
+				status := "active"
+				if d.Disabled {
+					status = "disabled by governor"
+				}
+				fmt.Printf("%s: %s; window %d inserts, ratio %.2fx; size cutoff %d B; index %s; %d chains\n",
+					d.Name, status, d.WindowInserts, d.WindowRatio(), d.SizeThreshold,
+					metrics.FormatBytes(d.IndexMemoryBytes), d.Chains)
+			}
 		}
-		return
 	case "stats":
-		st, err := c.Stats()
-		if err != nil {
-			fail("stats: %v", err)
+		for _, m := range members {
+			st, err := m.c.Stats()
+			if err != nil {
+				fail("stats %s: %v", m.name, err)
+			}
+			if len(members) > 1 {
+				fmt.Printf("== %s ==\n", m.name)
+			}
+			fmt.Printf("inserts:            %d\n", st.Inserts)
+			fmt.Printf("reads:              %d\n", st.Reads)
+			fmt.Printf("updates:            %d\n", st.Updates)
+			fmt.Printf("deletes:            %d\n", st.Deletes)
+			fmt.Printf("raw bytes:          %s\n", metrics.FormatBytes(st.RawInsertBytes))
+			fmt.Printf("stored bytes:       %s\n", metrics.FormatBytes(st.Store.LogicalBytes))
+			fmt.Printf("oplog bytes:        %s\n", metrics.FormatBytes(st.OplogBytes))
+			fmt.Printf("storage ratio:      %.2fx\n", metrics.Ratio(st.RawInsertBytes, st.Store.LogicalBytes))
+			fmt.Printf("network ratio:      %.2fx\n", metrics.Ratio(st.RawInsertBytes, st.OplogBytes))
+			fmt.Printf("dedup hits:         %d\n", st.Engine.Deduped)
+			fmt.Printf("index memory:       %s\n", metrics.FormatBytes(st.Engine.IndexMemoryBytes))
+			fmt.Printf("writebacks applied: %d (skipped %d)\n", st.WritebacksApplied, st.WritebacksSkipped)
 		}
-		fmt.Printf("inserts:            %d\n", st.Inserts)
-		fmt.Printf("reads:              %d\n", st.Reads)
-		fmt.Printf("updates:            %d\n", st.Updates)
-		fmt.Printf("deletes:            %d\n", st.Deletes)
-		fmt.Printf("raw bytes:          %s\n", metrics.FormatBytes(st.RawInsertBytes))
-		fmt.Printf("stored bytes:       %s\n", metrics.FormatBytes(st.Store.LogicalBytes))
-		fmt.Printf("oplog bytes:        %s\n", metrics.FormatBytes(st.OplogBytes))
-		fmt.Printf("storage ratio:      %.2fx\n", metrics.Ratio(st.RawInsertBytes, st.Store.LogicalBytes))
-		fmt.Printf("network ratio:      %.2fx\n", metrics.Ratio(st.RawInsertBytes, st.OplogBytes))
-		fmt.Printf("dedup hits:         %d\n", st.Engine.Deduped)
-		fmt.Printf("index memory:       %s\n", metrics.FormatBytes(st.Engine.IndexMemoryBytes))
-		fmt.Printf("writebacks applied: %d (skipped %d)\n", st.WritebacksApplied, st.WritebacksSkipped)
-		return
+	case "ring":
+		for _, m := range members {
+			body, err := m.c.RingJSON()
+			if err != nil {
+				fail("ring %s: %v", m.name, err)
+			}
+			st, err := cluster.ParseRingStatus(body)
+			if err != nil {
+				fail("ring %s: %v", m.name, err)
+			}
+			fmt.Printf("%s: epoch %d, members %s", m.name, st.Ring.Epoch,
+				strings.Join(st.Ring.Members, ","))
+			if st.Pending != nil {
+				fmt.Printf(" (rebalance to epoch %d, members %s, in progress)",
+					st.Pending.Epoch, strings.Join(st.Pending.Members, ","))
+			}
+			fmt.Println()
+		}
+	case "rebalance":
+		if len(args) != 2 {
+			fail("usage: dedupcli -addrs ... rebalance <addr,addr,...>")
+		}
+		target := splitAddrs(args[1])
+		ring, err := cluster.Rebalance(splitAddrs(*addrs), target, cluster.RebalanceOptions{})
+		if err != nil {
+			fail("rebalance: %v", err)
+		}
+		fmt.Printf("committed ring epoch %d, members %s\n", ring.Epoch,
+			strings.Join(ring.Members, ","))
 	case "insert", "update":
 		if len(args) != 4 {
 			fail("usage: dedupcli %s <db> <key> <payload|->", cmd)
 		}
 		payload := []byte(args[3])
 		if args[3] == "-" {
+			var err error
 			payload, err = io.ReadAll(os.Stdin)
 			if err != nil {
 				fail("reading stdin: %v", err)
 			}
 		}
+		var err error
 		if cmd == "insert" {
-			err = c.Insert(args[1], args[2], payload)
+			err = data.Insert(args[1], args[2], payload)
 		} else {
-			err = c.Update(args[1], args[2], payload)
+			err = data.Update(args[1], args[2], payload)
 		}
 		if err != nil {
 			fail("%s: %v", cmd, err)
@@ -113,7 +215,7 @@ func main() {
 		if len(args) != 3 {
 			fail("usage: dedupcli get <db> <key>")
 		}
-		content, err := c.Get(args[1], args[2])
+		content, err := data.Get(args[1], args[2])
 		if err != nil {
 			fail("get: %v", err)
 		}
@@ -122,13 +224,24 @@ func main() {
 		if len(args) != 3 {
 			fail("usage: dedupcli delete <db> <key>")
 		}
-		if err := c.Delete(args[1], args[2]); err != nil {
+		if err := data.Delete(args[1], args[2]); err != nil {
 			fail("delete: %v", err)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// splitAddrs parses a comma-separated address list, dropping blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fail(format string, args ...interface{}) {

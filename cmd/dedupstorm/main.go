@@ -16,6 +16,13 @@
 // encoder capacity and admission control are set by the -encode-*,
 // -admission and -shed-* flags, which is how the with/without-admission
 // baselines in results_csv/storm_*.csv are produced.
+//
+// Cluster storms: -addrs drives a running sharded cluster through the
+// ring-routing client, and -cluster N self-hosts an in-process N-primary
+// cluster (each member shaped by the self-host flags) — how the
+// results_csv/storm_cluster.csv baseline is produced. Cluster reports carry
+// per-shard latency/goodput columns, and -verify re-reads every acked write
+// back through the router.
 package main
 
 import (
@@ -35,6 +42,8 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "", "node API address (empty: self-host an in-process node)")
+		addrsF   = flag.String("addrs", "", "comma-separated cluster member addresses (cluster storm; overrides -addr)")
+		clusterN = flag.Int("cluster", 0, "self-host an in-process N-primary sharded cluster (overrides -addr/-addrs)")
 		rate     = flag.Float64("rate", 2000, "offered arrival rate, ops/second")
 		duration = flag.Duration("duration", 5*time.Second, "storm duration")
 		tenants  = flag.Int("tenants", 1000, "tenant databases (Zipf-skewed)")
@@ -75,18 +84,32 @@ func main() {
 		MeanBurst:    *burst,
 	}
 
+	nopts := node.Options{
+		EncodeWorkers:        *encWorkers,
+		SimulatedEncodeDelay: *encDelay,
+		Admission: admission.Options{
+			Enabled:       *admEnable,
+			ShedRaw:       *shedRaw,
+			TenantRate:    *tenantRate,
+			OverloadDwell: *dwell,
+		},
+	}
 	var local *stormtest.LocalNode
-	if *addr == "" {
-		local, err = stormtest.StartLocal(node.Options{
-			EncodeWorkers:        *encWorkers,
-			SimulatedEncodeDelay: *encDelay,
-			Admission: admission.Options{
-				Enabled:       *admEnable,
-				ShedRaw:       *shedRaw,
-				TenantRate:    *tenantRate,
-				OverloadDwell: *dwell,
-			},
-		}, apiserver.Options{})
+	var lc *stormtest.LocalCluster
+	switch {
+	case *clusterN > 0:
+		lc, err = stormtest.StartLocalCluster(*clusterN, nopts, apiserver.Options{})
+		if err != nil {
+			log.Fatalf("self-host cluster: %v", err)
+		}
+		defer lc.Close()
+		cfg.Addr = ""
+		cfg.Addrs = lc.Addrs
+		log.Printf("self-hosted %d-primary cluster on %s", *clusterN, strings.Join(lc.Addrs, ","))
+	case *addrsF != "":
+		cfg.Addrs = splitAddrs(*addrsF)
+	case *addr == "":
+		local, err = stormtest.StartLocal(nopts, apiserver.Options{})
 		if err != nil {
 			log.Fatalf("self-host node: %v", err)
 		}
@@ -94,6 +117,7 @@ func main() {
 		cfg.Addr = local.Addr()
 		log.Printf("self-hosted node on %s", cfg.Addr)
 	}
+	clustered := len(cfg.Addrs) > 0
 
 	rep, err := stormtest.Run(*label, cfg)
 	if err != nil {
@@ -102,7 +126,12 @@ func main() {
 	fmt.Println(rep)
 
 	if *doVerify {
-		lost, corrupt, err := rep.VerifyAckedWrites(cfg.Addr)
+		var lost, corrupt int
+		if clustered {
+			lost, corrupt, err = rep.VerifyAckedWritesCluster(cfg.Addrs)
+		} else {
+			lost, corrupt, err = rep.VerifyAckedWrites(cfg.Addr)
+		}
 		if err != nil {
 			log.Fatalf("verify: %v", err)
 		}
@@ -123,13 +152,38 @@ func main() {
 				a.Admitted, a.Shed, a.Rejected, a.TenantThrottles, a.OverloadEnters, a.OverloadExits)
 		}
 	}
+	if lc != nil {
+		for i, m := range lc.Members {
+			st := m.Node.Stats()
+			cm := m.Metrics.Snapshot()
+			fmt.Printf("member %s: inserts %d, dedup hits %d, ring epoch %d, %d redirects, %d moving answers\n",
+				lc.Addrs[i], st.Inserts, st.Engine.Deduped, cm.RingEpoch,
+				cm.RedirectsIssued, cm.MovingAnswered)
+		}
+	}
 
 	if *csvPath != "" {
-		if err := rep.AppendCSV(*csvPath); err != nil {
+		if clustered {
+			err = rep.AppendClusterCSV(*csvPath, len(cfg.Addrs))
+		} else {
+			err = rep.AppendCSV(*csvPath)
+		}
+		if err != nil {
 			log.Fatalf("csv: %v", err)
 		}
 		fmt.Printf("appended row to %s\n", *csvPath)
 	}
+}
+
+// splitAddrs parses a comma-separated address list, dropping blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func parseBlend(s string) ([]workload.Kind, error) {

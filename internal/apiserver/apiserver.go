@@ -10,9 +10,14 @@
 //	response := uint32(len) byte(status) payload
 //
 // op: 'I' insert, 'G' get, 'U' update, 'D' delete, 'S' stats, 'P' per-db stats.
+// Cluster ops (answered only by a clustered backend): 'C' fetch ring,
+// 'N' install ring, 'H' begin handoff (blocking), 'M' commit ring,
+// 'A' abort ring, 'T' transfer-upsert one record into a handoff window.
 // status: 0 ok, 1 not found, 2 error (payload = message), 3 overloaded
 // (admission control rejected the request, or the server is at its
-// connection limit).
+// connection limit), 4 wrong shard (payload = JSON{owner,epoch}; the client
+// should retry at the owner), 5 shard moving (payload = JSON{epoch}; a
+// rebalance holds the database — retry with backoff).
 //
 // The server bounds what one client — or all clients together — can make it
 // hold in memory (Options): a per-request size cap checked before the body
@@ -34,6 +39,7 @@ import (
 	"time"
 
 	"dbdedup/internal/core"
+	"dbdedup/internal/netsim"
 	"dbdedup/internal/node"
 )
 
@@ -46,13 +52,91 @@ const (
 	opDBStats = 'P'
 	opVerify  = 'Y'
 
+	// Cluster ops, answered with statusError("not clustered") unless the
+	// backend implements ClusterBackend.
+	opRing         = 'C'
+	opInstallRing  = 'N'
+	opBeginHandoff = 'H'
+	opCommitRing   = 'M'
+	opAbortRing    = 'A'
+	opTransfer     = 'T'
+	// opForwarded wraps another request frame, marking it as already
+	// forwarded once: the receiver executes or redirects it but never
+	// forwards it again, so two members with disagreeing rings cannot
+	// bounce one request between them forever.
+	opForwarded = 'F'
+
 	statusOK         = 0
 	statusNotFound   = 1
 	statusError      = 2
 	statusOverloaded = 3
+	statusWrongShard = 4
+	statusMoving     = 5
 
 	maxFrame = 64 << 20
 )
+
+// Backend is the operation surface the server exposes over the wire. A plain
+// *node.Node serves a single-primary deployment; a cluster.Shard wraps a
+// node with ring routing and satisfies it too.
+type Backend interface {
+	Insert(db, key string, payload []byte) error
+	Update(db, key string, payload []byte) error
+	Delete(db, key string) error
+	Read(db, key string) ([]byte, error)
+	Stats() node.Stats
+	DBStats() []core.DBStats
+	VerifyAll() node.VerifyReport
+}
+
+// ClusterBackend is the extra surface a sharded backend exposes: ring
+// distribution and the handoff protocol. Ring bodies are opaque bytes here —
+// the cluster package owns their JSON shape — so this package stays free of
+// a dependency cycle with it.
+type ClusterBackend interface {
+	Backend
+	// RingJSON returns the active ring's wire form.
+	RingJSON() []byte
+	// InstallRing opens a rebalance window: body carries the new ring and
+	// the ring it replaces. Idempotent for an identical re-install.
+	InstallRing(body []byte) error
+	// BeginHandoff pushes every database this member loses under the
+	// pending ring to its new owner. Blocking; returns a summary JSON.
+	BeginHandoff() ([]byte, error)
+	// CommitRing finishes the window: gained databases start serving,
+	// moved-away local copies are dropped. Idempotent.
+	CommitRing() error
+	// AbortRing reverts the window: transferred-in copies are dropped and
+	// the previous membership is reinstalled under a fresh epoch. Idempotent.
+	AbortRing() error
+	// Transfer upserts one record inside an open handoff window, bypassing
+	// ring routing and admission control.
+	Transfer(db, key string, payload []byte) error
+}
+
+// WrongShardError says the database hashes to another member: the request
+// was not performed; retry it at Owner (which also serves the full ring for
+// cache refresh). This is the explicit error class for stale-ring clients —
+// a redirect, never a drop.
+type WrongShardError struct {
+	Owner string `json:"owner"`
+	Epoch uint64 `json:"epoch"`
+}
+
+func (e *WrongShardError) Error() string {
+	return fmt.Sprintf("apiserver: wrong shard (owner %s, ring epoch %d)", e.Owner, e.Epoch)
+}
+
+// ShardMovingError says a rebalance currently holds the database: the
+// request was not performed; retry with backoff until the handoff commits or
+// aborts.
+type ShardMovingError struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+func (e *ShardMovingError) Error() string {
+	return fmt.Sprintf("apiserver: shard moving (ring epoch %d); retry", e.Epoch)
+}
 
 // Options bounds the server's per-client and aggregate resource use. The
 // zero value of any field selects its default.
@@ -75,6 +159,17 @@ type Options struct {
 	// disconnected, releasing its memory reservation, instead of pinning
 	// it forever.
 	BodyTimeout time.Duration
+	// Network is the transport to listen on (default netsim.Default, i.e.
+	// real TCP). Cluster tests inject a simulated mesh here.
+	Network netsim.Network
+	// ForwardWrongShard makes the server proxy wrong-shard requests to
+	// their owner (one hop, marked so they are never re-forwarded) instead
+	// of answering with the redirect. If the proxy attempt fails, the
+	// redirect is still returned — forwarding degrades to redirecting,
+	// never to dropping.
+	ForwardWrongShard bool
+	// OnForward, when set, observes each forward attempt's outcome.
+	OnForward func(ok bool)
 }
 
 func (o Options) withDefaults() Options {
@@ -90,20 +185,27 @@ func (o Options) withDefaults() Options {
 	if o.BodyTimeout <= 0 {
 		o.BodyTimeout = 30 * time.Second
 	}
+	if o.Network == nil {
+		o.Network = netsim.Default
+	}
 	return o
 }
 
-// Server serves client operations for a node.
+// Server serves client operations for a backend.
 type Server struct {
-	node *node.Node
-	ln   net.Listener
-	opts Options
-	mem  *byteBudget
+	backend Backend
+	cb      ClusterBackend // nil unless backend is clustered
+	ln      net.Listener
+	opts    Options
+	mem     *byteBudget
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	fwdMu sync.Mutex
+	fwd   map[string]*Client // pooled forward connections, by owner address
 }
 
 // ListenAndServe starts serving n's client API on addr with default limits.
@@ -113,14 +215,25 @@ func ListenAndServe(n *node.Node, addr string) (*Server, error) {
 
 // ListenAndServeOptions starts serving n's client API on addr.
 func ListenAndServeOptions(n *node.Node, addr string, opts Options) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+	return ListenAndServeBackend(n, addr, opts)
+}
+
+// ListenAndServeBackend starts serving an arbitrary backend — a *node.Node
+// or a cluster shard — on addr. If the backend also implements
+// ClusterBackend, the cluster ops are answered too.
+func ListenAndServeBackend(b Backend, addr string, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	ln, err := opts.Network.Listen(addr)
 	if err != nil {
 		return nil, fmt.Errorf("apiserver: %w", err)
 	}
-	opts = opts.withDefaults()
-	s := &Server{node: n, ln: ln, opts: opts,
+	s := &Server{backend: b, ln: ln, opts: opts,
 		mem:   newByteBudget(opts.MemoryBudget),
-		conns: make(map[net.Conn]struct{})}
+		conns: make(map[net.Conn]struct{}),
+		fwd:   make(map[string]*Client)}
+	if cb, ok := b.(ClusterBackend); ok {
+		s.cb = cb
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -141,6 +254,12 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.fwdMu.Lock()
+	for _, c := range s.fwd {
+		c.Close()
+	}
+	s.fwd = make(map[string]*Client)
+	s.fwdMu.Unlock()
 	s.mem.close()
 	err := s.ln.Close()
 	s.wg.Wait()
@@ -249,7 +368,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		forwarded := false
+		if len(frame) > 0 && frame[0] == opForwarded {
+			forwarded = true
+			frame = frame[1:]
+		}
 		status, payload := s.handle(frame)
+		if status == statusWrongShard && !forwarded && s.opts.ForwardWrongShard {
+			if st2, p2, ok := s.forwardToOwner(payload, frame); ok {
+				status, payload = st2, p2
+			}
+		}
 		release()
 		if err := writeFrame(w, status, payload); err != nil {
 			return
@@ -315,7 +444,7 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 	}
 
 	if op == opStats {
-		st := s.node.Stats()
+		st := s.backend.Stats()
 		buf, err := json.Marshal(st)
 		if err != nil {
 			return statusError, []byte(err.Error())
@@ -323,18 +452,50 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 		return statusOK, buf
 	}
 	if op == opDBStats {
-		buf, err := json.Marshal(s.node.DBStats())
+		buf, err := json.Marshal(s.backend.DBStats())
 		if err != nil {
 			return statusError, []byte(err.Error())
 		}
 		return statusOK, buf
 	}
 	if op == opVerify {
-		buf, err := json.Marshal(s.node.VerifyAll())
+		buf, err := json.Marshal(s.backend.VerifyAll())
 		if err != nil {
 			return statusError, []byte(err.Error())
 		}
 		return statusOK, buf
+	}
+
+	switch op {
+	case opRing, opInstallRing, opBeginHandoff, opCommitRing, opAbortRing:
+		if s.cb == nil {
+			return statusError, []byte("not clustered")
+		}
+		switch op {
+		case opRing:
+			return statusOK, s.cb.RingJSON()
+		case opInstallRing:
+			if err := s.cb.InstallRing(p); err != nil {
+				return errStatus(err)
+			}
+			return statusOK, nil
+		case opBeginHandoff:
+			sum, err := s.cb.BeginHandoff()
+			if err != nil {
+				return errStatus(err)
+			}
+			return statusOK, sum
+		case opCommitRing:
+			if err := s.cb.CommitRing(); err != nil {
+				return errStatus(err)
+			}
+			return statusOK, nil
+		default: // opAbortRing
+			if err := s.cb.AbortRing(); err != nil {
+				return errStatus(err)
+			}
+			return statusOK, nil
+		}
 	}
 
 	db, ok := readStr()
@@ -354,41 +515,126 @@ func (s *Server) handle(frame []byte) (byte, []byte) {
 		}
 		var err error
 		if op == opInsert {
-			err = s.node.Insert(db, key, []byte(payload))
+			err = s.backend.Insert(db, key, []byte(payload))
 		} else {
-			err = s.node.Update(db, key, []byte(payload))
-		}
-		if errors.Is(err, node.ErrOverloaded) {
-			return statusOverloaded, nil
-		}
-		if errors.Is(err, node.ErrNotFound) {
-			return statusNotFound, nil
+			err = s.backend.Update(db, key, []byte(payload))
 		}
 		if err != nil {
-			return statusError, []byte(err.Error())
+			return errStatus(err)
+		}
+		return statusOK, nil
+	case opTransfer:
+		if s.cb == nil {
+			return statusError, []byte("not clustered")
+		}
+		payload, ok := readStr()
+		if !ok {
+			return statusError, []byte("bad payload")
+		}
+		if err := s.cb.Transfer(db, key, []byte(payload)); err != nil {
+			return errStatus(err)
 		}
 		return statusOK, nil
 	case opGet:
-		content, err := s.node.Read(db, key)
-		if errors.Is(err, node.ErrNotFound) {
-			return statusNotFound, nil
-		}
+		content, err := s.backend.Read(db, key)
 		if err != nil {
-			return statusError, []byte(err.Error())
+			return errStatus(err)
 		}
 		return statusOK, content
 	case opDelete:
-		err := s.node.Delete(db, key)
-		if errors.Is(err, node.ErrNotFound) {
-			return statusNotFound, nil
-		}
+		err := s.backend.Delete(db, key)
 		if err != nil {
-			return statusError, []byte(err.Error())
+			return errStatus(err)
 		}
 		return statusOK, nil
 	default:
 		return statusError, []byte(fmt.Sprintf("unknown op %q", op))
 	}
+}
+
+// forwardToOwner proxies a wrong-shard request one hop to the owner named in
+// the redirect payload and relays the owner's answer. On any failure the
+// caller keeps the original redirect — forwarding only ever upgrades the
+// answer. The proxied frame carries the opForwarded marker, so the owner
+// will redirect rather than forward again if it too disagrees.
+func (s *Server) forwardToOwner(redirect, frame []byte) (byte, []byte, bool) {
+	var ws WrongShardError
+	if json.Unmarshal(redirect, &ws) != nil || ws.Owner == "" {
+		return 0, nil, false
+	}
+	note := func(ok bool) {
+		if s.opts.OnForward != nil {
+			s.opts.OnForward(ok)
+		}
+	}
+	c, err := s.forwardConn(ws.Owner)
+	if err != nil {
+		note(false)
+		return 0, nil, false
+	}
+	status, payload, err := c.roundTrip(append([]byte{opForwarded}, frame...))
+	if err != nil {
+		s.dropForwardConn(ws.Owner, c)
+		note(false)
+		return 0, nil, false
+	}
+	note(true)
+	return status, payload, true
+}
+
+func (s *Server) forwardConn(addr string) (*Client, error) {
+	s.fwdMu.Lock()
+	if c, ok := s.fwd[addr]; ok {
+		s.fwdMu.Unlock()
+		return c, nil
+	}
+	s.fwdMu.Unlock()
+	c, err := DialNetwork(s.opts.Network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTimeout(s.opts.BodyTimeout)
+	s.fwdMu.Lock()
+	if prev, ok := s.fwd[addr]; ok {
+		s.fwdMu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	s.fwd[addr] = c
+	s.fwdMu.Unlock()
+	return c, nil
+}
+
+func (s *Server) dropForwardConn(addr string, c *Client) {
+	s.fwdMu.Lock()
+	if s.fwd[addr] == c {
+		delete(s.fwd, addr)
+	}
+	s.fwdMu.Unlock()
+	c.Close()
+}
+
+// errStatus maps a backend error onto the wire taxonomy. The routing errors
+// carry structured payloads so a stale-ring client can redirect (wrong
+// shard) or back off (moving) instead of treating them as opaque failures.
+func errStatus(err error) (byte, []byte) {
+	var ws *WrongShardError
+	if errors.As(err, &ws) {
+		buf, _ := json.Marshal(ws)
+		return statusWrongShard, buf
+	}
+	var mv *ShardMovingError
+	if errors.As(err, &mv) {
+		buf, _ := json.Marshal(mv)
+		return statusMoving, buf
+	}
+	if errors.Is(err, node.ErrOverloaded) {
+		return statusOverloaded, nil
+	}
+	if errors.Is(err, node.ErrNotFound) {
+		return statusNotFound, nil
+	}
+	return statusError, []byte(err.Error())
 }
 
 // ---- client ----
@@ -400,6 +646,15 @@ var ErrNotFound = errors.New("apiserver: not found")
 // control rejected the request (or the server refused the connection at its
 // limit). The operation did not happen; retry with backoff.
 var ErrOverloaded = errors.New("apiserver: server overloaded")
+
+// ServerError is a server-reported failure: the request was received,
+// executed or refused, and answered — it did not vanish in transit. Callers
+// that must reason about whether an operation might still have applied (the
+// cluster client, the model checker) use this to separate definite failures
+// from transport ambiguity.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "apiserver: server error: " + e.Msg }
 
 // Client is a synchronous API client. Safe for concurrent use (requests are
 // serialised on one connection).
@@ -419,9 +674,18 @@ func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// Dial connects to a server.
+// Dial connects to a server over real TCP.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialNetwork(netsim.Default, addr)
+}
+
+// DialNetwork connects to a server over an arbitrary transport (e.g. a
+// simulated cluster mesh).
+func DialNetwork(nw netsim.Network, addr string) (*Client, error) {
+	if nw == nil {
+		nw = netsim.Default
+	}
+	conn, err := nw.DialTimeout(addr, 10*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("apiserver: %w", err)
 	}
@@ -473,8 +737,20 @@ func statusErr(status byte, payload []byte) error {
 		return ErrNotFound
 	case statusOverloaded:
 		return ErrOverloaded
+	case statusWrongShard:
+		ws := &WrongShardError{}
+		if err := json.Unmarshal(payload, ws); err != nil {
+			return fmt.Errorf("apiserver: bad wrong-shard payload: %w", err)
+		}
+		return ws
+	case statusMoving:
+		mv := &ShardMovingError{}
+		if err := json.Unmarshal(payload, mv); err != nil {
+			return fmt.Errorf("apiserver: bad moving payload: %w", err)
+		}
+		return mv
 	default:
-		return fmt.Errorf("apiserver: server error: %s", payload)
+		return &ServerError{Msg: string(payload)}
 	}
 }
 
@@ -547,6 +823,73 @@ func (c *Client) Verify() (node.VerifyReport, error) {
 		return node.VerifyReport{}, fmt.Errorf("apiserver: %w", err)
 	}
 	return rep, nil
+}
+
+// ---- cluster client ops ----
+
+// RingJSON fetches the server's active ring wire form (cluster servers only).
+func (c *Client) RingJSON() ([]byte, error) {
+	status, body, err := c.roundTrip([]byte{opRing})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// InstallRingJSON installs a ring body on the server, opening (or staging) a
+// rebalance window.
+func (c *Client) InstallRingJSON(body []byte) error {
+	status, resp, err := c.roundTrip(append([]byte{opInstallRing}, body...))
+	if err != nil {
+		return err
+	}
+	return statusErr(status, resp)
+}
+
+// BeginHandoff asks the server to push its outgoing databases to their new
+// owners under the pending ring. Blocks until the transfer finishes; the
+// returned JSON summarises what moved.
+func (c *Client) BeginHandoff() ([]byte, error) {
+	status, body, err := c.roundTrip([]byte{opBeginHandoff})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// CommitRing finishes the server's open rebalance window.
+func (c *Client) CommitRing() error {
+	status, body, err := c.roundTrip([]byte{opCommitRing})
+	if err != nil {
+		return err
+	}
+	return statusErr(status, body)
+}
+
+// AbortRing reverts the server's open rebalance window.
+func (c *Client) AbortRing() error {
+	status, body, err := c.roundTrip([]byte{opAbortRing})
+	if err != nil {
+		return err
+	}
+	return statusErr(status, body)
+}
+
+// Transfer upserts one record into the server's open handoff window,
+// bypassing ring routing and admission control. Used by the rebalance path
+// only.
+func (c *Client) Transfer(db, key string, payload []byte) error {
+	status, body, err := c.keyedRequest(opTransfer, db, key, payload, true)
+	if err != nil {
+		return err
+	}
+	return statusErr(status, body)
 }
 
 // Stats fetches the node's stats snapshot as JSON.

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dbdedup/internal/apiserver"
+	"dbdedup/internal/metrics"
+	"dbdedup/internal/netsim"
+	"dbdedup/internal/node"
+)
+
+// tmember is one in-memory cluster member for routing tests.
+type tmember struct {
+	n  *node.Node
+	sh *Shard
+	cm *metrics.ClusterMetrics
+}
+
+func startMember(t *testing.T, mesh *netsim.Mesh, host, addr string, ring *Ring, opts apiserver.Options) *tmember {
+	t.Helper()
+	nopts := node.Options{SyncEncode: true, DisableAutoFlush: true}
+	nopts.Engine.GovernorWindow = 1 << 30
+	n, err := node.Open(nopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	cm := &metrics.ClusterMetrics{}
+	sh := NewShard(n, addr, ring, mesh.Host(host), cm)
+	opts.Network = mesh.Host(host)
+	srv, err := apiserver.ListenAndServeBackend(sh, addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &tmember{n: n, sh: sh, cm: cm}
+}
+
+func testClientOptions(mesh *netsim.Mesh, retries int) ClientOptions {
+	return ClientOptions{
+		Network:      mesh.Host("client"),
+		MaxRetries:   retries,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+		Timeout:      2 * time.Second,
+	}
+}
+
+// dbOwnedBy finds a database name the ring places on the wanted member.
+func dbOwnedBy(t *testing.T, r *Ring, want string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		db := fmt.Sprintf("routedb%d", i)
+		if r.Owner(db) == want {
+			return db
+		}
+	}
+	t.Fatalf("no database hashes to %s", want)
+	return ""
+}
+
+// TestStaleRingRedirectedNotDropped pins the headline routing-taxonomy rule:
+// a client operating on a stale ring gets its request *redirected* to the new
+// owner and acked — never dropped, never silently applied on the old owner.
+func TestStaleRingRedirectedNotDropped(t *testing.T) {
+	mesh := netsim.NewMesh(1, "a", "b")
+	r1 := NewRing(1, []string{"a:1"})
+	ma := startMember(t, mesh, "a", "a:1", r1, apiserver.Options{})
+	mb := startMember(t, mesh, "b", "b:1", NewRing(1, []string{"a:1"}), apiserver.Options{})
+
+	cc, err := DialCluster([]string{"a:1"}, testClientOptions(mesh, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	// A database that lands on b once b joins.
+	r2 := NewRing(2, []string{"a:1", "b:1"})
+	db := dbOwnedBy(t, r2, "b:1")
+	if err := cc.Insert(db, "old", []byte("written before the join")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Rebalance([]string{"a:1"}, []string{"a:1", "b:1"}, RebalanceOptions{
+		Network: mesh.Host("coord"), RPCTimeout: 2 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client's cached ring is now stale: this op goes to a, which must
+	// answer with a wrong-shard redirect the client follows to b.
+	if err := cc.Insert(db, "new", []byte("written through a stale ring")); err != nil {
+		t.Fatalf("insert through stale ring: %v", err)
+	}
+	if got := cc.Counters().Redirects; got == 0 {
+		t.Error("client followed no redirect; the stale request was served somewhere it should not have been")
+	}
+	if got := ma.cm.Snapshot().RedirectsIssued; got == 0 {
+		t.Error("old owner issued no redirect")
+	}
+	for _, key := range []string{"old", "new"} {
+		if _, err := mb.n.Read(db, key); err != nil {
+			t.Errorf("record %q not on the new owner: %v", key, err)
+		}
+		if _, err := ma.n.Read(db, key); !errors.Is(err, node.ErrNotFound) {
+			t.Errorf("record %q still (or wrongly) on the old owner: err=%v", key, err)
+		}
+	}
+}
+
+// TestRedirectLoopBounded wires two members with mutually disagreeing rings —
+// each names the other as owner — so redirects ping-pong forever. The client
+// must burn its counted retry budget and surface the typed redirect error,
+// not spin.
+func TestRedirectLoopBounded(t *testing.T) {
+	mesh := netsim.NewMesh(2, "a", "b")
+	startMember(t, mesh, "a", "a:1", NewRing(1, []string{"b:1"}), apiserver.Options{})
+	startMember(t, mesh, "b", "b:1", NewRing(1, []string{"a:1"}), apiserver.Options{})
+
+	const retries = 5
+	cc, err := DialCluster([]string{"a:1"}, testClientOptions(mesh, retries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	err = cc.Insert("pingpong", "k", []byte("never lands"))
+	var ws *apiserver.WrongShardError
+	if !errors.As(err, &ws) {
+		t.Fatalf("want a wrong-shard error after exhausting redirects, got %v", err)
+	}
+	c := cc.Counters()
+	if c.Retries != retries {
+		t.Errorf("retries = %d, want exactly the budget %d", c.Retries, retries)
+	}
+	if c.Exhausted != 1 {
+		t.Errorf("exhausted = %d, want 1", c.Exhausted)
+	}
+	if c.Redirects != retries+1 {
+		t.Errorf("redirects = %d, want %d (every attempt redirected)", c.Redirects, retries+1)
+	}
+}
+
+// TestMovingShardRetryThenTyped opens a rebalance window by hand and checks
+// the moving-shard half of the taxonomy: writes to a moving database are
+// refused with the typed retry-later error under a counted backoff budget,
+// while reads keep being served by the still-authoritative source.
+func TestMovingShardRetryThenTyped(t *testing.T) {
+	mesh := netsim.NewMesh(3, "a")
+	r1 := NewRing(1, []string{"a:1"})
+	ma := startMember(t, mesh, "a", "a:1", r1, apiserver.Options{})
+
+	// Find a database that a ghost member would take over, then freeze it by
+	// installing the window (no handoff runs — the ghost never answers).
+	r2 := NewRing(2, []string{"a:1", "ghost:1"})
+	db := dbOwnedBy(t, r2, "ghost:1")
+
+	cc, err := DialCluster([]string{"a:1"}, testClientOptions(mesh, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if err := cc.Insert(db, "k", []byte("pre-freeze")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.sh.InstallRing(r2.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+
+	err = cc.Update(db, "k", []byte("write into the window"))
+	var mv *apiserver.ShardMovingError
+	if !errors.As(err, &mv) {
+		t.Fatalf("want a shard-moving error for a frozen write, got %v", err)
+	}
+	if mv.Epoch != 2 {
+		t.Errorf("moving error names epoch %d, want the window's epoch 2", mv.Epoch)
+	}
+	if c := cc.Counters(); c.MovingWaits != 4 { // initial attempt + 3 retries
+		t.Errorf("moving-waits = %d, want 4 counted attempts", c.MovingWaits)
+	}
+	// Reads stay up: the source's copy is complete and write-frozen.
+	got, err := cc.Get(db, "k")
+	if err != nil || !bytes.Equal(got, []byte("pre-freeze")) {
+		t.Errorf("read during the window: got %q, %v", got, err)
+	}
+	if ma.cm.Snapshot().MovingAnswered == 0 {
+		t.Error("member never counted a moving-shard answer")
+	}
+}
+
+// TestForwardedRequestSizeBounds pins that the apiserver's request size limit
+// holds on the forwarding path: an oversized request is refused with an
+// explicit answer at the first hop, a request that only overflows once the
+// one-byte forward marker is added is refused by the *second* hop (relayed
+// back, not dropped), and a legal request forwards end-to-end.
+func TestForwardedRequestSizeBounds(t *testing.T) {
+	const limit = 4096
+	mesh := netsim.NewMesh(4, "a", "b")
+	ring := NewRing(1, []string{"a:1", "b:1"})
+	var fwdOK, fwdFail atomic.Int64
+	startMember(t, mesh, "a", "a:1", ring, apiserver.Options{
+		MaxRequestBytes:   limit,
+		ForwardWrongShard: true,
+		OnForward: func(ok bool) {
+			if ok {
+				fwdOK.Add(1)
+			} else {
+				fwdFail.Add(1)
+			}
+		},
+	})
+	mb := startMember(t, mesh, "b", "b:1", ring, apiserver.Options{MaxRequestBytes: limit})
+
+	db := dbOwnedBy(t, ring, "b:1")
+	// Keep the frame arithmetic fixed: op(1) + uvarint+db + uvarint+key +
+	// uvarint(payload len, 2 bytes at these sizes) + payload.
+	overhead := 1 + (1 + len(db)) + (1 + 1) + 2
+
+	dial := func() *apiserver.Client {
+		c, err := apiserver.DialNetwork(mesh.Host("client"), "a:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+
+	// Legal request: forwarded to the owner and acked one hop away.
+	if err := dial().Insert(db, "s", bytes.Repeat([]byte{'x'}, 1000)); err != nil {
+		t.Fatalf("small forwarded insert: %v", err)
+	}
+	if _, err := mb.n.Read(db, "s"); err != nil {
+		t.Fatalf("forwarded record not on owner: %v", err)
+	}
+	if fwdOK.Load() == 0 {
+		t.Error("forward hook never fired for the successful hop")
+	}
+
+	// Oversized at the first hop: refused with an explicit answer before any
+	// forwarding happens.
+	err := dial().Insert(db, "k", bytes.Repeat([]byte{'x'}, limit))
+	var se *apiserver.ServerError
+	if !errors.As(err, &se) || !strings.Contains(err.Error(), "size limit") {
+		t.Fatalf("oversized insert: want an explicit size-limit refusal, got %v", err)
+	}
+
+	// Exactly at the first hop's limit: accepted there, but the one-byte
+	// forward marker pushes it over the owner's limit — the owner's refusal
+	// must be relayed back, not turned into a silent drop.
+	err = dial().Insert(db, "e", bytes.Repeat([]byte{'x'}, limit-overhead))
+	if !errors.As(err, &se) || !strings.Contains(err.Error(), "size limit") {
+		t.Fatalf("marker-overflow insert: want the owner's size-limit refusal relayed, got %v", err)
+	}
+	if _, err := mb.n.Read(db, "e"); !errors.Is(err, node.ErrNotFound) {
+		t.Errorf("marker-overflow record must not exist anywhere: err=%v", err)
+	}
+
+	// The server survives all of the above. The owner's refusal also closed
+	// a's pooled forward connection, so the next forward may degrade to a
+	// redirect (the documented fallback — degraded, never dropped); a retry
+	// redials and forwards cleanly.
+	err = dial().Insert(db, "s2", []byte("still alive"))
+	var ws *apiserver.WrongShardError
+	if errors.As(err, &ws) {
+		if fwdFail.Load() == 0 {
+			t.Error("degraded answer without a counted forward failure")
+		}
+		err = dial().Insert(db, "s2", []byte("still alive"))
+	}
+	if err != nil {
+		t.Fatalf("post-refusal insert: %v", err)
+	}
+	if _, err := mb.n.Read(db, "s2"); err != nil {
+		t.Fatalf("post-refusal record not on owner: %v", err)
+	}
+}

@@ -1,0 +1,673 @@
+// Package clustertest model-checks the sharded cluster under injected
+// faults. Each Schedule builds a 3-member cluster (plus a joiner) connected
+// only through an in-memory netsim.Mesh, churns inserts/updates/deletes and
+// reads through the cluster-aware client while a rebalance runs concurrently
+// — handoff mid-insert is the norm, not the edge case — and, per class,
+// while members partition or die mid-snapshot. After healing it drives the
+// cluster to the target membership and checks a driver-side model:
+//
+//   - no lost acked write: every operation the client saw succeed is
+//     present, with identical content, on the shard the final ring owns it
+//     to — through the router and on the owning node directly,
+//   - no resurrection: no shard holds a record the model (plus the
+//     ambiguous-outcome limbo set) does not account for, and no shard holds
+//     any record of a database the final ring places elsewhere,
+//   - convergence after heal: the rebalance completes and every member
+//     serves the same final ring,
+//   - ring-epoch monotonicity: no member's active epoch ever regresses
+//     (sampled continuously while the schedule runs),
+//   - the online integrity scrub (VerifyAll) passes on every member, and a
+//     replica chain hanging off a member replicates its handoff traffic.
+//
+// Outcome accounting is explicit: a typed server answer (wrong shard,
+// moving, overloaded, server error) means the operation definitely did not
+// apply, while a transport failure means it *may* have — such keys enter a
+// limbo set whose final state only needs to match one of the possible
+// outcomes, and the quarantine keeps later churn off them. The schedule and
+// every fault roll derive from one seed.
+package clustertest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dbdedup/internal/apiserver"
+	"dbdedup/internal/cluster"
+	"dbdedup/internal/metrics"
+	"dbdedup/internal/netsim"
+	"dbdedup/internal/node"
+	"dbdedup/internal/repl"
+)
+
+// Classes are the fault classes a schedule can run under.
+var Classes = []string{
+	"join",      // 3 → 4 members, rebalance concurrent with churn
+	"leave",     // 3 → 2 members, the leaver's databases drain out
+	"double",    // join then leave, two windows in one schedule
+	"partition", // rebalance and churn under partial (per-host) partitions
+	"peerdeath", // the joining member dies mid-snapshot and comes back
+	"replica",   // a member keeps its replica chain through a rebalance
+}
+
+// Schedule is one seed-pinned fault-injection run.
+type Schedule struct {
+	Seed  int64
+	Class string
+	Ops   int
+}
+
+// Result reports what a converged schedule observed.
+type Result struct {
+	Keys          int // records live in the model at convergence
+	LimboKeys     int // keys whose outcome was ambiguous
+	FinalEpoch    uint64
+	Rebalances    int // coordinator attempts (>=1; faults force retries)
+	Redirects     int64
+	MovingWaits   int64
+	Transport     int64
+	Retries       int64
+	TransfersIn   int64
+	TransfersOut  int64
+	DroppedDBs    int64
+	ReplResyncs   uint64
+	ReplReconnect int64
+}
+
+// hosts and member addresses are fixed: placement must be deterministic per
+// seed, and the golden-vector discipline extends here — the same six
+// databases move on every join/leave.
+var (
+	hostNames = []string{"m0", "m1", "m2", "m3"}
+	memAddrs  = []string{"m0:1", "m1:1", "m2:1", "m3:1"}
+	churnDBs  = []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+)
+
+type member struct {
+	host, addr string
+	n          *node.Node
+	shard      *cluster.Shard
+	srv        *apiserver.Server
+	cm         *metrics.ClusterMetrics
+}
+
+func (m *member) restart(mesh *netsim.Mesh) error {
+	m.srv = nil
+	srv, err := apiserver.ListenAndServeBackend(m.shard, m.addr, serverOpts(mesh, m.host))
+	if err != nil {
+		return err
+	}
+	m.srv = srv
+	return nil
+}
+
+func serverOpts(mesh *netsim.Mesh, host string) apiserver.Options {
+	return apiserver.Options{Network: mesh.Host(host), BodyTimeout: 2 * time.Second}
+}
+
+// limboEntry records the acceptable final states of a key whose operation
+// outcome was ambiguous.
+type limboEntry struct {
+	contents [][]byte // any of these payloads is acceptable
+	absentOK bool     // so is absence
+}
+
+// Run executes one schedule to convergence. A non-nil error is an invariant
+// violation (or a setup failure).
+func Run(sch Schedule) (Result, error) {
+	var res Result
+	mesh := netsim.NewMesh(sch.Seed, hostNames...)
+	rng := rand.New(rand.NewSource(sch.Seed))
+	faultRng := rand.New(rand.NewSource(sch.Seed + 7919))
+
+	baseAddrs := memAddrs[:3]
+	baseRing := cluster.NewRing(1, baseAddrs)
+
+	// Members. The joiner (m3) starts outside the ring: it owns nothing and
+	// serves nothing until a rebalance pulls it in.
+	nopts := node.Options{SyncEncode: true, DisableAutoFlush: true, OplogCapacity: 256}
+	nopts.Engine.GovernorWindow = 1 << 30
+	members := make([]*member, len(memAddrs))
+	for i, addr := range memAddrs {
+		n, err := node.Open(nopts)
+		if err != nil {
+			return res, err
+		}
+		defer n.Close()
+		initial := baseRing
+		if i == 3 {
+			initial = cluster.NewRing(0, nil)
+		}
+		cm := &metrics.ClusterMetrics{}
+		sh := cluster.NewShard(n, addr, initial, mesh.Host(hostNames[i]), cm)
+		m := &member{host: hostNames[i], addr: addr, n: n, shard: sh, cm: cm}
+		if err := m.restart(mesh); err != nil {
+			return res, err
+		}
+		members[i] = m
+		defer func() {
+			if m.srv != nil {
+				m.srv.Close()
+			}
+		}()
+	}
+	byAddr := map[string]*member{}
+	for _, m := range members {
+		byAddr[m.addr] = m
+	}
+
+	// Replica chain on m0 for the replica class: handoff traffic in and out
+	// of m0 must flow down its oplog like client writes.
+	var sec *node.Node
+	var secRepl *repl.Secondary
+	if sch.Class == "replica" {
+		var err error
+		sec, err = node.Open(nopts)
+		if err != nil {
+			return res, err
+		}
+		defer sec.Close()
+		p, err := repl.ListenAndServeWithOptions(members[0].n, "m0repl", repl.PrimaryOptions{
+			Network:           mesh.Host("m0"),
+			HeartbeatInterval: 10 * time.Millisecond,
+			WriteTimeout:      250 * time.Millisecond,
+		})
+		if err != nil {
+			return res, err
+		}
+		defer p.Close()
+		secRepl, err = repl.ConnectWithOptions(sec, p.Addr(), 0, 0, repl.Options{
+			ApplyWorkers:     2,
+			ApplyQueue:       64,
+			FetchTimeout:     250 * time.Millisecond,
+			FetchRetries:     40,
+			Network:          mesh.Host("m0"),
+			MaxReconnects:    100000,
+			ReconnectBackoff: 2 * time.Millisecond,
+			MaxBackoff:       25 * time.Millisecond,
+			DialTimeout:      250 * time.Millisecond,
+			IdleTimeout:      150 * time.Millisecond,
+		})
+		if err != nil {
+			return res, err
+		}
+		defer secRepl.Close()
+	}
+
+	cc, err := cluster.DialCluster(baseAddrs, cluster.ClientOptions{
+		Network:      mesh.Host("client"),
+		MaxRetries:   10,
+		RetryBackoff: 2 * time.Millisecond,
+		MaxBackoff:   40 * time.Millisecond,
+		// Shorter than a partition window, so an op stalled behind a
+		// partition times out (an *ambiguous* outcome) instead of quietly
+		// waiting the fault out — that is the interesting case.
+		Timeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer cc.Close()
+
+	// Epoch monitor: every member's active epoch must only move forward.
+	// Sampled in-process — the invariant is on the member's state, not on
+	// what the flaky network shows a client.
+	stopMon := make(chan struct{})
+	var monWG sync.WaitGroup
+	var monErr error
+	var monMu sync.Mutex
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		prev := make([]uint64, len(members))
+		for {
+			select {
+			case <-stopMon:
+				return
+			default:
+			}
+			for i, m := range members {
+				cur := m.shard.Ring().Epoch
+				if cur < prev[i] {
+					monMu.Lock()
+					monErr = fmt.Errorf("member %s ring epoch regressed %d -> %d", m.addr, prev[i], cur)
+					monMu.Unlock()
+					return
+				}
+				prev[i] = cur
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	defer func() { close(stopMon); monWG.Wait() }()
+
+	// Rebalance driver: starts a third of the way into the churn so the
+	// window opens mid-insert. Faults (class-dependent) run beside it.
+	rebOpts := cluster.RebalanceOptions{
+		Network:        mesh.Host("coord"),
+		RPCTimeout:     time.Second,
+		HandoffTimeout: 20 * time.Second,
+		CommitRetries:  2,
+	}
+	targetFor := func() []string {
+		switch sch.Class {
+		case "leave", "replica":
+			return []string{memAddrs[0], memAddrs[1]}
+		default: // join, double (first phase), partition, peerdeath
+			return memAddrs
+		}
+	}
+	attempt := func(target []string) error {
+		res.Rebalances++
+		_, err := cluster.Rebalance(baseAddrs, target, rebOpts)
+		return err
+	}
+
+	var drvWG sync.WaitGroup
+	startDriver := func() {
+		drvWG.Add(1)
+		go func() {
+			defer drvWG.Done()
+			switch sch.Class {
+			case "peerdeath":
+				// Kill the joiner mid-snapshot: the handoff stream dies,
+				// the coordinator aborts, nothing is lost, and after
+				// revival the join completes.
+				var killWG sync.WaitGroup
+				killWG.Add(1)
+				go func() {
+					defer killWG.Done()
+					time.Sleep(time.Duration(2+faultRng.Intn(25)) * time.Millisecond)
+					mesh.SetDown("m3", true)
+					if members[3].srv != nil {
+						members[3].srv.Close()
+						members[3].srv = nil
+					}
+					time.Sleep(time.Duration(40+faultRng.Intn(80)) * time.Millisecond)
+					mesh.SetDown("m3", false)
+					members[3].restart(mesh)
+				}()
+				attempt(targetFor()) // expected to fail on many seeds
+				killWG.Wait()
+			case "partition":
+				var partWG sync.WaitGroup
+				partWG.Add(1)
+				go func() {
+					defer partWG.Done()
+					for w := 0; w < 1+faultRng.Intn(2); w++ {
+						time.Sleep(time.Duration(faultRng.Intn(15)) * time.Millisecond)
+						h := hostNames[faultRng.Intn(len(hostNames))]
+						mesh.Sim(h).SetPartition(netsim.PartitionBoth)
+						time.Sleep(time.Duration(150+faultRng.Intn(150)) * time.Millisecond)
+						mesh.Sim(h).Heal()
+					}
+				}()
+				attempt(targetFor())
+				partWG.Wait()
+			case "double":
+				if err := attempt(memAddrs); err == nil {
+					attempt([]string{memAddrs[0], memAddrs[2], memAddrs[3]})
+				}
+			case "replica":
+				// Leave then rejoin: m0 first gains the leaver's databases
+				// (handoff in → its replica chain copies them) and then
+				// sheds them back (drop deletes → the chain forgets them).
+				if err := attempt(targetFor()); err == nil {
+					attempt(baseAddrs)
+				}
+			default:
+				attempt(targetFor())
+			}
+		}()
+	}
+
+	// Churn through the router while all of the above happens.
+	model := make(map[string]map[string][]byte)
+	order := make(map[string][]string)
+	limbo := make(map[string]map[string]*limboEntry)
+	quarantine := func(db, key string, e *limboEntry) {
+		if limbo[db] == nil {
+			limbo[db] = make(map[string]*limboEntry)
+		}
+		limbo[db][key] = e
+		keys := order[db]
+		for i, k := range keys {
+			if k == key {
+				keys[i] = keys[len(keys)-1]
+				order[db] = keys[:len(keys)-1]
+				break
+			}
+		}
+		delete(model[db], key)
+	}
+	// definiteFailure reports whether err proves the op did not apply.
+	definiteFailure := func(err error) bool {
+		var ws *apiserver.WrongShardError
+		var mv *apiserver.ShardMovingError
+		return errors.As(err, &ws) || errors.As(err, &mv) ||
+			errors.Is(err, apiserver.ErrOverloaded)
+	}
+
+	nextKey := 0
+	driverStarted := false
+	finalTarget := targetFor()
+	switch sch.Class {
+	case "double":
+		finalTarget = []string{memAddrs[0], memAddrs[2], memAddrs[3]}
+	case "replica":
+		finalTarget = baseAddrs
+	}
+	for op := 0; op < sch.Ops; op++ {
+		if !driverStarted && op == sch.Ops/3 {
+			driverStarted = true
+			startDriver()
+		}
+		db := churnDBs[rng.Intn(len(churnDBs))]
+		if model[db] == nil {
+			model[db] = make(map[string][]byte)
+		}
+		m, keys := model[db], order[db]
+		roll := rng.Float64()
+		switch {
+		case roll < 0.50 || len(keys) == 0:
+			key := fmt.Sprintf("k%06d", nextKey)
+			nextKey++
+			var content []byte
+			if len(keys) > 0 && rng.Float64() < 0.8 {
+				content = editText(rng, m[keys[rng.Intn(len(keys))]], 1+rng.Intn(2))
+			} else {
+				content = prose(rng, 512+rng.Intn(1024))
+			}
+			err := cc.Insert(db, key, content)
+			var amb *cluster.AmbiguousError
+			switch {
+			case err == nil:
+				m[key] = content
+				order[db] = append(keys, key)
+			case errors.As(err, &amb):
+				quarantine(db, key, &limboEntry{contents: [][]byte{content}, absentOK: true})
+			case definiteFailure(err):
+				// Not applied; the key name is burned, nothing else.
+			default:
+				return res, fmt.Errorf("insert %s/%s: unexpected definite error: %w", db, key, err)
+			}
+		case roll < 0.72:
+			key := keys[rng.Intn(len(keys))]
+			content := editText(rng, m[key], 1)
+			err := cc.Update(db, key, content)
+			var amb *cluster.AmbiguousError
+			switch {
+			case err == nil:
+				m[key] = content
+			case errors.As(err, &amb):
+				quarantine(db, key, &limboEntry{contents: [][]byte{m[key], content}})
+			case definiteFailure(err):
+			default:
+				return res, fmt.Errorf("update %s/%s: unexpected definite error: %w", db, key, err)
+			}
+		case roll < 0.85:
+			i := rng.Intn(len(keys))
+			key := keys[i]
+			err := cc.Delete(db, key)
+			var amb *cluster.AmbiguousError
+			switch {
+			case err == nil:
+				delete(m, key)
+				keys[i] = keys[len(keys)-1]
+				order[db] = keys[:len(keys)-1]
+			case errors.As(err, &amb):
+				quarantine(db, key, &limboEntry{contents: [][]byte{m[key]}, absentOK: true})
+			case definiteFailure(err):
+			default:
+				return res, fmt.Errorf("delete %s/%s: unexpected definite error: %w", db, key, err)
+			}
+		default:
+			// Read-your-writes through the router: writes to a moving
+			// database are frozen, so a successful read must always see
+			// the model's value no matter which side of the cutover
+			// answers it.
+			key := keys[rng.Intn(len(keys))]
+			got, err := cc.Get(db, key)
+			var amb *cluster.AmbiguousError
+			switch {
+			case err == nil:
+				if !bytes.Equal(got, m[key]) {
+					return res, fmt.Errorf("read %s/%s diverged mid-schedule: got %d bytes, want %d",
+						db, key, len(got), len(m[key]))
+				}
+			case errors.As(err, &amb), definiteFailure(err):
+				// Unreachable or frozen: no state to check.
+			case errors.Is(err, apiserver.ErrNotFound):
+				return res, fmt.Errorf("read %s/%s: acked record not found", db, key)
+			default:
+				return res, fmt.Errorf("read %s/%s: %w", db, key, err)
+			}
+		}
+		// Fault classes pace the churn so client traffic is still flowing
+		// while the injected windows are open; in-memory ops otherwise
+		// finish before the first fault lands.
+		switch sch.Class {
+		case "partition", "peerdeath":
+			time.Sleep(time.Duration(rng.Intn(1800)) * time.Microsecond)
+		default:
+			if rng.Intn(4) == 0 {
+				time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+			}
+		}
+	}
+	if !driverStarted {
+		startDriver()
+	}
+	drvWG.Wait()
+
+	// Heal everything and drive the cluster to the target membership. A
+	// schedule whose rebalance was torn up by faults converges here — that
+	// convergence is itself the invariant.
+	mesh.Heal()
+	mesh.SetDown("m3", false)
+	for _, m := range members {
+		if m.srv == nil {
+			if err := m.restart(mesh); err != nil {
+				return res, fmt.Errorf("reviving %s: %w", m.addr, err)
+			}
+		}
+	}
+	var finalErr error
+	for i := 0; i < 10; i++ {
+		if finalErr = attempt(finalTarget); finalErr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if finalErr != nil {
+		return res, fmt.Errorf("convergence: rebalance to %v never succeeded: %w", finalTarget, finalErr)
+	}
+
+	// Every member must now serve the same committed ring.
+	finalRing := byAddr[finalTarget[0]].shard.Ring()
+	for _, m := range members {
+		r := m.shard.Ring()
+		if m.shard.Pending() != nil {
+			return res, fmt.Errorf("member %s still has an open rebalance window after convergence", m.addr)
+		}
+		if contains(finalTarget, m.addr) && !r.Equal(finalRing) {
+			return res, fmt.Errorf("member %s serves %v, expected %v", m.addr, r, finalRing)
+		}
+	}
+	res.FinalEpoch = finalRing.Epoch
+
+	// Model check. First through the router (what a client sees), then on
+	// the owning node directly (where the bytes must live), then the
+	// negative space: no stray copies, no resurrections.
+	for db, m := range model {
+		owner := byAddr[finalRing.Owner(db)]
+		if owner == nil {
+			return res, fmt.Errorf("db %s owned by unknown member %q", db, finalRing.Owner(db))
+		}
+		for key, want := range m {
+			got, err := cc.Get(db, key)
+			if err != nil {
+				return res, fmt.Errorf("lost acked write %s/%s (via router): %v", db, key, err)
+			}
+			if !bytes.Equal(got, want) {
+				return res, fmt.Errorf("diverged %s/%s (via router): got %d bytes, want %d", db, key, len(got), len(want))
+			}
+			direct, err := owner.n.Read(db, key)
+			if err != nil {
+				return res, fmt.Errorf("lost acked write %s/%s (owner %s): %v", db, key, owner.addr, err)
+			}
+			if !bytes.Equal(direct, want) {
+				return res, fmt.Errorf("diverged %s/%s on owner %s", db, key, owner.addr)
+			}
+			res.Keys++
+		}
+	}
+	// Limbo keys: final state must be one of the recorded possibilities.
+	for db, entries := range limbo {
+		owner := byAddr[finalRing.Owner(db)]
+		for key, e := range entries {
+			res.LimboKeys++
+			got, err := owner.n.Read(db, key)
+			if errors.Is(err, node.ErrNotFound) {
+				if !e.absentOK {
+					return res, fmt.Errorf("limbo %s/%s: absent but an applied outcome was required", db, key)
+				}
+				continue
+			}
+			if err != nil {
+				return res, fmt.Errorf("limbo %s/%s: %v", db, key, err)
+			}
+			ok := false
+			for _, c := range e.contents {
+				if bytes.Equal(got, c) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return res, fmt.Errorf("limbo %s/%s: content matches no possible outcome", db, key)
+			}
+		}
+	}
+	// Placement + resurrection: each database's records live only on its
+	// owner, and the owner holds nothing the model cannot account for.
+	for _, db := range churnDBs {
+		ownerAddr := finalRing.Owner(db)
+		for _, m := range members {
+			keys := m.n.DBKeys(db)
+			if m.addr == ownerAddr {
+				for _, key := range keys {
+					_, inModel := model[db][key]
+					_, inLimbo := limbo[db][key]
+					if !inModel && !inLimbo {
+						return res, fmt.Errorf("resurrection: %s/%s on owner %s is in neither model nor limbo", db, key, m.addr)
+					}
+				}
+				continue
+			}
+			if len(keys) > 0 {
+				return res, fmt.Errorf("stray copy: member %s holds %d records of %s owned by %s",
+					m.addr, len(keys), db, ownerAddr)
+			}
+		}
+	}
+	for _, m := range members {
+		if rep := m.n.VerifyAll(); !rep.Ok() {
+			return res, fmt.Errorf("member %s verify: %v", m.addr, rep.Errors)
+		}
+	}
+
+	// Replica chain: m0's secondary must mirror m0 exactly — including
+	// records m0 gained by handoff (transfers emit oplog) and excluding
+	// databases m0 shed at cutover (drops emit oplog deletes).
+	if sch.Class == "replica" {
+		members[0].n.Barrier()
+		target := members[0].n.Oplog().LastSeq()
+		if err := secRepl.WaitForSeq(target, 30*time.Second); err != nil {
+			return res, fmt.Errorf("replica convergence: %w", err)
+		}
+		for _, db := range churnDBs {
+			want := members[0].n.DBKeys(db)
+			got := sec.DBKeys(db)
+			if len(want) != len(got) {
+				return res, fmt.Errorf("replica of m0 holds %d keys of %s, primary holds %d", len(got), db, len(want))
+			}
+			for _, key := range want {
+				pv, err := members[0].n.Read(db, key)
+				if err != nil {
+					return res, err
+				}
+				sv, err := sec.Read(db, key)
+				if err != nil {
+					return res, fmt.Errorf("replica lost %s/%s: %v", db, key, err)
+				}
+				if !bytes.Equal(pv, sv) {
+					return res, fmt.Errorf("replica diverged on %s/%s", db, key)
+				}
+			}
+		}
+		if rep := sec.VerifyAll(); !rep.Ok() {
+			return res, fmt.Errorf("replica verify: %v", rep.Errors)
+		}
+		res.ReplResyncs, _ = secRepl.Resyncs()
+		res.ReplReconnect = secRepl.Metrics().Reconnects.Total()
+	}
+
+	monMu.Lock()
+	mErr := monErr
+	monMu.Unlock()
+	if mErr != nil {
+		return res, mErr
+	}
+
+	ctrs := cc.Counters()
+	res.Redirects = ctrs.Redirects
+	res.MovingWaits = ctrs.MovingWaits
+	res.Transport = ctrs.Transport
+	res.Retries = ctrs.Retries
+	for _, m := range members {
+		s := m.cm.Snapshot()
+		res.TransfersIn += s.TransferRecordsIn
+		res.TransfersOut += s.TransferRecordsOut
+		res.DroppedDBs += s.DroppedDBs
+	}
+	return res, nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// prose builds dedup-friendly text of length n from a small vocabulary.
+func prose(rng *rand.Rand, n int) []byte {
+	words := []string{"the", "record", "database", "version", "of", "and",
+		"revision", "content", "chunk", "update", "a", "delta", "system"}
+	var buf bytes.Buffer
+	for buf.Len() < n {
+		buf.WriteString(words[rng.Intn(len(words))])
+		buf.WriteByte(' ')
+	}
+	return buf.Bytes()[:n]
+}
+
+// editText mutates data in k places and appends a tail, mimicking a revised
+// document (similar enough to delta-encode against its ancestor).
+func editText(rng *rand.Rand, data []byte, k int) []byte {
+	out := append([]byte(nil), data...)
+	for i := 0; i < k; i++ {
+		if len(out) <= 20 {
+			break
+		}
+		pos := rng.Intn(len(out) - 20)
+		copy(out[pos:], prose(rng, 12))
+	}
+	return append(out, prose(rng, 40)...)
+}

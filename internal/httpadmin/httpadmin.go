@@ -7,6 +7,7 @@
 //	              per-stage latency histograms, throughput, queue
 //	              depth/overflows, replication base fetches
 //	GET /verify   run the online integrity scrub  (JSON; 503 on errors)
+//	GET /cluster  ring status and routing counters (JSON; 404 unclustered)
 //	GET /healthz  liveness probe                  (200 "ok")
 //	GET /         plain-text summary for humans
 package httpadmin
@@ -19,29 +20,39 @@ import (
 	"time"
 
 	"dbdedup/internal/admission"
+	"dbdedup/internal/cluster"
 	"dbdedup/internal/metrics"
 	"dbdedup/internal/node"
 )
 
 // Server is an HTTP admin listener bound to one node.
 type Server struct {
-	node *node.Node
-	ln   net.Listener
-	srv  *http.Server
+	node  *node.Node
+	shard *cluster.Shard // nil on an unclustered node
+	ln    net.Listener
+	srv   *http.Server
 }
 
-// ListenAndServe starts the admin endpoint on addr.
+// ListenAndServe starts the admin endpoint on addr for a bare node.
 func ListenAndServe(n *node.Node, addr string) (*Server, error) {
+	return ListenAndServeCluster(n, addr, nil)
+}
+
+// ListenAndServeCluster starts the admin endpoint on addr for a cluster
+// member: /cluster and the index's cluster section render sh's ring state
+// and routing counters. sh may be nil (unclustered).
+func ListenAndServeCluster(n *node.Node, addr string, sh *cluster.Shard) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("httpadmin: %w", err)
 	}
-	s := &Server{node: n, ln: ln}
+	s := &Server{node: n, shard: sh, ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/dbs", s.handleDBs)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/verify", s.handleVerify)
+	mux.HandleFunc("/cluster", s.handleCluster)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -78,8 +89,9 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 // plus the encoder-pool geometry, the secondary-side apply-pipeline snapshot
 // (all zeros on a node that is not replicating), the read-path snapshot
 // (latency, per-shard block cache, segment-reader gauges), the compaction /
-// re-dedup snapshot, the similarity-index occupancy snapshot, and the
-// admission controller's snapshot (zero when no controller is configured).
+// re-dedup snapshot, the similarity-index occupancy snapshot, the admission
+// controller's snapshot (zero when no controller is configured), and the
+// cluster routing snapshot (Enabled=false on an unclustered node).
 type metricsView struct {
 	EncodeWorkers int
 	Encode        metrics.EncodeSnapshot
@@ -89,6 +101,7 @@ type metricsView struct {
 	Compaction    metrics.CompactionSnapshot
 	FeatIdx       metrics.FeatIdxSnapshot
 	Admission     admission.Snapshot
+	Cluster       metrics.ClusterSnapshot
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -101,6 +114,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Compaction:    s.node.CompactionSnapshot(),
 		FeatIdx:       s.node.FeatIdxSnapshot(),
 		Admission:     s.node.AdmissionSnapshot(),
+		Cluster:       s.clusterMetrics().Snapshot(),
+	})
+}
+
+// clusterMetrics returns the shard's counters, nil when unclustered (the
+// nil-receiver Snapshot yields the zero, Enabled=false view).
+func (s *Server) clusterMetrics() *metrics.ClusterMetrics {
+	if s.shard == nil {
+		return nil
+	}
+	return s.shard.Metrics()
+}
+
+// clusterView is the /cluster response: the member's ring status (active
+// ring, plus the pending ring while a rebalance window is open) and its
+// routing/handoff counters.
+type clusterView struct {
+	Status  cluster.RingStatus
+	Metrics metrics.ClusterSnapshot
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.shard == nil {
+		http.Error(w, "not clustered", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, clusterView{
+		Status: cluster.RingStatus{
+			Self:    s.shard.Self(),
+			Ring:    s.shard.Ring(),
+			Pending: s.shard.Pending(),
+		},
+		Metrics: s.clusterMetrics().Snapshot(),
 	})
 }
 
@@ -178,6 +224,21 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			metrics.FormatBytes(fi.TieredBloomMemoryBytes), fi.TieredBloomChecks,
 			fi.TieredDiskProbes, fpr*100, fi.TieredDiskProbeHits, fi.TieredDiskReadErrors)
 	}
+	if s.shard != nil {
+		ring := s.shard.Ring()
+		cl := s.clusterMetrics().Snapshot()
+		fmt.Fprintf(w, "cluster:  member %s, ring epoch %d (%d members)", s.shard.Self(),
+			ring.Epoch, len(ring.Members))
+		if p := s.shard.Pending(); p != nil {
+			fmt.Fprintf(w, ", rebalance to epoch %d in progress", p.Epoch)
+		}
+		fmt.Fprintf(w, "\n          %d redirects, %d moving answers, %d forwards (%d failed)\n",
+			cl.RedirectsIssued, cl.MovingAnswered, cl.ForwardedOps, cl.ForwardFailures)
+		fmt.Fprintf(w, "          handoffs %d started / %d committed / %d aborted; moved out %d recs (%s), in %d recs (%s)\n",
+			cl.HandoffsStarted, cl.HandoffsCommitted, cl.HandoffsAborted,
+			cl.TransferRecordsOut, metrics.FormatBytes(cl.TransferBytesOut),
+			cl.TransferRecordsIn, metrics.FormatBytes(cl.TransferBytesIn))
+	}
 	fmt.Fprintf(w, "\ndatabases:\n")
 	for _, d := range s.node.DBStats() {
 		verdict := "active"
@@ -187,5 +248,5 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "  %-12s %-18s stored %-10s window %.2fx, chains %d\n",
 			d.Name, verdict, metrics.FormatBytes(d.StoredBytes), d.WindowRatio(), d.Chains)
 	}
-	fmt.Fprintf(w, "\nendpoints: /stats /dbs /metrics /verify /healthz\n")
+	fmt.Fprintf(w, "\nendpoints: /stats /dbs /metrics /verify /cluster /healthz\n")
 }

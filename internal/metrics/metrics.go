@@ -722,3 +722,87 @@ type FeatIdxSnapshot struct {
 	TieredMergeFailures  uint64
 	TieredDroppedRuns    uint64
 }
+
+// ClusterMetrics instruments a cluster shard's routing tier: ownership
+// decisions, redirects and forwards, and the handoff/rebalance lifecycle.
+// Zero-valued on a node that is not clustered.
+type ClusterMetrics struct {
+	// RingEpoch is the highest ring epoch installed (monotonic per member).
+	RingEpoch Gauge
+	// RingInstalls counts accepted ring installs (rebalance windows opened).
+	RingInstalls Meter
+	// RedirectsIssued counts wrong-shard answers sent to clients;
+	// MovingAnswered counts retry-later answers during a handoff window.
+	RedirectsIssued Meter
+	MovingAnswered  Meter
+	// ForwardedOps/ForwardFailures count server-side proxying of wrong-shard
+	// requests to their owner (when forwarding is enabled).
+	ForwardedOps    Meter
+	ForwardFailures Meter
+	// Handoff lifecycle: started on BeginHandoff, then exactly one of
+	// committed (cutover) or aborted (revert) per window.
+	HandoffsStarted   Meter
+	HandoffsCommitted Meter
+	HandoffsAborted   Meter
+	// Transfer volume: Out on the draining source, In on the gaining
+	// destination. Failures count transfer round trips that errored.
+	TransferRecordsOut Meter
+	TransferBytesOut   Meter
+	TransferRecordsIn  Meter
+	TransferBytesIn    Meter
+	TransferFailures   Meter
+	// DroppedDBs/DroppedRecords count local copies deleted at cutover
+	// (source) or on abort (destination).
+	DroppedDBs     Meter
+	DroppedRecords Meter
+}
+
+// ClusterSnapshot is the JSON view of ClusterMetrics for /metrics.
+type ClusterSnapshot struct {
+	Enabled         bool
+	RingEpoch       int64
+	RingInstalls    int64
+	RedirectsIssued int64
+	MovingAnswered  int64
+	ForwardedOps    int64
+	ForwardFailures int64
+
+	HandoffsStarted   int64
+	HandoffsCommitted int64
+	HandoffsAborted   int64
+
+	TransferRecordsOut int64
+	TransferBytesOut   int64
+	TransferRecordsIn  int64
+	TransferBytesIn    int64
+	TransferFailures   int64
+
+	DroppedDBs     int64
+	DroppedRecords int64
+}
+
+// Snapshot captures the counters. Safe on a nil receiver (unclustered node).
+func (m *ClusterMetrics) Snapshot() ClusterSnapshot {
+	if m == nil {
+		return ClusterSnapshot{}
+	}
+	return ClusterSnapshot{
+		Enabled:            true,
+		RingEpoch:          m.RingEpoch.Value(),
+		RingInstalls:       m.RingInstalls.Total(),
+		RedirectsIssued:    m.RedirectsIssued.Total(),
+		MovingAnswered:     m.MovingAnswered.Total(),
+		ForwardedOps:       m.ForwardedOps.Total(),
+		ForwardFailures:    m.ForwardFailures.Total(),
+		HandoffsStarted:    m.HandoffsStarted.Total(),
+		HandoffsCommitted:  m.HandoffsCommitted.Total(),
+		HandoffsAborted:    m.HandoffsAborted.Total(),
+		TransferRecordsOut: m.TransferRecordsOut.Total(),
+		TransferBytesOut:   m.TransferBytesOut.Total(),
+		TransferRecordsIn:  m.TransferRecordsIn.Total(),
+		TransferBytesIn:    m.TransferBytesIn.Total(),
+		TransferFailures:   m.TransferFailures.Total(),
+		DroppedDBs:         m.DroppedDBs.Total(),
+		DroppedRecords:     m.DroppedRecords.Total(),
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,6 +94,7 @@ type Counters struct {
 type Sim struct {
 	mu        sync.Mutex
 	rng       *rand.Rand
+	name      string
 	listeners map[string]*simListener
 	pipes     []*pipe
 	nextPort  int
@@ -107,8 +109,16 @@ type Sim struct {
 // NewSim returns a clean simulated network whose fault rolls derive from
 // seed.
 func NewSim(seed int64) *Sim {
+	return NewNamedSim(seed, "sim")
+}
+
+// NewNamedSim is NewSim with a distinct address prefix: listeners get
+// "<name>:<n>" addresses. A Mesh uses the prefix to route dials between the
+// per-host Sims of a multi-node cluster.
+func NewNamedSim(seed int64, name string) *Sim {
 	return &Sim{
 		rng:       rand.New(rand.NewSource(seed)),
+		name:      name,
 		listeners: make(map[string]*simListener),
 		nextPort:  1,
 	}
@@ -246,13 +256,29 @@ type simListener struct {
 	once   sync.Once
 }
 
-// Listen registers a listener. The requested port is ignored; every
-// listener gets a fresh "sim:<n>" address.
+// Listen registers a listener. A request for an unused "<name>:<port>"
+// address on this Sim is honoured — cluster tests pin member addresses so a
+// killed member can come back on the one the ring names — anything else gets
+// a fresh sequential "<name>:<n>" address.
 func (s *Sim) Listen(addr string) (net.Listener, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	a := simAddr(fmt.Sprintf("sim:%d", s.nextPort))
-	s.nextPort++
+	var a simAddr
+	if strings.HasPrefix(addr, s.name+":") {
+		if _, taken := s.listeners[addr]; taken {
+			return nil, fmt.Errorf("netsim: listen %s: address in use", addr)
+		}
+		a = simAddr(addr)
+	} else {
+		for {
+			cand := fmt.Sprintf("%s:%d", s.name, s.nextPort)
+			s.nextPort++
+			if _, taken := s.listeners[cand]; !taken {
+				a = simAddr(cand)
+				break
+			}
+		}
+	}
 	ln := &simListener{
 		sim:    s,
 		addr:   a,
@@ -300,10 +326,11 @@ func (s *Sim) DialTimeout(addr string, timeout time.Duration) (net.Conn, error) 
 	if ln == nil {
 		return nil, fmt.Errorf("netsim: dial %s: connection refused", addr)
 	}
-	up := newPipe(s, true, ord)     // dialer → listener
-	down := newPipe(s, false, ord)  // listener → dialer
-	client := &endpoint{r: down, w: up, local: simAddr("sim:client"), remote: ln.addr}
-	server := &endpoint{r: up, w: down, local: ln.addr, remote: simAddr("sim:client")}
+	up := newPipe(s, true, ord)    // dialer → listener
+	down := newPipe(s, false, ord) // listener → dialer
+	peer := simAddr(s.name + ":client")
+	client := &endpoint{r: down, w: up, local: peer, remote: ln.addr}
+	server := &endpoint{r: up, w: down, local: ln.addr, remote: peer}
 	s.mu.Lock()
 	s.pipes = append(s.pipes, up, down)
 	s.mu.Unlock()

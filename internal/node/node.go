@@ -47,6 +47,9 @@ var ErrNotFound = errors.New("node: record not found")
 // another shard.
 var ErrOverloaded = errors.New("node: overloaded, insert rejected by admission control")
 
+// ErrDuplicateKey is returned for inserts whose (db, key) already exists.
+var ErrDuplicateKey = errors.New("duplicate key")
+
 // Options configures a node.
 type Options struct {
 	// Dir is the storage directory ("" = in-memory).
@@ -533,6 +536,20 @@ func (n *Node) Insert(db, key string, payload []byte) error {
 			shed = true
 		}
 	}
+	if err := n.insertAdmitted(db, key, payload, shed); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	n.adm.ObserveLatency(elapsed)
+	n.latIns.Observe(elapsed)
+	return nil
+}
+
+// insertAdmitted is Insert past the admission decision: the shard-handoff
+// transfer path enters here directly so a loaded destination cannot shed or
+// reject rebalance traffic (admission is a client-facing policy; transfers
+// move data the cluster already acked).
+func (n *Node) insertAdmitted(db, key string, payload []byte, shed bool) error {
 	sh := n.reserveEncodeSlot(db)
 	n.mu.Lock()
 	if n.closed {
@@ -544,7 +561,7 @@ func (n *Node) Insert(db, key string, payload []byte) error {
 	if _, exists := dbm.Load(key); exists {
 		n.mu.Unlock()
 		n.releaseEncodeSlot(sh)
-		return fmt.Errorf("node: duplicate key %q/%q", db, key)
+		return fmt.Errorf("node: %w: %q/%q", ErrDuplicateKey, db, key)
 	}
 	id := n.nextID
 	n.nextID++
@@ -576,9 +593,6 @@ func (n *Node) Insert(db, key string, payload []byte) error {
 	if inline {
 		n.process(job)
 	}
-	elapsed := time.Since(start)
-	n.adm.ObserveLatency(elapsed)
-	n.latIns.Observe(elapsed)
 	return nil
 }
 

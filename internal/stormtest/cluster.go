@@ -1,0 +1,69 @@
+package stormtest
+
+import (
+	"fmt"
+
+	"dbdedup/internal/apiserver"
+	"dbdedup/internal/cluster"
+	"dbdedup/internal/metrics"
+	"dbdedup/internal/node"
+)
+
+// LocalMember is one primary of an in-process cluster: its node, the shard
+// wrapper routing for it, the TCP server, and its cluster counters.
+type LocalMember struct {
+	Node    *node.Node
+	Shard   *cluster.Shard
+	Srv     *apiserver.Server
+	Metrics *metrics.ClusterMetrics
+}
+
+// LocalCluster is an in-process N-primary sharded cluster for cluster storms
+// (tests and dedupstorm's -cluster self-hosted mode). Every member serves
+// real TCP on a loopback port; the ring is installed through the real
+// rebalance coordinator, not poked in by hand.
+type LocalCluster struct {
+	Members []*LocalMember
+	Addrs   []string
+}
+
+// StartLocalCluster opens n identical nodes, serves each behind a shard on a
+// loopback port, and bootstraps the epoch-1 ring across them.
+func StartLocalCluster(n int, nopts node.Options, sopts apiserver.Options) (*LocalCluster, error) {
+	lc := &LocalCluster{}
+	fail := func(err error) (*LocalCluster, error) {
+		lc.Close()
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		nd, err := node.Open(nopts)
+		if err != nil {
+			return fail(err)
+		}
+		cm := &metrics.ClusterMetrics{}
+		// The member's ring name is its client address, which a loopback
+		// listener only learns after binding: start at epoch 0 and rename
+		// before the bootstrap rebalance publishes the membership.
+		sh := cluster.NewShard(nd, "", cluster.NewRing(0, nil), nil, cm)
+		srv, err := apiserver.ListenAndServeBackend(sh, "127.0.0.1:0", sopts)
+		if err != nil {
+			nd.Close()
+			return fail(err)
+		}
+		sh.SetSelf(srv.Addr())
+		lc.Members = append(lc.Members, &LocalMember{Node: nd, Shard: sh, Srv: srv, Metrics: cm})
+		lc.Addrs = append(lc.Addrs, srv.Addr())
+	}
+	if _, err := cluster.Rebalance(lc.Addrs, lc.Addrs, cluster.RebalanceOptions{}); err != nil {
+		return fail(fmt.Errorf("stormtest: cluster bootstrap: %w", err))
+	}
+	return lc, nil
+}
+
+// Close tears every member down.
+func (lc *LocalCluster) Close() {
+	for _, m := range lc.Members {
+		m.Srv.Close()
+		m.Node.Close()
+	}
+}

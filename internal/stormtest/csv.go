@@ -54,6 +54,52 @@ func (r *Report) CSVRow() string {
 // AppendCSV appends the report to path, writing the header first when the
 // file is new or empty.
 func (r *Report) AppendCSV(path string) error {
+	return appendRow(path, strings.Join(csvColumns, ","), r.CSVRow())
+}
+
+// clusterColumns extends the base columns with one per-shard group per
+// member, in ring order, for results_csv/storm_cluster.csv.
+func clusterColumns(shards int) []string {
+	cols := append([]string(nil), csvColumns...)
+	for i := 0; i < shards; i++ {
+		p := fmt.Sprintf("shard%d_", i)
+		cols = append(cols, p+"member", p+"acked_ops", p+"goodput_ops", p+"ins_p50_us", p+"ins_p99_us")
+	}
+	return cols
+}
+
+// clusterCSVRow renders the report plus shards per-shard column groups,
+// padding with empty fields when the report has fewer (a single-node
+// comparison row in a cluster file).
+func (r *Report) clusterCSVRow(shards int) string {
+	f := []string{r.CSVRow()}
+	for i := 0; i < shards; i++ {
+		if i < len(r.Shards) {
+			s := r.Shards[i]
+			f = append(f, s.Member,
+				fmt.Sprintf("%d", s.AckedOps),
+				fmt.Sprintf("%.0f", s.GoodputOps),
+				fmt.Sprintf("%d", s.Insert.P50US),
+				fmt.Sprintf("%d", s.Insert.P99US))
+		} else {
+			f = append(f, "", "", "", "", "")
+		}
+	}
+	return strings.Join(f, ",")
+}
+
+// AppendClusterCSV appends the report with shards per-shard column groups to
+// path, writing the header first when the file is new or empty. Rows written
+// with the same shards value line up under one header regardless of how many
+// members each run actually had.
+func (r *Report) AppendClusterCSV(path string, shards int) error {
+	if shards < len(r.Shards) {
+		shards = len(r.Shards)
+	}
+	return appendRow(path, strings.Join(clusterColumns(shards), ","), r.clusterCSVRow(shards))
+}
+
+func appendRow(path, header, row string) error {
 	fi, err := os.Stat(path)
 	writeHeader := err != nil || fi.Size() == 0
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
@@ -62,10 +108,10 @@ func (r *Report) AppendCSV(path string) error {
 	}
 	defer f.Close()
 	if writeHeader {
-		if _, err := fmt.Fprintln(f, strings.Join(csvColumns, ",")); err != nil {
+		if _, err := fmt.Fprintln(f, header); err != nil {
 			return err
 		}
 	}
-	_, err = fmt.Fprintln(f, r.CSVRow())
+	_, err = fmt.Fprintln(f, row)
 	return err
 }

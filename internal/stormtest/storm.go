@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"dbdedup/internal/apiserver"
+	"dbdedup/internal/cluster"
 	"dbdedup/internal/metrics"
 	"dbdedup/internal/node"
 	"dbdedup/internal/workload"
@@ -40,6 +41,12 @@ import (
 type Config struct {
 	// Addr is the apiserver TCP address to drive.
 	Addr string
+	// Addrs, when non-empty, switches the storm to cluster mode: workers
+	// drive the sharded cluster through the cluster-aware client (following
+	// wrong-shard redirects, retrying moving shards) instead of a single
+	// raw connection, and the report gains a per-shard goodput/latency
+	// breakdown. Addr is ignored in cluster mode.
+	Addrs []string
 	// Rate is the offered load in operations/second.
 	Rate float64
 	// Duration is how long arrivals are generated. The storm then drains:
@@ -145,7 +152,23 @@ type Report struct {
 	GoodputOps float64
 	GoodputMB  float64
 
+	// Shards breaks the acked load down per cluster member, in ring order
+	// (cluster storms only — empty for single-node runs).
+	Shards []ShardLoad
+
 	acked *ackedSet
+}
+
+// ShardLoad is one cluster member's slice of a storm: which member, how many
+// acknowledged operations the router placed on it, and the open-loop insert
+// latency seen for that slice. A cluster that scales shows every member
+// carrying goodput; a skewed or broken ring shows up as one hot shard.
+type ShardLoad struct {
+	Member     string
+	AckedOps   int64   // acked inserts + reads owned by this member
+	AckedMB    float64 // acked insert payload megabytes
+	GoodputOps float64 // AckedOps per wall-clock second
+	Insert     metrics.LatencySummary
 }
 
 // ErrorTotal sums the taxonomy.
@@ -164,6 +187,10 @@ func (r *Report) String() string {
 		r.Label, r.Offered, r.Config.Rate, r.Config.Duration.Round(time.Millisecond), r.Wall.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  acked: %d inserts (%s), %d reads — goodput %.0f ops/s, %.1f MB/s\n",
 		r.AckedInserts, metrics.FormatBytes(r.InsertBytes), r.AckedReads, r.GoodputOps, r.GoodputMB)
+	for _, s := range r.Shards {
+		fmt.Fprintf(&b, "  shard %s: %d acked ops (%.0f ops/s, %.1f MB), insert p50/p99 %dµs/%dµs\n",
+			s.Member, s.AckedOps, s.GoodputOps, s.AckedMB, s.Insert.P50US, s.Insert.P99US)
+	}
 	if r.Dropped > 0 {
 		fmt.Fprintf(&b, "  dropped at dispatch: %d\n", r.Dropped)
 	}
@@ -239,6 +266,109 @@ func fnvStripe(k string) int {
 	return int(h % 16)
 }
 
+// stormConn is what a worker drives: a raw apiserver connection in
+// single-node storms, the redirect-following cluster client in cluster
+// storms. Owner names the ring member an operation was routed to ("" when
+// not clustered) so acked load can be attributed per shard.
+type stormConn interface {
+	Insert(db, key string, payload []byte) error
+	Get(db, key string) ([]byte, error)
+	Owner(db string) string
+	Close()
+}
+
+type singleConn struct{ c *apiserver.Client }
+
+func (s singleConn) Insert(db, key string, payload []byte) error { return s.c.Insert(db, key, payload) }
+func (s singleConn) Get(db, key string) ([]byte, error)          { return s.c.Get(db, key) }
+func (s singleConn) Owner(string) string                         { return "" }
+func (s singleConn) Close()                                      { s.c.Close() }
+
+type clusterConn struct{ c *cluster.Client }
+
+func (s clusterConn) Insert(db, key string, payload []byte) error { return s.c.Insert(db, key, payload) }
+func (s clusterConn) Get(db, key string) ([]byte, error)          { return s.c.Get(db, key) }
+func (s clusterConn) Owner(db string) string                      { return s.c.Ring().Owner(db) }
+func (s clusterConn) Close()                                      { s.c.Close() }
+
+func dialStorm(cfg Config) (stormConn, error) {
+	if len(cfg.Addrs) > 0 {
+		cc, err := cluster.DialCluster(cfg.Addrs, cluster.ClientOptions{Timeout: cfg.Timeout})
+		if err != nil {
+			return nil, err
+		}
+		return clusterConn{cc}, nil
+	}
+	c, err := apiserver.Dial(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTimeout(cfg.Timeout)
+	return singleConn{c}, nil
+}
+
+// shardTable accumulates per-member acked counters, keyed by ring member.
+type shardTable struct {
+	mu sync.Mutex
+	m  map[string]*shardAgg
+}
+
+type shardAgg struct {
+	ops   atomic.Int64
+	bytes atomic.Int64
+	lat   *metrics.Histogram
+}
+
+func newShardTable(members []string) *shardTable {
+	t := &shardTable{m: make(map[string]*shardAgg, len(members))}
+	for _, m := range members {
+		t.m[m] = &shardAgg{lat: metrics.NewHistogram()}
+	}
+	return t
+}
+
+// agg returns member's accumulator, creating one for members that joined the
+// ring after the storm started. "" (not clustered) gets nil.
+func (t *shardTable) agg(member string) *shardAgg {
+	if member == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a := t.m[member]
+	if a == nil {
+		a = &shardAgg{lat: metrics.NewHistogram()}
+		t.m[member] = a
+	}
+	return a
+}
+
+// loads renders the table as the report's sorted per-shard breakdown.
+func (t *shardTable) loads(wallSecs float64) []ShardLoad {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	members := make([]string, 0, len(t.m))
+	for m := range t.m {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	out := make([]ShardLoad, 0, len(members))
+	for _, m := range members {
+		a := t.m[m]
+		sl := ShardLoad{
+			Member:   m,
+			AckedOps: a.ops.Load(),
+			AckedMB:  float64(a.bytes.Load()) / (1 << 20),
+			Insert:   a.lat.Summary(),
+		}
+		if wallSecs > 0 {
+			sl.GoodputOps = float64(sl.AckedOps) / wallSecs
+		}
+		out = append(out, sl)
+	}
+	return out
+}
+
 // tenant owns one deterministic trace; only the scheduler touches it.
 type tenant struct {
 	prefix string
@@ -305,22 +435,24 @@ func Run(label string, cfg Config) (*Report, error) {
 		errMu.Unlock()
 	}
 
+	clustered := len(cfg.Addrs) > 0
+	shards := newShardTable(cfg.Addrs)
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Conns; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var client *apiserver.Client
+			var client stormConn
 			redial := func() bool {
 				if client != nil {
 					client.Close()
 					client = nil
 				}
-				c, err := apiserver.Dial(cfg.Addr)
+				c, err := dialStorm(cfg)
 				if err != nil {
 					return false
 				}
-				c.SetTimeout(cfg.Timeout)
 				client = c
 				return true
 			}
@@ -338,10 +470,16 @@ func Run(label string, cfg Config) (*Report, error) {
 				case workload.OpInsert:
 					err := client.Insert(j.op.DB, j.op.Key, j.op.Payload)
 					if err == nil {
-						latIns.Observe(time.Since(j.scheduled))
+						d := time.Since(j.scheduled)
+						latIns.Observe(d)
 						ackedIns.Add(1)
 						insBytes.Add(int64(len(j.op.Payload)))
 						rep.acked.add(j.op.DB, j.op.Key, payloadHash(j.op.Payload))
+						if sa := shards.agg(client.Owner(j.op.DB)); sa != nil {
+							sa.ops.Add(1)
+							sa.bytes.Add(int64(len(j.op.Payload)))
+							sa.lat.Observe(d)
+						}
 						continue
 					}
 					countErr(classify(err))
@@ -353,6 +491,9 @@ func Run(label string, cfg Config) (*Report, error) {
 					if err == nil {
 						latRead.Observe(time.Since(j.scheduled))
 						ackedRead.Add(1)
+						if sa := shards.agg(client.Owner(j.op.DB)); sa != nil {
+							sa.ops.Add(1)
+						}
 						continue
 					}
 					countErr(classify(err))
@@ -422,6 +563,9 @@ func Run(label string, cfg Config) (*Report, error) {
 		rep.GoodputOps = float64(rep.AckedInserts+rep.AckedReads) / secs
 		rep.GoodputMB = float64(rep.InsertBytes) / (1 << 20) / secs
 	}
+	if clustered {
+		rep.Shards = shards.loads(secs)
+	}
 	return rep, nil
 }
 
@@ -478,6 +622,25 @@ func (r *Report) VerifyAckedWrites(addr string) (lost, corrupt int, err error) {
 		return 0, 0, err
 	}
 	defer client.Close()
+	lost, corrupt = r.verifyWith(client.Get)
+	return lost, corrupt, nil
+}
+
+// VerifyAckedWritesCluster re-reads every acknowledged insert through the
+// cluster router: whatever member acked a write, and wherever rebalancing
+// later placed its database, the record must be readable at its current
+// owner via redirects.
+func (r *Report) VerifyAckedWritesCluster(addrs []string) (lost, corrupt int, err error) {
+	cc, err := cluster.DialCluster(addrs, cluster.ClientOptions{})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cc.Close()
+	lost, corrupt = r.verifyWith(cc.Get)
+	return lost, corrupt, nil
+}
+
+func (r *Report) verifyWith(get func(db, key string) ([]byte, error)) (lost, corrupt int) {
 	for i := range r.acked.stripes {
 		st := &r.acked.stripes[i]
 		st.mu.Lock()
@@ -492,7 +655,7 @@ func (r *Report) VerifyAckedWrites(addr string) (lost, corrupt int, err error) {
 			want := st.m[k]
 			st.mu.Unlock()
 			sep := strings.IndexByte(k, 0)
-			got, gerr := client.Get(k[:sep], k[sep+1:])
+			got, gerr := get(k[:sep], k[sep+1:])
 			if gerr != nil {
 				lost++
 				continue
@@ -502,7 +665,7 @@ func (r *Report) VerifyAckedWrites(addr string) (lost, corrupt int, err error) {
 			}
 		}
 	}
-	return lost, corrupt, nil
+	return lost, corrupt
 }
 
 // AckedWriteCount returns the number of distinct acknowledged inserts the
