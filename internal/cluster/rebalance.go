@@ -223,9 +223,8 @@ func (co *coordinator) recover(members []string) (*Ring, error) {
 			pend = st.Pending
 		}
 	}
-	if pend == nil || pend.Epoch <= base.Epoch {
-		// No live window (any lower-epoch leftovers are superseded by the
-		// next install). But a healthy rebalance still needs everyone.
+	if pend == nil {
+		// No window anywhere. But a healthy rebalance still needs everyone.
 		if len(unreachable) > 0 {
 			return nil, fmt.Errorf("cluster: members unreachable: %v", unreachable)
 		}
@@ -234,6 +233,28 @@ func (co *coordinator) recover(members []string) (*Ring, error) {
 	if len(unreachable) > 0 {
 		return nil, fmt.Errorf("cluster: cannot recover open rebalance window (epoch %d) with members unreachable: %v", pend.Epoch, unreachable)
 	}
+	if pend.Epoch < base.Epoch {
+		// Every open window is older than a committed ring: superseded, and
+		// by construction never committed anywhere (a commit would have left
+		// an active ring at its epoch, making it the live case below). Abort
+		// the leftovers explicitly — leaving them for a future InstallRing
+		// to abandon strands them forever when this Rebalance returns early
+		// because the membership already matches, keeping those members'
+		// moving databases write-frozen indefinitely.
+		for m, st := range status {
+			if st.Pending == nil {
+				continue
+			}
+			if err := co.call(m, func(c *apiserver.Client) error { return c.AbortRing() }); err != nil {
+				return nil, fmt.Errorf("cluster: aborting superseded window on %s: %w", m, err)
+			}
+		}
+		return co.tip(status)
+	}
+	// pend.Epoch >= base.Epoch: a live window. Equality means some member
+	// already committed it (its active ring sits at the window's epoch), so
+	// the loop below finishes the commit on the stragglers instead of
+	// leaving them frozen.
 
 	committed := false
 	for _, st := range status {
@@ -260,7 +281,13 @@ func (co *coordinator) recover(members []string) (*Ring, error) {
 		return pend, nil
 	}
 	// Aborts bumped epochs; refetch the tip.
-	base = nil
+	return co.tip(status)
+}
+
+// tip re-reads every member's active ring and returns the highest. Aborts
+// bump epochs, so any base computed before them is stale.
+func (co *coordinator) tip(status map[string]*RingStatus) (*Ring, error) {
+	var base *Ring
 	for m := range status {
 		st, err := co.ringStatus(m)
 		if err != nil {

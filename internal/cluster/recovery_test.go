@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dbdedup/internal/apiserver"
+	"dbdedup/internal/netsim"
+	"dbdedup/internal/node"
+)
+
+func dialDirect(t *testing.T, mesh *netsim.Mesh, addr string) *apiserver.Client {
+	t.Helper()
+	c, err := apiserver.DialNetwork(mesh.Host("client"), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func testRebalanceOptions(mesh *netsim.Mesh) RebalanceOptions {
+	return RebalanceOptions{Network: mesh.Host("coord"), RPCTimeout: 2 * time.Second}
+}
+
+// TestRinglessJoinMovesData pins the bootstrap-join flow: a ring-less member
+// (the documented -cluster-self-without-peers deployment) holding acked data
+// is rebalanced into a cluster, and every database the new ring places on
+// another member is streamed there before the source's copy is dropped.
+// Before the ownerOrSelf fix, BeginHandoff skipped every database (the empty
+// ring owned nothing) and CommitRing then deleted the un-transferred data.
+func TestRinglessJoinMovesData(t *testing.T) {
+	mesh := netsim.NewMesh(11, "a", "b")
+	ma := startMember(t, mesh, "a", "a:1", nil, apiserver.Options{})
+	mb := startMember(t, mesh, "b", "b:1", nil, apiserver.Options{})
+
+	target := NewRing(1, []string{"a:1", "b:1"})
+	dbStay := dbOwnedBy(t, target, "a:1")
+	dbMove := dbOwnedBy(t, target, "b:1")
+
+	da := dialDirect(t, mesh, "a:1")
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := da.Insert(dbStay, key, []byte("stay-"+key)); err != nil {
+			t.Fatal(err)
+		}
+		if err := da.Insert(dbMove, key, []byte("move-"+key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ring, err := Rebalance([]string{"a:1"}, []string{"a:1", "b:1"}, testRebalanceOptions(mesh))
+	if err != nil {
+		t.Fatalf("join rebalance: %v", err)
+	}
+	if !sameMembers(ring.Members, []string{"a:1", "b:1"}) {
+		t.Fatalf("committed ring members = %v", ring.Members)
+	}
+
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		got, err := mb.n.Read(dbMove, key)
+		if err != nil || !bytes.Equal(got, []byte("move-"+key)) {
+			t.Errorf("moved record %s/%s not on the new owner: %q, %v", dbMove, key, got, err)
+		}
+		if _, err := ma.n.Read(dbMove, key); !errors.Is(err, node.ErrNotFound) {
+			t.Errorf("moved record %s/%s still on the source: err=%v", dbMove, key, err)
+		}
+		if _, err := ma.n.Read(dbStay, key); err != nil {
+			t.Errorf("staying record %s/%s lost from the source: %v", dbStay, key, err)
+		}
+	}
+
+	// The whole corpus stays reachable through the routing tier.
+	cc, err := DialCluster([]string{"a:1"}, testClientOptions(mesh, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	for _, db := range []string{dbStay, dbMove} {
+		for i := 0; i < 5; i++ {
+			key := fmt.Sprintf("k%d", i)
+			if _, err := cc.Get(db, key); err != nil {
+				t.Errorf("routed read %s/%s after join: %v", db, key, err)
+			}
+		}
+	}
+}
+
+// TestRinglessWindowFreezesAndAbortKeepsData pins the other half of the
+// bootstrap-join safety story: once a window opens on a ring-less member,
+// writes to its moving databases freeze (they would otherwise miss the
+// outbound snapshot), reads keep serving the frozen local copy, and an abort
+// keeps everything the member held before the window.
+func TestRinglessWindowFreezesAndAbortKeepsData(t *testing.T) {
+	mesh := netsim.NewMesh(12, "a")
+	ma := startMember(t, mesh, "a", "a:1", nil, apiserver.Options{})
+
+	pend := NewRing(1, []string{"a:1", "ghost:1"})
+	db := dbOwnedBy(t, pend, "ghost:1")
+	da := dialDirect(t, mesh, "a:1")
+	if err := da.Insert(db, "k", []byte("pre-window")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.sh.InstallRing(pend.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+
+	err := da.Update(db, "k", []byte("into the window"))
+	var mv *apiserver.ShardMovingError
+	if !errors.As(err, &mv) {
+		t.Fatalf("ring-less write into an open window: want shard-moving, got %v", err)
+	}
+	if got, err := da.Get(db, "k"); err != nil || !bytes.Equal(got, []byte("pre-window")) {
+		t.Fatalf("ring-less read during the window: %q, %v", got, err)
+	}
+
+	if err := ma.sh.AbortRing(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ma.n.Read(db, "k"); err != nil || !bytes.Equal(got, []byte("pre-window")) {
+		t.Fatalf("pre-window data lost across abort: %q, %v", got, err)
+	}
+	if err := da.Update(db, "k", []byte("after abort")); err != nil {
+		t.Fatalf("write after abort: %v", err)
+	}
+}
+
+// TestRinglessDestinationFreezesGainedCopy pins that a ring-less member
+// receiving a handoff does not serve the half-transferred inbound copy (the
+// source is still authoritative), and that an abort drops exactly that copy
+// while leaving pre-window databases alone.
+func TestRinglessDestinationFreezesGainedCopy(t *testing.T) {
+	mesh := netsim.NewMesh(13, "b")
+	mb := startMember(t, mesh, "b", "b:1", nil, apiserver.Options{})
+
+	pend := NewRing(1, []string{"b:1", "ghost:1"})
+	gained := dbOwnedBy(t, pend, "b:1")
+	held := dbOwnedBy(t, pend, "ghost:1")
+	db := dialDirect(t, mesh, "b:1")
+	if err := db.Insert(held, "k", []byte("held before the window")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.sh.InstallRing(pend.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.sh.Transfer(gained, "k", []byte("half-transferred")); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := db.Get(gained, "k")
+	var mv *apiserver.ShardMovingError
+	if !errors.As(err, &mv) {
+		t.Fatalf("read of a half-transferred inbound copy: want shard-moving, got %v", err)
+	}
+
+	if err := mb.sh.AbortRing(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.n.Read(gained, "k"); !errors.Is(err, node.ErrNotFound) {
+		t.Errorf("half-transferred copy survived the abort: err=%v", err)
+	}
+	if _, err := mb.n.Read(held, "k"); err != nil {
+		t.Errorf("pre-window database dropped by the abort: %v", err)
+	}
+}
+
+// TestInstallRingRefusesStaleVsPending pins epoch monotonicity against the
+// open window, not just the active ring: a lagging coordinator's proposal
+// with an epoch at or below the pending window's must not replace the newer
+// window (and silently discard its half-transferred copies).
+func TestInstallRingRefusesStaleVsPending(t *testing.T) {
+	mesh := netsim.NewMesh(14, "a")
+	ma := startMember(t, mesh, "a", "a:1", NewRing(1, []string{"a:1"}), apiserver.Options{})
+
+	newer := NewRing(3, []string{"a:1", "x:1"})
+	if err := ma.sh.InstallRing(newer.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	err := ma.sh.InstallRing(NewRing(2, []string{"a:1", "y:1"}).Marshal())
+	if err == nil || !strings.Contains(err.Error(), "pending window 3") {
+		t.Fatalf("stale install under an open window: want a pending-epoch refusal, got %v", err)
+	}
+	if p := ma.sh.Pending(); p == nil || !p.Equal(newer) {
+		t.Fatalf("pending window clobbered by the stale install: %v", p)
+	}
+	// Idempotent re-install of the open window still converges silently.
+	if err := ma.sh.InstallRing(newer.Marshal()); err != nil {
+		t.Fatalf("idempotent re-install: %v", err)
+	}
+}
+
+// TestRecoverAbortsSupersededWindow pins that recovery actively aborts a
+// stale pending window (epoch below the committed tip) instead of waiting
+// for a future install to abandon it: when the subsequent rebalance is a
+// no-op (membership already matches), no install ever comes, and before the
+// fix the window's databases stayed write-frozen forever.
+func TestRecoverAbortsSupersededWindow(t *testing.T) {
+	mesh := netsim.NewMesh(15, "a", "b", "c")
+	ma := startMember(t, mesh, "a", "a:1", NewRing(1, []string{"a:1"}), apiserver.Options{})
+	startMember(t, mesh, "b", "b:1", NewRing(4, []string{"a:1", "b:1"}), apiserver.Options{})
+	mc := startMember(t, mesh, "c", "c:1", nil, apiserver.Options{})
+
+	// A dead coordinator left a join window at epoch 2 open on a and c; the
+	// cluster has since committed epoch 4 without them hearing an install.
+	stale := NewRing(2, []string{"a:1", "c:1"})
+	if err := ma.sh.InstallRing(stale.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.sh.InstallRing(stale.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	db := dbOwnedBy(t, stale, "c:1")
+	da := dialDirect(t, mesh, "a:1")
+	err := da.Insert(db, "k", []byte("frozen"))
+	var mv *apiserver.ShardMovingError
+	if !errors.As(err, &mv) {
+		t.Fatalf("write under the stale window: want shard-moving, got %v", err)
+	}
+
+	// Target membership already matches the tip: this rebalance would
+	// otherwise return without installing anything anywhere.
+	ring, err := Rebalance([]string{"a:1", "b:1"}, []string{"a:1", "b:1"}, testRebalanceOptions(mesh))
+	if err != nil {
+		t.Fatalf("no-op rebalance over a stale window: %v", err)
+	}
+	if ring.Epoch != 4 {
+		t.Errorf("recovered ring epoch = %d, want the committed tip 4", ring.Epoch)
+	}
+	if p := ma.sh.Pending(); p != nil {
+		t.Errorf("stale window still open on a: %v", p)
+	}
+	if p := mc.sh.Pending(); p != nil {
+		t.Errorf("stale window still open on c: %v", p)
+	}
+	if err := da.Insert(db, "k", []byte("thawed")); err != nil {
+		t.Errorf("write after recovery still refused: %v", err)
+	}
+}
+
+// TestRecoverFinishesCommittedWindowOnStraggler pins the commit half of
+// recovery at the epoch boundary: when a window's epoch equals the committed
+// tip's (someone committed it, a straggler crashed before its own commit),
+// recovery must finish the commit on the straggler — before the fix that
+// state was misread as "superseded" and the straggler stayed frozen forever.
+func TestRecoverFinishesCommittedWindowOnStraggler(t *testing.T) {
+	mesh := netsim.NewMesh(16, "a", "b")
+	committed := NewRing(2, []string{"a:1", "b:1"})
+	ma := startMember(t, mesh, "a", "a:1", NewRing(1, []string{"a:1"}), apiserver.Options{})
+	mb := startMember(t, mesh, "b", "b:1", committed, apiserver.Options{})
+
+	db := dbOwnedBy(t, committed, "b:1")
+	da := dialDirect(t, mesh, "a:1")
+	if err := da.Insert(db, "k", []byte("handed off")); err != nil {
+		t.Fatal(err)
+	}
+	// The crashed rebalance got through handoff (b holds the copy) and b's
+	// commit, but died before committing a.
+	if err := mb.n.TransferUpsert(db, "k", []byte("handed off")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.sh.InstallRing(committed.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+
+	ring, err := Rebalance([]string{"a:1", "b:1"}, []string{"a:1", "b:1"}, testRebalanceOptions(mesh))
+	if err != nil {
+		t.Fatalf("recovery rebalance: %v", err)
+	}
+	if ring.Epoch != 2 {
+		t.Errorf("recovered ring epoch = %d, want the committed window's 2", ring.Epoch)
+	}
+	if p := ma.sh.Pending(); p != nil {
+		t.Errorf("straggler's window never committed: %v", p)
+	}
+	if got := ma.sh.Ring().Epoch; got != 2 {
+		t.Errorf("straggler active epoch = %d, want 2", got)
+	}
+	if _, err := ma.n.Read(db, "k"); !errors.Is(err, node.ErrNotFound) {
+		t.Errorf("moved database still on the straggler after commit: err=%v", err)
+	}
+	cc, err := DialCluster([]string{"a:1"}, testClientOptions(mesh, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if got, err := cc.Get(db, "k"); err != nil || !bytes.Equal(got, []byte("handed off")) {
+		t.Errorf("routed read after straggler commit: %q, %v", got, err)
+	}
+}

@@ -38,6 +38,28 @@ type Shard struct {
 	opMu    sync.RWMutex
 	ring    *Ring // active placement this member serves under
 	pending *Ring // non-nil while a rebalance window is open
+
+	// xferMu guards the per-window transfer bookkeeping. On a ring-less
+	// member (empty active ring) the ring cannot say which local databases
+	// are inbound half-transferred copies and which are pre-window data the
+	// member has been serving all along — the created set is that
+	// discriminator: those are the only copies a ring-less abort may drop.
+	xferMu      sync.Mutex
+	xferSeen    map[string]bool // dbs that received >=1 transfer this window
+	xferCreated map[string]bool // subset the transfer stream created from nothing
+}
+
+// ownerOrSelf returns the member r places db on, treating an empty ring as
+// placing everything on self: a ring-less member (the documented bootstrap
+// join flow, -cluster-self without -cluster-peers) serves every database it
+// holds, so for freeze and handoff purposes it is the source owner of all of
+// them — not the owner of none, which would let a join window stream nothing
+// and then drop acked data at commit.
+func ownerOrSelf(r *Ring, self, db string) string {
+	if len(r.Members) == 0 {
+		return self
+	}
+	return r.Owner(db)
 }
 
 // NewShard wraps n as the cluster member named self (its client address),
@@ -94,12 +116,11 @@ func (s *Shard) Pending() *Ring {
 // Caller holds opMu (shared or exclusive).
 func (s *Shard) classify(db string, write bool) error {
 	r, p := s.ring, s.pending
-	if len(r.Members) == 0 {
-		// Bootstrap: no ring installed yet — serve everything, like a
-		// single-node deployment.
-		return nil
-	}
-	owner := r.Owner(db)
+	// A ring-less member owns everything it holds, like a single-node
+	// deployment — but the window checks below still apply, so a join
+	// rebalance write-freezes its moving databases instead of letting
+	// acked writes slip in behind the outbound snapshot.
+	owner := ownerOrSelf(r, s.self, db)
 	if p != nil {
 		powner := p.Owner(db)
 		if powner == s.self && owner != s.self {
@@ -113,10 +134,17 @@ func (s *Shard) classify(db string, write bool) error {
 			return &apiserver.ShardMovingError{Epoch: p.Epoch}
 		}
 		if owner == s.self && powner != s.self {
-			// Moving away: reads stay safe here (the local copy is
-			// complete and frozen), but a write would miss the snapshot
-			// already streaming to the new owner — a lost acked write at
-			// cutover. Freeze writes until the window resolves.
+			// Moving away: a write would miss the snapshot already
+			// streaming to the new owner — a lost acked write at cutover —
+			// so writes freeze until the window resolves. Reads keep being
+			// served from the local frozen copy, a deliberate
+			// availability-over-freshness tradeoff: during the commit
+			// fan-out the destination may commit (and ack new writes)
+			// moments before this member hears its own commit, so a client
+			// on the old ring can read a value here that is already
+			// overwritten at the new owner. Such reads are never torn and
+			// never resurrect deleted keys — they are just at most one
+			// cutover window behind.
 			if write {
 				if s.cm != nil {
 					s.cm.MovingAnswered.Add(1)
@@ -124,6 +152,17 @@ func (s *Shard) classify(db string, write bool) error {
 				return &apiserver.ShardMovingError{Epoch: p.Epoch}
 			}
 			return nil
+		}
+		if len(r.Members) == 0 && powner == s.self && s.transferCreated(db) {
+			// Ring-less member acting as a destination: this database did
+			// not exist here before the window — it is an inbound
+			// half-transferred copy and the true source is still
+			// authoritative. Serving it, even a read, would expose partial
+			// state the abort path would then throw away.
+			if s.cm != nil {
+				s.cm.MovingAnswered.Add(1)
+			}
+			return &apiserver.ShardMovingError{Epoch: p.Epoch}
 		}
 	}
 	if owner != s.self {
@@ -208,11 +247,12 @@ func (s *Shard) RingJSON() []byte {
 }
 
 // InstallRing opens a rebalance window under the proposed ring. Epochs are
-// strictly monotonic: a ring at or below the active epoch is refused unless
-// it is byte-identical to the active or pending ring (idempotent re-install,
-// so a coordinator retry after a partial failure converges instead of
-// erroring). A higher-epoch install while a window is already open aborts
-// the stale window first — the coordinator that opened it is gone.
+// strictly monotonic: a ring at or below the active epoch — or at or below
+// an open window's epoch — is refused unless it is byte-identical to the
+// active or pending ring (idempotent re-install, so a coordinator retry
+// after a partial failure converges instead of erroring). A higher-epoch
+// install while a window is already open aborts the stale window first —
+// the coordinator that opened it is gone.
 func (s *Shard) InstallRing(body []byte) error {
 	r, err := UnmarshalRing(body)
 	if err != nil {
@@ -227,6 +267,14 @@ func (s *Shard) InstallRing(body []byte) error {
 		cur := s.ring.Epoch
 		s.opMu.Unlock()
 		return fmt.Errorf("cluster: stale ring epoch %d (active %d)", r.Epoch, cur)
+	}
+	if s.pending != nil && r.Epoch <= s.pending.Epoch {
+		// A lagging coordinator must not replace a newer open window with
+		// its stale proposal — that would abandon the newer window's
+		// half-transferred copies in favour of an older placement.
+		cur := s.pending.Epoch
+		s.opMu.Unlock()
+		return fmt.Errorf("cluster: stale ring epoch %d (pending window %d)", r.Epoch, cur)
 	}
 	var drop []string
 	if s.pending != nil {
@@ -248,12 +296,43 @@ func (s *Shard) abandonPendingLocked() []string {
 	p := s.pending
 	s.pending = nil
 	var drop []string
-	for _, db := range s.n.DBNames() {
-		if p.Owner(db) == s.self && s.ring.Owner(db) != s.self {
+	if len(s.ring.Members) == 0 {
+		// Ring-less: the member held (and served) everything before the
+		// window, so the active ring cannot tell gained copies apart from
+		// pre-window data. Drop only databases the inbound transfer stream
+		// created from nothing; anything else might be acked pre-window
+		// data, and deleting acked data is the one unrecoverable mistake.
+		s.xferMu.Lock()
+		for db := range s.xferCreated {
 			drop = append(drop, db)
 		}
+		s.xferMu.Unlock()
+	} else {
+		for _, db := range s.n.DBNames() {
+			if p.Owner(db) == s.self && s.ring.Owner(db) != s.self {
+				drop = append(drop, db)
+			}
+		}
 	}
+	s.clearXfer()
 	return drop
+}
+
+// transferCreated reports whether the open window's transfer stream created
+// db on this member (it did not exist locally before the first inbound
+// record).
+func (s *Shard) transferCreated(db string) bool {
+	s.xferMu.Lock()
+	defer s.xferMu.Unlock()
+	return s.xferCreated[db]
+}
+
+// clearXfer resets the per-window transfer bookkeeping at every window
+// resolution (commit, abort, or replacement by a newer install).
+func (s *Shard) clearXfer() {
+	s.xferMu.Lock()
+	s.xferSeen, s.xferCreated = nil, nil
+	s.xferMu.Unlock()
 }
 
 // handoffSummary is BeginHandoff's wire answer.
@@ -290,7 +369,10 @@ func (s *Shard) BeginHandoff() ([]byte, error) {
 	}()
 	for _, db := range s.n.DBNames() {
 		dest := p.Owner(db)
-		if r.Owner(db) != s.self || dest == s.self || dest == "" {
+		// A ring-less member is the source owner of everything it holds
+		// (ownerOrSelf), so a bootstrap join streams its whole corpus out to
+		// the pending owners instead of skipping every database.
+		if ownerOrSelf(r, s.self, db) != s.self || dest == s.self || dest == "" {
 			continue
 		}
 		c := conns[dest]
@@ -344,6 +426,7 @@ func (s *Shard) CommitRing() error {
 	}
 	s.ring = s.pending
 	s.pending = nil
+	s.clearXfer()
 	if s.cm != nil {
 		s.cm.HandoffsCommitted.Add(1)
 		s.cm.RingEpoch.Set(int64(s.ring.Epoch))
@@ -394,6 +477,18 @@ func (s *Shard) Transfer(db, key string, payload []byte) error {
 	if s.pending == nil || s.pending.Owner(db) != s.self {
 		return fmt.Errorf("cluster: no open handoff window for db %q", db)
 	}
+	s.xferMu.Lock()
+	if !s.xferSeen[db] {
+		if s.xferSeen == nil {
+			s.xferSeen = map[string]bool{}
+			s.xferCreated = map[string]bool{}
+		}
+		s.xferSeen[db] = true
+		if len(s.n.DBKeys(db)) == 0 {
+			s.xferCreated[db] = true
+		}
+	}
+	s.xferMu.Unlock()
 	if err := s.n.TransferUpsert(db, key, payload); err != nil {
 		if s.cm != nil {
 			s.cm.TransferFailures.Add(1)
